@@ -1,0 +1,493 @@
+package gigapos
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (see EXPERIMENTS.md for the paper-vs-measured
+// record):
+//
+//	BenchmarkTable1_P5_8bit          — Table 1, 8-bit system synthesis
+//	BenchmarkTable2_P5_32bit         — Table 2, 32-bit system synthesis
+//	BenchmarkTable3_EscapeGenerate   — Table 3, Escape Generate module
+//	BenchmarkFigure5_EscapeGenerate  — Fig 5, stuffing expansion datapath
+//	BenchmarkFigure6_EscapeDetect    — Fig 6, destuffing bubble collapse
+//	BenchmarkThroughput_*            — headline 2.5 Gb/s / 625 Mb/s claim
+//	BenchmarkLatency_EscapePipeline  — 4-cycle (~50 ns) pipeline fill
+//	BenchmarkAblation_*              — design-choice sweeps (DESIGN.md §5)
+//	BenchmarkSoftStuff_*             — software mirror of 8- vs 32-bit
+//
+// Custom metrics attach the paper's quantities (LUTs, FFs, MHz, Gb/s,
+// cycles) to the standard testing.B output.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/crc"
+	"repro/internal/gfp"
+	"repro/internal/hdlc"
+	"repro/internal/netsim"
+	"repro/internal/p5"
+	"repro/internal/pos"
+	"repro/internal/ppp"
+	"repro/internal/rtl"
+	"repro/internal/sonet"
+	"repro/internal/synth"
+)
+
+var printTables sync.Once
+
+func printAllTables() {
+	printTables.Do(func() {
+		fmt.Println()
+		fmt.Print(synth.FormatSystemTable("Table 1 — P5 8-bit implementation",
+			synth.SystemTable(1, synth.XCV50, synth.XC2V40)))
+		fmt.Println()
+		fmt.Print(synth.FormatSystemTable("Table 2 — P5 32-bit implementation",
+			synth.SystemTable(4, synth.XCV600, synth.XC2V1000)))
+		fmt.Println()
+		fmt.Print(synth.FormatModuleTable(synth.XC2V40, synth.EscapeGenerateTable(synth.XC2V40)))
+		r := synth.ComputeRatios()
+		fmt.Printf("\nArea ratios (32-bit / 8-bit): system %.1fx LUT / %.1fx FF;"+
+			" datapath %.1fx / %.1fx; escape-generate %.1fx / %.1fx (paper: 11x system, 25x/28x module)\n\n",
+			r.SystemLUT, r.SystemFF, r.DatapathLUT, r.DatapathFF, r.EscapeGenLUT, r.EscapeGenFF)
+	})
+}
+
+// BenchmarkTable1_P5_8bit regenerates Table 1: the 8-bit P5 on XCV50-4
+// and XC2V40-6.
+func BenchmarkTable1_P5_8bit(b *testing.B) {
+	printAllTables()
+	var rows []synth.SystemRow
+	for i := 0; i < b.N; i++ {
+		rows = synth.SystemTable(1, synth.XCV50, synth.XC2V40)
+	}
+	b.ReportMetric(float64(rows[0].LUTs), "LUTs")
+	b.ReportMetric(float64(rows[0].FFs), "FFs")
+	b.ReportMetric(rows[1].FMaxPost, "MHz-postlayout-V2")
+	b.ReportMetric(synth.LineRateGbps(rows[1].FMaxPost, 1)*1000, "Mbps-line")
+}
+
+// BenchmarkTable2_P5_32bit regenerates Table 2: the 32-bit P5 on
+// XCV600-4 and XC2V1000-6.
+func BenchmarkTable2_P5_32bit(b *testing.B) {
+	printAllTables()
+	var rows []synth.SystemRow
+	for i := 0; i < b.N; i++ {
+		rows = synth.SystemTable(4, synth.XCV600, synth.XC2V1000)
+	}
+	b.ReportMetric(float64(rows[0].LUTs), "LUTs")
+	b.ReportMetric(float64(rows[0].FFs), "FFs")
+	b.ReportMetric(rows[1].FMaxPre, "MHz-prelayout-V2")
+	b.ReportMetric(rows[1].FMaxPost, "MHz-postlayout-V2")
+	b.ReportMetric(synth.LineRateGbps(rows[1].FMaxPost, 4), "Gbps-line")
+}
+
+// BenchmarkTable3_EscapeGenerate regenerates Table 3: the Escape
+// Generate module alone, both widths, on an XC2V40-6.
+func BenchmarkTable3_EscapeGenerate(b *testing.B) {
+	printAllTables()
+	var rows []synth.ModuleRow
+	for i := 0; i < b.N; i++ {
+		rows = synth.EscapeGenerateTable(synth.XC2V40)
+	}
+	b.ReportMetric(float64(rows[0].LUTs), "LUTs-32bit")
+	b.ReportMetric(float64(rows[0].FFs), "FFs-32bit")
+	b.ReportMetric(float64(rows[1].LUTs), "LUTs-8bit")
+	b.ReportMetric(float64(rows[1].FFs), "FFs-8bit")
+	b.ReportMetric(float64(rows[0].LUTs)/float64(rows[1].LUTs), "LUT-ratio")
+	b.ReportMetric(float64(rows[0].FFs)/float64(rows[1].FFs), "FF-ratio")
+}
+
+// escGenCycles runs the cycle-accurate Escape Generate over the body
+// and returns cycles consumed.
+func escGenCycles(w int, body []byte) int64 {
+	sim := &rtl.Sim{}
+	src := &rtl.Source{Out: sim.Wire("in")}
+	out := sim.Wire("out")
+	gen := &p5.EscapeGen{In: src.Out, Out: out, W: w}
+	sink := rtl.NewSink(out)
+	sim.Add(src, gen, sink)
+	src.FeedBytes(body, w)
+	sim.RunUntil(func() bool {
+		return src.Pending() == 0 && !gen.Busy() && sim.Drained()
+	}, len(body)*8+1000)
+	return sim.Now()
+}
+
+// BenchmarkFigure5_EscapeGenerate32 exercises the Figure 5 datapath:
+// flag characters in arbitrary lanes of the 32-bit word, including the
+// all-flags worst case.
+func BenchmarkFigure5_EscapeGenerate32(b *testing.B) {
+	body := bytes.Repeat([]byte{0x7E, 0x12, 0x34, 0x56}, 256) // Fig 5 word pattern
+	b.SetBytes(int64(len(body)))
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		cycles = escGenCycles(4, body)
+	}
+	b.ReportMetric(float64(cycles), "cycles")
+	b.ReportMetric(float64(len(body))/float64(cycles), "bytes/cycle")
+}
+
+// BenchmarkFigure6_EscapeDetect32 exercises the Figure 6 datapath:
+// escape sequences leaving bubbles that the sorter must collapse.
+func BenchmarkFigure6_EscapeDetect32(b *testing.B) {
+	body := bytes.Repeat([]byte{0x7E, 0x12, 0x34, 0x56}, 256)
+	line := hdlc.Encode(nil, body, hdlc.ACCMNone, false)
+	b.SetBytes(int64(len(line)))
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		sim := &rtl.Sim{}
+		src := &rtl.Source{}
+		rx := p5.NewReceiver(sim, 4, p5.NewRegs())
+		src.Out = rx.In
+		sim.Add(src)
+		src.FeedBytes(line, 4)
+		sim.RunUntil(func() bool {
+			return src.Pending() == 0 && !rx.Busy() && sim.Drained()
+		}, len(line)*8+1000)
+		cycles = sim.Now()
+	}
+	b.ReportMetric(float64(cycles), "cycles")
+	b.ReportMetric(float64(len(line))/float64(cycles), "bytes/cycle")
+}
+
+// throughputAtDensity measures sustained line throughput of the full
+// loopback system at a given payload escape density, in bits per cycle;
+// multiplied by the achievable clock this is the headline line rate.
+func throughputAtDensity(b *testing.B, w int, density float64) (bitsPerCycle float64) {
+	gen := netsim.NewGen(42, netsim.Fixed(1500), density)
+	sys := p5.NewSystem(w)
+	var payloadBits int64
+	for i := 0; i < 20; i++ {
+		d := gen.Next()
+		sys.Send(p5.TxJob{Protocol: ppp.ProtoIPv4, Payload: d})
+		payloadBits += int64(len(d)) * 8
+	}
+	if !sys.RunUntilIdle(10_000_000) {
+		b.Fatal("system did not drain")
+	}
+	for _, f := range sys.Received() {
+		if f.Err != nil {
+			b.Fatalf("frame error: %v", f.Err)
+		}
+	}
+	return float64(payloadBits) / float64(sys.Sim.Now())
+}
+
+// BenchmarkThroughput_32bit_CleanPayload checks the headline claim: the
+// 32-bit P5 at its post-layout Virtex-II clock sustains ≈2.5 Gb/s.
+func BenchmarkThroughput_32bit_CleanPayload(b *testing.B) {
+	var bpc float64
+	for i := 0; i < b.N; i++ {
+		bpc = throughputAtDensity(b, 4, 0)
+	}
+	fmax := synth.VirtexII.FMaxMHz(synth.Total(synth.Inventory(4)).Depth, true)
+	b.ReportMetric(bpc, "bits/cycle")
+	b.ReportMetric(bpc*synth.RequiredMHz/1000, "Gbps@78MHz")
+	b.ReportMetric(bpc*fmax/1000, "Gbps@fmax")
+}
+
+// BenchmarkThroughput_8bit_CleanPayload is the 625 Mb/s 8-bit headline.
+func BenchmarkThroughput_8bit_CleanPayload(b *testing.B) {
+	var bpc float64
+	for i := 0; i < b.N; i++ {
+		bpc = throughputAtDensity(b, 1, 0)
+	}
+	b.ReportMetric(bpc, "bits/cycle")
+	b.ReportMetric(bpc*synth.RequiredMHz, "Mbps@78MHz")
+}
+
+// BenchmarkThroughput_EscapeDensitySweep sweeps payload escape density:
+// stuffing expands the line stream, so goodput falls — the cost the
+// backpressure scheme manages.
+func BenchmarkThroughput_EscapeDensitySweep(b *testing.B) {
+	for _, density := range []float64{0, 0.05, 0.25, 0.5, 1.0} {
+		b.Run(fmt.Sprintf("density=%.2f", density), func(b *testing.B) {
+			var bpc float64
+			for i := 0; i < b.N; i++ {
+				bpc = throughputAtDensity(b, 4, density)
+			}
+			b.ReportMetric(bpc, "bits/cycle")
+			b.ReportMetric(bpc*synth.RequiredMHz/1000, "Gbps@78MHz")
+		})
+	}
+}
+
+// BenchmarkLatency_EscapePipeline measures the 32-bit escape pipeline
+// fill: the paper's 4 clock cycles ≈ 50 ns.
+func BenchmarkLatency_EscapePipeline(b *testing.B) {
+	var latency int64
+	for i := 0; i < b.N; i++ {
+		sim := &rtl.Sim{}
+		src := &rtl.Source{Out: sim.Wire("in")}
+		out := sim.Wire("out")
+		gen := &p5.EscapeGen{In: src.Out, Out: out, W: 4}
+		sink := rtl.NewSink(out)
+		sim.Add(src, gen, sink)
+		src.FeedBytes(bytes.Repeat([]byte{0x42}, 64), 4)
+		sim.RunUntil(func() bool { return len(sink.Flits) > 0 }, 100)
+		latency = sink.FirstCycle - 1 // minus the input wire register
+	}
+	b.ReportMetric(float64(latency), "cycles")
+	b.ReportMetric(float64(latency)*1000/synth.RequiredMHz, "ns@78MHz")
+}
+
+// BenchmarkAblation_ResyncDepth sweeps the resynchronisation buffer
+// capacity: the paper's "extremely low" buffer versus stall rate.
+func BenchmarkAblation_ResyncDepth(b *testing.B) {
+	body := make([]byte, 4096)
+	g := netsim.NewRand(7)
+	for i := range body {
+		if g.Intn(4) == 0 {
+			body[i] = 0x7E
+		} else {
+			body[i] = byte(g.Intn(256))
+		}
+	}
+	for _, depth := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("bufcap=%d", depth), func(b *testing.B) {
+			var stalls uint64
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				sim := &rtl.Sim{}
+				src := &rtl.Source{Out: sim.Wire("in")}
+				out := sim.Wire("out")
+				gen := &p5.EscapeGen{In: src.Out, Out: out, W: 4, BufCap: depth}
+				sink := rtl.NewSink(out)
+				sim.Add(src, gen, sink)
+				src.FeedBytes(body, 4)
+				sim.RunUntil(func() bool {
+					return src.Pending() == 0 && !gen.Busy() && sim.Drained()
+				}, len(body)*8)
+				stalls = gen.InputStalls
+				cycles = sim.Now()
+			}
+			b.ReportMetric(float64(stalls), "input-stalls")
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblation_CRCWidth compares the parallel CRC matrices the
+// paper cites: bits consumed per step versus LUT cost.
+func BenchmarkAblation_CRCWidth(b *testing.B) {
+	buf := make([]byte, 1500)
+	g := netsim.NewRand(3)
+	for i := range buf {
+		buf[i] = g.Byte()
+	}
+	for _, w := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("bits=%d", w), func(b *testing.B) {
+			eng := crc.NewParallel32(w)
+			cost := synth.CRCUnit(w/8, crc.FCS32Mode)
+			b.SetBytes(int64(len(buf)))
+			for i := 0; i < b.N; i++ {
+				eng.Update(crc.Init32, buf)
+			}
+			b.ReportMetric(float64(w), "bits/step")
+			b.ReportMetric(float64(cost.LUTs), "LUTs")
+		})
+	}
+}
+
+// BenchmarkAblation_Backpressure compares buffer growth with the
+// backpressure gate against an unbounded buffer under an all-flags
+// burst.
+func BenchmarkAblation_Backpressure(b *testing.B) {
+	body := bytes.Repeat([]byte{0x7E}, 2048)
+	for _, cap := range []int{16, 1 << 20} {
+		name := "bounded-16"
+		if cap > 1024 {
+			name = "unbounded"
+		}
+		b.Run(name, func(b *testing.B) {
+			var high int
+			for i := 0; i < b.N; i++ {
+				sim := &rtl.Sim{}
+				src := &rtl.Source{Out: sim.Wire("in")}
+				out := sim.Wire("out")
+				gen := &p5.EscapeGen{In: src.Out, Out: out, W: 4, BufCap: cap}
+				sink := rtl.NewSink(out)
+				sim.Add(src, gen, sink)
+				src.FeedBytes(body, 4)
+				sim.RunUntil(func() bool {
+					return src.Pending() == 0 && !gen.Busy() && sim.Drained()
+				}, len(body)*8)
+				high = gen.HighWater()
+			}
+			b.ReportMetric(float64(high), "buffer-highwater-octets")
+		})
+	}
+}
+
+// BenchmarkSoftStuff_ByteAtATime / _SWAR are the software mirror of the
+// paper's 8- vs 32-bit argument: scanning one lane versus all lanes per
+// step.
+func BenchmarkSoftStuff_ByteAtATime(b *testing.B) {
+	g := netsim.NewGen(1, netsim.Fixed(1500), 0.01)
+	p := g.Next()
+	dst := make([]byte, 0, 4096)
+	b.SetBytes(int64(len(p)))
+	for i := 0; i < b.N; i++ {
+		dst = hdlc.Stuff(dst[:0], p, hdlc.ACCMNone)
+	}
+}
+
+func BenchmarkSoftStuff_SWAR(b *testing.B) {
+	g := netsim.NewGen(1, netsim.Fixed(1500), 0.01)
+	p := g.Next()
+	dst := make([]byte, 0, 4096)
+	b.SetBytes(int64(len(p)))
+	for i := 0; i < b.N; i++ {
+		dst = hdlc.StuffSWAR(dst[:0], p, hdlc.ACCMNone)
+	}
+}
+
+// BenchmarkEndToEnd_IPoverSONET runs the complete stack of the paper's
+// system context: IPv4 datagrams → PPP link → STM-16 SDH/SONET frames →
+// deframer → PPP link.
+func BenchmarkEndToEnd_IPoverSONET(b *testing.B) {
+	gen := netsim.NewGen(9, netsim.IMIX{}, 0.02)
+	datagrams := gen.Burst(64 * 1024)
+	var total int64
+	for _, d := range datagrams {
+		total += int64(len(d))
+	}
+	b.SetBytes(total)
+	for i := 0; i < b.N; i++ {
+		a := NewLink(LinkConfig{Magic: 1, IPAddr: [4]byte{10, 0, 0, 1}})
+		z := NewLink(LinkConfig{Magic: 2, IPAddr: [4]byte{10, 0, 0, 2}})
+		a.Open()
+		z.Open()
+		a.Up()
+		z.Up()
+		for j := 0; j < 64; j++ {
+			if out := a.Output(); len(out) > 0 {
+				z.Input(out)
+			}
+			if out := z.Output(); len(out) > 0 {
+				a.Input(out)
+			}
+		}
+		if !a.IPReady() || !z.IPReady() {
+			b.Fatal("link bring-up failed")
+		}
+		for _, d := range datagrams {
+			if err := a.SendIPv4(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Carry a→z over STM-16.
+		stream := a.Output()
+		pos := 0
+		fr := sonet.NewFramer(sonet.STM16, func() (byte, bool) {
+			if pos < len(stream) {
+				pos++
+				return stream[pos-1], true
+			}
+			return 0, false
+		})
+		var rxBytes []byte
+		df := sonet.NewDeframer(sonet.STM16, func(bb byte) { rxBytes = append(rxBytes, bb) })
+		for pos < len(stream) {
+			df.Feed(fr.NextFrame())
+		}
+		df.Feed(fr.NextFrame()) // flush fill
+		z.Input(rxBytes)
+		if got := z.Received(); len(got) != len(datagrams) {
+			b.Fatalf("delivered %d/%d datagrams", len(got), len(datagrams))
+		}
+	}
+}
+
+// BenchmarkScaling_WidthSweep runs the cycle-accurate system at every
+// datapath width of the scaling study (E11) and reports goodput at each
+// width's achievable Virtex-II clock.
+func BenchmarkScaling_WidthSweep(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("width=%dbit", w*8), func(b *testing.B) {
+			var bpc float64
+			for i := 0; i < b.N; i++ {
+				bpc = throughputAtDensity(b, w, 0.02)
+			}
+			depth := synth.Total(synth.Inventory(w)).Depth
+			fmax := synth.VirtexII.FMaxMHz(depth, true)
+			b.ReportMetric(bpc, "bits/cycle")
+			b.ReportMetric(bpc*fmax/1000, "Gbps@fmax")
+		})
+	}
+}
+
+// BenchmarkSONETCoupledGoodput (E13) runs the P5 against the cycle-
+// coupled SDH/SONET PHY: the ~3.7% transport-overhead tax on goodput
+// emerges from backpressure rather than configuration.
+func BenchmarkSONETCoupledGoodput(b *testing.B) {
+	var bpc float64
+	for i := 0; i < b.N; i++ {
+		sim := &rtl.Sim{}
+		regs := p5.NewRegs()
+		tx := p5.NewTransmitter(sim, 4, regs)
+		tx.Escape.IdleFill = true
+		txPHY := &pos.TxPHY{In: tx.Out, Level: sonet.STM16, W: 4}
+		sim.Add(txPHY)
+		line := sim.Wire("phy.line")
+		rxPHY := &pos.RxPHY{Out: line, Level: sonet.STM16, W: 4}
+		sim.Add(rxPHY)
+		rx := p5.NewReceiverOn(sim, 4, regs, line)
+		txPHY.EmitFrame = func(f []byte) { rxPHY.Feed(f) }
+
+		payload := make([]byte, 1496)
+		const n = 300
+		for j := 0; j < n; j++ {
+			tx.Framer.Enqueue(p5.TxJob{Protocol: ppp.ProtoIPv4, Payload: payload})
+		}
+		// Line-level accounting over the saturated middle: the fraction
+		// of transport capacity carrying real PPP octets.
+		var f0, fill0 uint64
+		sim.RunUntil(func() bool {
+			if f0 == 0 && len(rx.Control.Queue) >= 30 {
+				f0, fill0 = txPHY.Frames, txPHY.FillOctets
+			}
+			return len(rx.Control.Queue) >= 270
+		}, 50_000_000)
+		frames := float64(txPHY.Frames - f0)
+		fill := float64(txPHY.FillOctets - fill0)
+		util := (frames*float64(sonet.STM16.PayloadBytes()) - fill) /
+			(frames * float64(sonet.STM16.FrameBytes()))
+		bpc = util * 32 // of the 32 line bits per cycle
+	}
+	b.ReportMetric(bpc, "payload-bits/cycle")
+	b.ReportMetric(bpc*synth.RequiredMHz/1000, "Gbps@78MHz")
+	b.ReportMetric(float64(sonet.STM16.PayloadBytes())/float64(sonet.STM16.FrameBytes()), "overhead-ratio")
+}
+
+// BenchmarkBaseline_GFPvsHDLC (E15) compares the two frame-delineation
+// families at the line level: HDLC's content-dependent stuffing versus
+// GFP's fixed header, across escape densities. The crossover — GFP wins
+// once stuffing expands a 1500-octet frame by more than 6 octets
+// (≈0.4% density) — is the finding of the authors' follow-up work on
+// delineation architectures.
+func BenchmarkBaseline_GFPvsHDLC(b *testing.B) {
+	for _, density := range []float64{0, 0.002, 0.004, 0.05, 0.5} {
+		b.Run(fmt.Sprintf("density=%.3f", density), func(b *testing.B) {
+			gen := netsim.NewGen(11, netsim.Fixed(1500), density)
+			payloads := make([][]byte, 50)
+			for i := range payloads {
+				payloads[i] = gen.Next()
+			}
+			var hdlcOctets, gfpOctets int
+			for i := 0; i < b.N; i++ {
+				hdlcOctets, gfpOctets = 0, 0
+				for _, p := range payloads {
+					hdlcOctets += len(hdlc.Encode(nil, p, hdlc.ACCMNone, false))
+					g, _ := gfp.Encode(nil, p)
+					gfpOctets += len(g)
+				}
+			}
+			raw := 50 * 1500
+			b.ReportMetric(100*float64(hdlcOctets-raw)/float64(raw), "hdlc-overhead-%")
+			b.ReportMetric(100*float64(gfpOctets-raw)/float64(raw), "gfp-overhead-%")
+		})
+	}
+}

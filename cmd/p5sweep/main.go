@@ -1,0 +1,111 @@
+// Command p5sweep runs the evaluation grid — datapath width × payload
+// escape density — through the cycle-accurate P5 in parallel across all
+// CPU cores and prints the goodput surface (the expanded form of the
+// paper's throughput evaluation, experiments E6 and E11).
+//
+// Usage:
+//
+//	p5sweep [-frames N] [-workers N] [-bufcaps 8,16,32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/p5"
+	"repro/internal/ppp"
+	"repro/internal/sweep"
+	"repro/internal/synth"
+)
+
+func measure(frames int) func(sweep.Point) sweep.Result {
+	return func(pt sweep.Point) sweep.Result {
+		gen := netsim.NewGen(42, netsim.Fixed(1500), pt.Density)
+		sys := p5.NewSystem(pt.Width)
+		sys.Tx.Escape.BufCap = pt.BufCap
+		var bits int64
+		for i := 0; i < frames; i++ {
+			d := gen.Next()
+			bits += int64(len(d)) * 8
+			sys.Send(p5.TxJob{Protocol: ppp.ProtoIPv4, Payload: d})
+		}
+		if !sys.RunUntilIdle(100_000_000) {
+			return sweep.Result{Point: pt, Err: fmt.Errorf("did not drain")}
+		}
+		for _, f := range sys.Received() {
+			if f.Err != nil {
+				return sweep.Result{Point: pt, Err: f.Err}
+			}
+		}
+		return sweep.Result{
+			Point:        pt,
+			BitsPerCycle: float64(bits) / float64(sys.Sim.Now()),
+			Stalls:       sys.Tx.Escape.InputStalls,
+			HighWater:    sys.Tx.Escape.HighWater(),
+		}
+	}
+}
+
+func main() {
+	frames := flag.Int("frames", 40, "datagrams per grid point")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+	bufArg := flag.String("bufcaps", "", "comma-separated resync buffer capacities to sweep")
+	flag.Parse()
+
+	widths := []int{1, 2, 4, 8}
+	densities := []float64{0, 0.01, 0.05, 0.25, 0.5, 1.0}
+	var bufCaps []int
+	if *bufArg != "" {
+		for _, s := range strings.Split(*bufArg, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p5sweep: bad -bufcaps:", err)
+				os.Exit(2)
+			}
+			bufCaps = append(bufCaps, v)
+		}
+	}
+
+	points := sweep.Grid(widths, densities, bufCaps)
+	fmt.Printf("sweeping %d grid points (%d datagrams each) across workers...\n\n",
+		len(points), *frames)
+	results := sweep.Run(points, *workers, measure(*frames))
+
+	fmt.Printf("goodput in Gb/s at the 78.125 MHz target clock\n")
+	fmt.Printf("%8s", "width")
+	for _, d := range densities {
+		fmt.Printf(" %8.0f%%", d*100)
+	}
+	if len(bufCaps) > 0 {
+		fmt.Printf("   (per bufcap row)")
+	}
+	fmt.Println("  ← escape density")
+	rows := 1
+	if len(bufCaps) > 0 {
+		rows = len(bufCaps)
+	}
+	for wi, w := range widths {
+		for r := 0; r < rows; r++ {
+			label := fmt.Sprintf("%d-bit", w*8)
+			if len(bufCaps) > 0 {
+				label = fmt.Sprintf("%d-bit/%d", w*8, bufCaps[r])
+			}
+			fmt.Printf("%8s", label)
+			for di := range densities {
+				res := results[wi*len(densities)*rows+di*rows+r]
+				if res.Err != nil {
+					fmt.Printf(" %9s", "ERR")
+					continue
+				}
+				fmt.Printf(" %9.3f", res.BitsPerCycle*synth.RequiredMHz/1e3)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("\n(every cell is a full cycle-accurate Tx→line→Rx simulation;")
+	fmt.Printf(" the 32-bit row at 0%% density is the paper's 2.5 Gb/s headline)\n")
+}

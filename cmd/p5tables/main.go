@@ -1,0 +1,89 @@
+// Command p5tables prints the reproduction of the paper's synthesis
+// evaluation: Table 1 (8-bit P5), Table 2 (32-bit P5), Table 3 (Escape
+// Generate module), the headline area ratios, and the timing analysis
+// (critical path and achievable line rate per technology).
+//
+// Usage:
+//
+//	p5tables [-table 1|2|3] [-ratios] [-timing]
+//
+// With no flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/synth"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only one table (1, 2 or 3)")
+	ratios := flag.Bool("ratios", false, "print only the area ratios")
+	timing := flag.Bool("timing", false, "print only the timing analysis")
+	scaling := flag.Bool("scaling", false, "print only the width scaling study")
+	flag.Parse()
+
+	all := *table == 0 && !*ratios && !*timing && !*scaling
+
+	if all || *table == 1 {
+		fmt.Print(synth.FormatSystemTable("Table 1 — P5 8-bit implementation (paper: ~184 LUTs / 84 FFs)",
+			synth.SystemTable(1, synth.XCV50, synth.XC2V40)))
+		fmt.Println()
+	}
+	if all || *table == 2 {
+		fmt.Print(synth.FormatSystemTable("Table 2 — P5 32-bit implementation (paper: ~2230 LUTs / 841 FFs)",
+			synth.SystemTable(4, synth.XCV600, synth.XC2V1000)))
+		fmt.Println()
+	}
+	if all || *table == 3 {
+		fmt.Print(synth.FormatModuleTable(synth.XC2V40, synth.EscapeGenerateTable(synth.XC2V40)))
+		fmt.Println("(paper: 32-bit = 492 LUTs (96%) / 168 FFs (32%); 8-bit = 22 LUTs / 6 FFs)")
+		fmt.Println()
+	}
+	if all || *ratios {
+		r := synth.ComputeRatios()
+		fmt.Println("Area ratios, 32-bit / 8-bit")
+		fmt.Printf("  full system     : %5.1fx LUTs, %5.1fx FFs\n", r.SystemLUT, r.SystemFF)
+		fmt.Printf("  datapath (no OAM): %4.1fx LUTs, %5.1fx FFs\n", r.DatapathLUT, r.DatapathFF)
+		fmt.Printf("  escape generate : %5.1fx LUTs, %5.1fx FFs   (paper: 25x / 28x)\n",
+			r.EscapeGenLUT, r.EscapeGenFF)
+		fmt.Println("  (paper system ratio: ~11x — see EXPERIMENTS.md E8 for the deviation analysis)")
+		fmt.Println()
+	}
+	if all || *timing {
+		fmt.Println("Timing analysis (paper: 6-LUT critical path on both technologies)")
+		for _, w := range []int{1, 4} {
+			tot := synth.Total(synth.Inventory(w))
+			fmt.Printf("  %2d-bit system, depth %d LUTs:\n", w*8, tot.Depth)
+			for _, tech := range []synth.Tech{synth.Virtex, synth.VirtexII} {
+				post := tech.FMaxMHz(tot.Depth, true)
+				fmt.Printf("    %-12s pre %6.1f MHz, post %6.1f MHz → %5.2f Gb/s (need %.3f MHz: %v)\n",
+					tech.Name, tech.FMaxMHz(tot.Depth, false), post,
+					synth.LineRateGbps(post, w), synth.RequiredMHz, post >= synth.RequiredMHz)
+			}
+		}
+		fmt.Println()
+	}
+	if all || *scaling {
+		fmt.Print(synth.FormatScalingTable(synth.ScalingTable()))
+		fmt.Println()
+	}
+	if *table != 0 && *table != 1 && *table != 2 && *table != 3 {
+		fmt.Fprintln(os.Stderr, "p5tables: -table must be 1, 2 or 3")
+		os.Exit(2)
+	}
+	// Per-module breakdown rounds out the report.
+	if all {
+		for _, w := range []int{1, 4} {
+			fmt.Printf("Module inventory, %d-bit P5\n", w*8)
+			fmt.Printf("  %-18s %6s %6s %6s\n", "module", "LUTs", "FFs", "depth")
+			for _, m := range synth.Inventory(w) {
+				fmt.Printf("  %-18s %6d %6d %6d\n", m.Name, m.Cost.LUTs, m.Cost.FFs, m.Cost.Depth)
+			}
+			tot := synth.Total(synth.Inventory(w))
+			fmt.Printf("  %-18s %6d %6d %6d\n\n", "TOTAL", tot.LUTs, tot.FFs, tot.Depth)
+		}
+	}
+}

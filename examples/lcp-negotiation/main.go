@@ -1,0 +1,90 @@
+// LCP negotiation walkthrough: traces the RFC 1661 option-negotiation
+// automaton — the protocol machinery behind the P5's Protocol OAM —
+// through a bring-up with disagreements: one side requests header
+// compression the other refuses (Configure-Reject), proposes an MRU
+// below the minimum (Configure-Nak), and both sides accidentally pick
+// the same magic number (looped-link suspicion, resolved by a random
+// replacement).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/lcp"
+)
+
+func main() {
+	ra := rand.New(rand.NewSource(17))
+	rb := rand.New(rand.NewSource(34))
+
+	pa := lcp.NewLCPPolicy(0xCAFEBABE)
+	pa.WantMRU = 64 // below MinMRU: will be naked up to 128
+	pa.WantPFC = true
+	pa.Rand = ra.Uint32
+	pb := lcp.NewLCPPolicy(0xCAFEBABE) // same magic: loopback suspicion
+	pb.Rand = rb.Uint32
+
+	var queueA, queueB []*lcp.Packet
+	name := map[*lcp.Automaton]string{}
+
+	var a, b *lcp.Automaton
+	a = lcp.NewAutomaton(func(p *lcp.Packet) {
+		fmt.Printf("  %s sends %v id=%d (%d option bytes)\n", name[a], p.Code, p.ID, len(p.Data))
+		queueB = append(queueB, clone(p))
+	}, pa, lcp.Hooks{Up: func() { fmt.Println("  >>> A: this-layer-up") }})
+	b = lcp.NewAutomaton(func(p *lcp.Packet) {
+		fmt.Printf("  %s sends %v id=%d (%d option bytes)\n", name[b], p.Code, p.ID, len(p.Data))
+		queueA = append(queueA, clone(p))
+	}, pb, lcp.Hooks{Up: func() { fmt.Println("  >>> B: this-layer-up") }})
+	name[a], name[b] = "A", "B"
+
+	fmt.Println("phase 1: administrative open + lower layer up")
+	a.Open()
+	b.Open()
+	a.Up()
+	b.Up()
+
+	fmt.Println("\nphase 2: negotiation")
+	for round := 0; len(queueA)+len(queueB) > 0 && round < 50; round++ {
+		if len(queueB) > 0 {
+			p := queueB[0]
+			queueB = queueB[1:]
+			b.Receive(p)
+		}
+		if len(queueA) > 0 {
+			p := queueA[0]
+			queueA = queueA[1:]
+			a.Receive(p)
+		}
+	}
+
+	fmt.Println("\nresult:")
+	fmt.Printf("  A state=%v  MRU=%d  magic=%#x  PFC=%v  (loopback suspected %d time(s))\n",
+		a.State(), pa.Local.MRU, pa.Local.Magic, pa.Local.PFC, pa.LoopbackSuspected)
+	fmt.Printf("  B state=%v  MRU=%d  magic=%#x  (loopback suspected %d time(s))\n",
+		b.State(), pb.Local.MRU, pb.Local.Magic, pb.LoopbackSuspected)
+
+	fmt.Println("\nphase 3: keepalive echo on the opened link")
+	a.Receive(&lcp.Packet{Code: lcp.EchoRequest, ID: 99, Data: []byte{0, 0, 0, 0}})
+
+	fmt.Println("\nphase 4: orderly shutdown")
+	a.Close()
+	for round := 0; len(queueA)+len(queueB) > 0 && round < 10; round++ {
+		if len(queueB) > 0 {
+			p := queueB[0]
+			queueB = queueB[1:]
+			b.Receive(p)
+		}
+		if len(queueA) > 0 {
+			p := queueA[0]
+			queueA = queueA[1:]
+			a.Receive(p)
+		}
+	}
+	fmt.Printf("  final states: A=%v B=%v\n", a.State(), b.State())
+}
+
+func clone(p *lcp.Packet) *lcp.Packet {
+	return &lcp.Packet{Code: p.Code, ID: p.ID, Data: append([]byte(nil), p.Data...)}
+}

@@ -1,0 +1,144 @@
+package gigapos
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/p5"
+	"repro/internal/ppp"
+	"repro/internal/rtl"
+	"repro/internal/sonet"
+)
+
+// TestHardwareP5OverSONET drives the full hardware path of the paper's
+// Figure 2: datagrams enter the cycle-accurate P5 transmitter, its line
+// octets are mapped byte-synchronously into STM-16 transport frames,
+// carried, demapped, and fed into the cycle-accurate P5 receiver.
+func TestHardwareP5OverSONET(t *testing.T) {
+	regs := p5.NewRegs()
+
+	// Transmit side: a P5 transmitter whose line words we collect.
+	txSim := &rtl.Sim{}
+	tx := p5.NewTransmitter(txSim, 4, regs)
+	txSink := rtl.NewSink(tx.Out)
+	txSim.Add(txSink)
+
+	gen := netsim.NewGen(11, netsim.IMIX{}, 0.05)
+	var want [][]byte
+	for i := 0; i < 25; i++ {
+		d := gen.Next()
+		want = append(want, d)
+		tx.Framer.Enqueue(p5.TxJob{Protocol: ppp.ProtoIPv4, Payload: d})
+	}
+	if !txSim.RunUntil(func() bool { return !tx.Busy() && txSim.Drained() }, 10_000_000) {
+		t.Fatal("transmitter did not drain")
+	}
+
+	// SONET section: map the line stream into STM-16 frames and back.
+	line := txSink.Data
+	pos := 0
+	fr := sonet.NewFramer(sonet.STM16, func() (byte, bool) {
+		if pos < len(line) {
+			pos++
+			return line[pos-1], true
+		}
+		return 0, false
+	})
+	var recovered []byte
+	df := sonet.NewDeframer(sonet.STM16, func(b byte) { recovered = append(recovered, b) })
+	for pos < len(line) {
+		df.Feed(fr.NextFrame())
+	}
+	df.Feed(fr.NextFrame())
+	if df.B1Errors != 0 || df.B3Errors != 0 {
+		t.Fatalf("parity errors on a clean line: %d/%d", df.B1Errors, df.B3Errors)
+	}
+
+	// Receive side: a P5 receiver fed the demapped octet stream.
+	rxSim := &rtl.Sim{}
+	src := &rtl.Source{}
+	rx := p5.NewReceiver(rxSim, 4, regs)
+	src.Out = rx.In
+	rxSim.Add(src)
+	src.FeedBytes(recovered, 4)
+	if !rxSim.RunUntil(func() bool {
+		return src.Pending() == 0 && !rx.Busy() && rxSim.Drained()
+	}, 10_000_000) {
+		t.Fatal("receiver did not drain")
+	}
+
+	got := rx.Control.Queue
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d/%d frames", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Err != nil {
+			t.Fatalf("frame %d: %v", i, got[i].Err)
+		}
+		if !bytes.Equal(got[i].Frame.Payload, want[i]) {
+			t.Fatalf("frame %d payload mismatch", i)
+		}
+		if _, ok := netsim.ParseIPv4(got[i].Frame.Payload); !ok {
+			t.Fatalf("frame %d: damaged IPv4 header", i)
+		}
+	}
+}
+
+// TestHardwareAndSoftwareWireCompatibility proves the cycle-accurate
+// transmitter and the software Link speak the same wire format: a Link
+// decodes the P5's octets directly and vice versa.
+func TestHardwareAndSoftwareWireCompatibility(t *testing.T) {
+	// Hardware → software.
+	sim := &rtl.Sim{}
+	tx := p5.NewTransmitter(sim, 4, p5.NewRegs())
+	sink := rtl.NewSink(tx.Out)
+	sim.Add(sink)
+	payload := []byte{0x7E, 0x01, 0x7D, 0x02}
+	tx.Framer.Enqueue(p5.TxJob{Protocol: ppp.ProtoIPv4, Payload: payload})
+	sim.RunUntil(func() bool { return !tx.Busy() && sim.Drained() }, 100000)
+
+	sw := NewLink(LinkConfig{Magic: 1})
+	// Force-open the software side so data frames are accepted: feed a
+	// bring-up against a scratch peer first.
+	peer := NewLink(LinkConfig{Magic: 2})
+	sw.Open()
+	peer.Open()
+	sw.Up()
+	peer.Up()
+	for i := 0; i < 16; i++ {
+		if out := sw.Output(); len(out) > 0 {
+			peer.Input(out)
+		}
+		if out := peer.Output(); len(out) > 0 {
+			sw.Input(out)
+		}
+	}
+	if !sw.Opened() {
+		t.Fatal("software link did not open")
+	}
+	sw.Input(sink.Data)
+	got := sw.Received()
+	if len(got) != 1 || !bytes.Equal(got[0].Payload, payload) {
+		t.Fatalf("software side received %+v", got)
+	}
+
+	// Software → hardware.
+	if err := peer.SendIPv4(payload); err != nil {
+		t.Fatal(err)
+	}
+	wire := peer.Output()
+	rxSim := &rtl.Sim{}
+	src := &rtl.Source{}
+	rx := p5.NewReceiver(rxSim, 4, p5.NewRegs())
+	src.Out = rx.In
+	rxSim.Add(src)
+	src.FeedBytes(wire, 4)
+	rxSim.RunUntil(func() bool {
+		return src.Pending() == 0 && !rx.Busy() && rxSim.Drained()
+	}, 100000)
+	q := rx.Control.Queue
+	if len(q) != 1 || q[0].Err != nil || !bytes.Equal(q[0].Frame.Payload, payload) {
+		t.Fatalf("hardware side received %+v", q)
+	}
+}

@@ -1,0 +1,110 @@
+// Package channel models the transmission impairments of the paper's
+// physical layer: independent random bit errors (optical links) and the
+// Gilbert-Elliott two-state burst model (radio links, the "noisy
+// environments" of the paper's §2). It exists to evaluate the framing
+// layer's error-detection choices — notably the paper's decision to
+// "incorporate 32-bit CRC checking" rather than FCS-16.
+package channel
+
+import "repro/internal/netsim"
+
+// Model corrupts a byte stream in place and reports the bits flipped.
+type Model interface {
+	// Apply flips bits in p and returns how many it flipped.
+	Apply(p []byte) int
+}
+
+// BER is a memoryless binary symmetric channel with the given bit error
+// rate.
+type BER struct {
+	Rate float64
+	Rand *netsim.Rand
+}
+
+// Apply implements Model.
+func (m *BER) Apply(p []byte) int {
+	flips := 0
+	for i := range p {
+		for b := 0; b < 8; b++ {
+			if m.Rand.Float64() < m.Rate {
+				p[i] ^= 1 << uint(b)
+				flips++
+			}
+		}
+	}
+	return flips
+}
+
+// GilbertElliott is the classic two-state burst-error channel: a Good
+// state with negligible errors and a Bad state with a high error rate;
+// transitions between them create error bursts with geometric lengths.
+type GilbertElliott struct {
+	// PGoodToBad and PBadToGood are per-bit transition probabilities.
+	PGoodToBad, PBadToGood float64
+	// BERGood and BERBad are the in-state bit error rates.
+	BERGood, BERBad float64
+	Rand            *netsim.Rand
+
+	bad bool
+	// Bursts counts Good→Bad transitions.
+	Bursts uint64
+}
+
+// Apply implements Model.
+func (m *GilbertElliott) Apply(p []byte) int {
+	flips := 0
+	for i := range p {
+		for b := 0; b < 8; b++ {
+			if m.bad {
+				if m.Rand.Float64() < m.PBadToGood {
+					m.bad = false
+				}
+			} else if m.Rand.Float64() < m.PGoodToBad {
+				m.bad = true
+				m.Bursts++
+			}
+			ber := m.BERGood
+			if m.bad {
+				ber = m.BERBad
+			}
+			if m.Rand.Float64() < ber {
+				p[i] ^= 1 << uint(b)
+				flips++
+			}
+		}
+	}
+	return flips
+}
+
+// BurstAt flips a run of `bits` consecutive bits starting at the given
+// bit offset — a deterministic all-ones burst for targeted tests.
+func BurstAt(p []byte, bitOff, bits int) {
+	for i := 0; i < bits; i++ {
+		pos := bitOff + i
+		if pos/8 >= len(p) {
+			return
+		}
+		p[pos/8] ^= 1 << uint(pos%8)
+	}
+}
+
+// RandomBurstAt applies a classic random burst of the given span: the
+// first and last bits are flipped (defining the burst length) and each
+// interior bit flips with probability ½ — the error family for which a
+// b-bit CRC lets 2^-b of over-length bursts escape.
+func RandomBurstAt(p []byte, rng *netsim.Rand, bitOff, bits int) {
+	flip := func(pos int) {
+		if pos/8 < len(p) {
+			p[pos/8] ^= 1 << uint(pos%8)
+		}
+	}
+	flip(bitOff)
+	for i := 1; i < bits-1; i++ {
+		if rng.Intn(2) == 1 {
+			flip(bitOff + i)
+		}
+	}
+	if bits > 1 {
+		flip(bitOff + bits - 1)
+	}
+}

@@ -1,0 +1,108 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/crc"
+	"repro/internal/netsim"
+)
+
+func TestBERRate(t *testing.T) {
+	m := &BER{Rate: 0.01, Rand: netsim.NewRand(1)}
+	p := make([]byte, 100000)
+	flips := m.Apply(p)
+	// 800k bits × 1% = 8000 ± a few hundred.
+	if flips < 7500 || flips > 8500 {
+		t.Errorf("flips = %d, want ≈8000", flips)
+	}
+	// The flips are recorded in the buffer.
+	set := 0
+	for _, b := range p {
+		for ; b != 0; b &= b - 1 {
+			set++
+		}
+	}
+	if set != flips {
+		t.Errorf("buffer bits %d != reported %d", set, flips)
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	m := &GilbertElliott{
+		PGoodToBad: 1e-4, PBadToGood: 0.05,
+		BERGood: 0, BERBad: 0.3,
+		Rand: netsim.NewRand(2),
+	}
+	p := make([]byte, 200000)
+	flips := m.Apply(p)
+	if m.Bursts == 0 || flips == 0 {
+		t.Fatalf("bursts=%d flips=%d", m.Bursts, flips)
+	}
+	// Burstiness: mean flips per burst must far exceed what a uniform
+	// channel at the same average rate would cluster.
+	perBurst := float64(flips) / float64(m.Bursts)
+	if perBurst < 3 {
+		t.Errorf("flips per burst = %.1f, not bursty", perBurst)
+	}
+}
+
+func TestBurstAt(t *testing.T) {
+	p := make([]byte, 4)
+	BurstAt(p, 6, 4) // bits 6..9
+	if p[0] != 0xC0 || p[1] != 0x03 {
+		t.Errorf("burst = % x", p)
+	}
+	// Past the end: no panic, truncated.
+	BurstAt(p, 30, 10)
+}
+
+// TestFCSDetectionExperiment is experiment E14: the paper chooses FCS-32
+// "for accuracy purposes". Measure undetected-error rates for both FCS
+// sizes under burst errors longer than 16 bits: FCS-16 lets ≈2^-16 of
+// them through; FCS-32 catches everything at an observable scale.
+func TestFCSDetectionExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical experiment")
+	}
+	rng := netsim.NewRand(7)
+	frame := make([]byte, 64)
+	for i := range frame {
+		frame[i] = rng.Byte()
+	}
+	const trials = 300000
+	undetected16, undetected32 := 0, 0
+	body16 := crc.AppendFCS16(append([]byte(nil), frame...))
+	body32 := crc.AppendFCS32(append([]byte(nil), frame...))
+	buf := make([]byte, len(body32))
+	for i := 0; i < trials; i++ {
+		// A burst of 20-40 flipped bits at a random offset: beyond
+		// both the FCS-16 and FCS-32 guaranteed burst lengths.
+		bits := 20 + rng.Intn(21)
+		off := rng.Intn(len(body16)*8 - bits)
+		b16 := append(buf[:0], body16...)
+		RandomBurstAt(b16, rng, off, bits)
+		if crc.Check16(b16) {
+			undetected16++
+		}
+		b32 := append([]byte(nil), body32...)
+		off32 := rng.Intn(len(body32)*8 - bits)
+		RandomBurstAt(b32, rng, off32, bits)
+		if crc.Check32(b32) {
+			undetected32++
+		}
+	}
+	// Expected undetected for FCS-16 ≈ trials × 2^-16 ≈ 4.6.
+	if undetected16 == 0 {
+		t.Errorf("FCS-16 caught all %d bursts; expected ≈%d escapes — experiment insensitive",
+			trials, trials>>16)
+	}
+	if undetected16 > 20 {
+		t.Errorf("FCS-16 escapes = %d, implausibly many", undetected16)
+	}
+	// FCS-32 escape probability ≈ 2^-32: none expected at this scale.
+	if undetected32 != 0 {
+		t.Errorf("FCS-32 escapes = %d, want 0 at %d trials", undetected32, trials)
+	}
+	t.Logf("E14: %d bursts → FCS-16 undetected %d (≈%d expected), FCS-32 undetected %d",
+		trials, undetected16, trials>>16, undetected32)
+}

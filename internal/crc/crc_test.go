@@ -1,0 +1,283 @@
+package crc
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The FCS-32 polynomial is the same reflected polynomial as stdlib
+// crc32.IEEE, so hash/crc32 is an independent oracle.
+func stdlibFCS32(p []byte) uint32 {
+	return crc32.ChecksumIEEE(p)
+}
+
+func TestBitwise32MatchesStdlib(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x00},
+		{0xFF},
+		[]byte("123456789"),
+		[]byte("The quick brown fox jumps over the lazy dog"),
+		bytes.Repeat([]byte{0x7E}, 100),
+	}
+	for _, c := range cases {
+		got := Bitwise32(Init32, c) ^ 0xFFFFFFFF
+		want := stdlibFCS32(c)
+		if got != want {
+			t.Errorf("Bitwise32(%q) = %#x, want %#x", c, got, want)
+		}
+	}
+}
+
+func TestKnownVectors16(t *testing.T) {
+	// CRC-16/X.25 of "123456789" is 0x906E (complemented register).
+	got := FCS16([]byte("123456789"))
+	if got != 0x906E {
+		t.Errorf("FCS16(123456789) = %#x, want 0x906e", got)
+	}
+}
+
+func TestKnownVectors32(t *testing.T) {
+	// CRC-32/ISO-HDLC of "123456789" is 0xCBF43926.
+	got := FCS32([]byte("123456789"))
+	if got != 0xCBF43926 {
+		t.Errorf("FCS32(123456789) = %#x, want 0xcbf43926", got)
+	}
+}
+
+func TestTableMatchesBitwise(t *testing.T) {
+	f := func(p []byte) bool {
+		return Table16(Init16, p) == Bitwise16(Init16, p) &&
+			Table32(Init32, p) == Bitwise32(Init32, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlicingMatchesTable(t *testing.T) {
+	f := func(p []byte) bool {
+		return Slicing32(Init32, p) == Table32(Init32, p) &&
+			Slicing16(Init16, p) == Table16(Init16, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlicingArbitraryInit(t *testing.T) {
+	f := func(init uint32, p []byte) bool {
+		return Slicing32(init, p) == Bitwise32(init, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallel32MatchesReference(t *testing.T) {
+	for _, w := range []int{1, 4, 8, 16, 32, 64} {
+		p := NewParallel32(w)
+		f := func(init uint32, buf []byte) bool {
+			return p.Update(init, buf) == Bitwise32(init, buf)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("width %d: %v", w, err)
+		}
+	}
+}
+
+func TestParallel16MatchesReference(t *testing.T) {
+	for _, w := range []int{8, 16, 32} {
+		p := NewParallel16(w)
+		f := func(init uint16, buf []byte) bool {
+			return p.Update(init, buf) == Bitwise16(init, buf)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("width %d: %v", w, err)
+		}
+	}
+}
+
+func TestParallelStepSingleWord(t *testing.T) {
+	// One Step of the 32-bit engine must equal four Sarwate byte steps —
+	// the paper's single-clock-cycle claim for the 32x32 matrix.
+	p := NewParallel32(32)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		fcs := rng.Uint32()
+		var buf [4]byte
+		rng.Read(buf[:])
+		word := uint64(buf[0]) | uint64(buf[1])<<8 | uint64(buf[2])<<16 | uint64(buf[3])<<24
+		got := p.Step(fcs, word)
+		want := Table32(fcs, buf[:])
+		if got != want {
+			t.Fatalf("Step(%#x, % x) = %#x, want %#x", fcs, buf, got, want)
+		}
+	}
+}
+
+func TestComposeMatchesDirect(t *testing.T) {
+	// 8-bit engine composed = 16-bit engine; 16 composed = 32.
+	e8 := NewParallel32(8)
+	e16 := NewParallel32(16)
+	e32 := NewParallel32(32)
+	c16 := e8.Compose()
+	c32 := c16.Compose()
+	for i := range e16.mstate.Cols {
+		if e16.mstate.Cols[i] != c16.mstate.Cols[i] {
+			t.Fatalf("composed 16-bit Mstate col %d differs", i)
+		}
+		if e32.mstate.Cols[i] != c32.mstate.Cols[i] {
+			t.Fatalf("composed 32-bit Mstate col %d differs", i)
+		}
+	}
+	for j := range e16.mdata.Cols {
+		if e16.mdata.Cols[j] != c16.mdata.Cols[j] {
+			t.Fatalf("composed 16-bit Mdata col %d differs", j)
+		}
+	}
+	for j := range e32.mdata.Cols {
+		if e32.mdata.Cols[j] != c32.mdata.Cols[j] {
+			t.Fatalf("composed 32-bit Mdata col %d differs", j)
+		}
+	}
+}
+
+func TestMatrixRowColumnDuality(t *testing.T) {
+	p := NewParallel32(32)
+	m := p.DataMatrix()
+	for r := 0; r < 32; r++ {
+		row := m.Row(r)
+		for i, c := range m.Cols {
+			inRow := row>>uint(i)&1 != 0
+			inCol := c>>uint(r)&1 != 0
+			if inRow != inCol {
+				t.Fatalf("row/col mismatch at r=%d i=%d", r, i)
+			}
+		}
+	}
+}
+
+func TestCheckRoundTrip(t *testing.T) {
+	f := func(p []byte) bool {
+		ok16 := Check16(AppendFCS16(append([]byte(nil), p...)))
+		ok32 := Check32(AppendFCS32(append([]byte(nil), p...)))
+		return ok16 && ok32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		p := make([]byte, 4+rng.Intn(64))
+		rng.Read(p)
+		framed := AppendFCS32(append([]byte(nil), p...))
+		pos := rng.Intn(len(framed))
+		bit := byte(1) << uint(rng.Intn(8))
+		framed[pos] ^= bit
+		if Check32(framed) {
+			t.Fatalf("single-bit corruption at %d undetected", pos)
+		}
+	}
+}
+
+func TestCheckRejectsShort(t *testing.T) {
+	if Check16([]byte{0x01}) || Check32([]byte{0x01, 0x02, 0x03}) {
+		t.Error("short frames must fail FCS check")
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	// CRC over XORed messages: crc(a^b) ^ crc(a) ^ crc(b) == crc(0^0...)
+	// for equal lengths with zero init — the defining property the matrix
+	// engine relies on.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		a := make([]byte, n)
+		b := make([]byte, n)
+		x := make([]byte, n)
+		z := make([]byte, n)
+		rng.Read(a)
+		rng.Read(b)
+		for i := range a {
+			x[i] = a[i] ^ b[i]
+		}
+		return Table32(0, x) == Table32(0, a)^Table32(0, b)^Table32(0, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFCSSizeModes(t *testing.T) {
+	p := []byte{1, 2, 3, 4, 5}
+	for _, s := range []Size{FCS16Mode, FCS32Mode} {
+		out := s.Append(append([]byte(nil), p...))
+		if len(out) != len(p)+s.Bytes() {
+			t.Fatalf("%v: appended %d bytes, want %d", s, len(out)-len(p), s.Bytes())
+		}
+		if !s.Check(out) {
+			t.Fatalf("%v: round trip failed", s)
+		}
+	}
+	if FCS16Mode.String() != "FCS-16" || FCS32Mode.String() != "FCS-32" {
+		t.Error("Size.String mismatch")
+	}
+}
+
+func TestParallelWidthPanics(t *testing.T) {
+	for _, f := range []func(){func() { NewParallel32(0) }, func() { NewParallel32(65) },
+		func() { NewParallel16(0) }, func() { NewParallel16(65) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range width")
+				}
+			}()
+			f()
+		}()
+	}
+	p := NewParallel32(32)
+	p = p.Compose() // 64 is fine
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic composing past 64 bits")
+		}
+	}()
+	p.Compose()
+}
+
+func BenchmarkTable32(b *testing.B) {
+	buf := make([]byte, 1500)
+	rand.New(rand.NewSource(1)).Read(buf)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		Table32(Init32, buf)
+	}
+}
+
+func BenchmarkSlicing32(b *testing.B) {
+	buf := make([]byte, 1500)
+	rand.New(rand.NewSource(1)).Read(buf)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		Slicing32(Init32, buf)
+	}
+}
+
+func BenchmarkParallel32x32(b *testing.B) {
+	p := NewParallel32(32)
+	buf := make([]byte, 1500)
+	rand.New(rand.NewSource(1)).Read(buf)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		p.Update(Init32, buf)
+	}
+}

@@ -1,0 +1,80 @@
+package crc
+
+// PPP frame-check-sequence helpers (RFC 1662 appendix C). The FCS is
+// computed over address, control, protocol and information fields (after
+// any header compression, before any byte stuffing), transmitted
+// complemented, least-significant byte first.
+
+// FCS16 returns the 16-bit FCS field value (already complemented, ready to
+// append LSB-first) for the given frame contents.
+func FCS16(p []byte) uint16 {
+	return Table16(Init16, p) ^ 0xFFFF
+}
+
+// FCS32 returns the 32-bit FCS field value for the given frame contents.
+func FCS32(p []byte) uint32 {
+	return Slicing32(Init32, p) ^ 0xFFFFFFFF
+}
+
+// AppendFCS16 appends the complemented 16-bit FCS to p, LSB first, and
+// returns the extended slice.
+func AppendFCS16(p []byte) []byte {
+	f := FCS16(p)
+	return append(p, byte(f), byte(f>>8))
+}
+
+// AppendFCS32 appends the complemented 32-bit FCS to p, LSB first.
+func AppendFCS32(p []byte) []byte {
+	f := FCS32(p)
+	return append(p, byte(f), byte(f>>8), byte(f>>16), byte(f>>24))
+}
+
+// Check16 reports whether p — a frame body including its trailing 2-byte
+// FCS — is intact: the register over the whole thing must land on the
+// magic residue Good16.
+func Check16(p []byte) bool {
+	return len(p) >= 2 && Table16(Init16, p) == Good16
+}
+
+// Check32 reports whether p — a frame body including its trailing 4-byte
+// FCS — is intact.
+func Check32(p []byte) bool {
+	return len(p) >= 4 && Slicing32(Init32, p) == Good32
+}
+
+// Size is the FCS mode used on a link.
+type Size int
+
+// FCS modes negotiable on a PPP link. The paper's P5 "incorporates 32-bit
+// CRC checking" but the OAM register map keeps the mode programmable.
+const (
+	FCS16Mode Size = 2 // 16-bit FCS, 2 octets on the wire
+	FCS32Mode Size = 4 // 32-bit FCS, 4 octets on the wire
+)
+
+// Bytes returns the on-the-wire size of the FCS field in octets.
+func (s Size) Bytes() int { return int(s) }
+
+// Append appends the FCS of the selected size to p.
+func (s Size) Append(p []byte) []byte {
+	if s == FCS16Mode {
+		return AppendFCS16(p)
+	}
+	return AppendFCS32(p)
+}
+
+// Check verifies a frame body (including trailing FCS) in the selected
+// mode.
+func (s Size) Check(p []byte) bool {
+	if s == FCS16Mode {
+		return Check16(p)
+	}
+	return Check32(p)
+}
+
+func (s Size) String() string {
+	if s == FCS16Mode {
+		return "FCS-16"
+	}
+	return "FCS-32"
+}

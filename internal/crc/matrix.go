@@ -1,0 +1,227 @@
+package crc
+
+// Matrix-parallel CRC, after T.-B. Pei and C. Zukowski, "High-speed
+// parallel CRC circuits in VLSI", IEEE Trans. Comm. 40(4), 1992 — the
+// reference the paper cites for its CRC core.
+//
+// Pushing W input bits through the LFSR is a linear map over GF(2):
+//
+//	next = Mstate · state  ⊕  Mdata · data
+//
+// where Mstate is 32×32 and Mdata is 32×W. In hardware each output bit is
+// one XOR tree over the state and data bits whose matrix column is set —
+// the "8 x 32-bit parallel matrix" (8-bit P5) and "32 x 32-bit parallel
+// matrix" (32-bit P5) of the paper. Here the same matrices drive both the
+// functional engine and the synthesis-cost model (each matrix row's
+// population count sizes its XOR tree).
+
+// Matrix32 is a GF(2) linear map into 32-bit vectors, stored column-major:
+// Cols[i] is the 32-bit output contribution of input bit i. Apply XORs the
+// columns selected by the input vector.
+type Matrix32 struct {
+	Cols []uint32
+}
+
+// Apply multiplies the matrix by the input vector v (bit i of v selects
+// Cols[i]).
+func (m Matrix32) Apply(v uint32) uint32 {
+	var out uint32
+	for i, c := range m.Cols {
+		if v>>uint(i)&1 != 0 {
+			out ^= c
+		}
+	}
+	return out
+}
+
+// Row returns row r as a bitmask over the input bits: bit i is set iff
+// input bit i feeds output bit r. This is the fan-in set of the XOR tree
+// that computes output bit r in hardware.
+func (m Matrix32) Row(r int) uint64 {
+	var row uint64
+	for i, c := range m.Cols {
+		if c>>uint(r)&1 != 0 {
+			row |= 1 << uint(i)
+		}
+	}
+	return row
+}
+
+// Parallel32 computes a 32-bit FCS W data bits at a time.
+type Parallel32 struct {
+	w      int      // data bits consumed per step
+	mstate Matrix32 // 32 columns
+	mdata  Matrix32 // w columns
+}
+
+// NewParallel32 builds the W-bit-per-step parallel engine for the FCS-32
+// polynomial. W must be a multiple of 8 between 8 and 64. The matrices are
+// derived by probing the serial reference with unit vectors, so they are
+// correct by construction for any polynomial change.
+func NewParallel32(w int) *Parallel32 {
+	if w < 1 || w > 64 || (w%8 != 0 && 8%w != 0) {
+		panic("crc: parallel width out of range")
+	}
+	p := &Parallel32{w: w}
+	// step runs the serial LFSR for w bits of data over a given state.
+	step := func(state uint32, data uint64) uint32 {
+		for i := 0; i < w; i++ {
+			state = UpdateBit32(state, uint32(data>>uint(i))&1)
+		}
+		return state
+	}
+	p.mstate.Cols = make([]uint32, 32)
+	for i := 0; i < 32; i++ {
+		p.mstate.Cols[i] = step(1<<uint(i), 0)
+	}
+	p.mdata.Cols = make([]uint32, w)
+	for j := 0; j < w; j++ {
+		p.mdata.Cols[j] = step(0, 1<<uint(j))
+	}
+	return p
+}
+
+// Width reports the number of data bits consumed per Step.
+func (p *Parallel32) Width() int { return p.w }
+
+// Step advances the FCS by one datapath word. Only the low Width() bits of
+// data are consumed. This is the single-clock-cycle operation of the
+// hardware CRC core.
+func (p *Parallel32) Step(fcs uint32, data uint64) uint32 {
+	next := p.mstate.Apply(fcs)
+	// Apply the data matrix: bit j of data selects mdata.Cols[j].
+	for j := 0; j < p.w; j++ {
+		if data>>uint(j)&1 != 0 {
+			next ^= p.mdata.Cols[j]
+		}
+	}
+	return next
+}
+
+// Update runs the engine over p, consuming Width()/8 bytes per step and
+// falling back to the Sarwate table for any tail shorter than one word.
+// Bytes are packed little-endian into the data word, matching LSB-first
+// serial transmission order.
+func (p *Parallel32) Update(fcs uint32, buf []byte) uint32 {
+	if p.w%8 != 0 {
+		// Sub-byte widths step the matrix engine bit by bit.
+		for _, b := range buf {
+			for i := 0; i < 8; i += p.w {
+				fcs = p.Step(fcs, uint64(b>>uint(i)))
+			}
+		}
+		return fcs
+	}
+	nb := p.w / 8
+	for len(buf) >= nb {
+		var word uint64
+		for k := 0; k < nb; k++ {
+			word |= uint64(buf[k]) << uint(8*k)
+		}
+		fcs = p.Step(fcs, word)
+		buf = buf[nb:]
+	}
+	return Table32(fcs, buf)
+}
+
+// StateMatrix returns the state-transition matrix (for inspection and for
+// the synthesis cost model).
+func (p *Parallel32) StateMatrix() Matrix32 { return p.mstate }
+
+// DataMatrix returns the data-injection matrix.
+func (p *Parallel32) DataMatrix() Matrix32 { return p.mdata }
+
+// Compose returns the engine equivalent to running p twice per step,
+// i.e. a 2W-bit-per-step engine, computed by matrix composition:
+// M2 = M·M, D2 = [M·D | D]. Used to verify the matrix algebra (an 8-bit
+// engine composed twice must equal the directly-built 16-bit engine).
+func (p *Parallel32) Compose() *Parallel32 {
+	if p.w*2 > 64 {
+		panic("crc: composed width exceeds 64 bits")
+	}
+	q := &Parallel32{w: p.w * 2}
+	q.mstate.Cols = make([]uint32, 32)
+	for i := 0; i < 32; i++ {
+		q.mstate.Cols[i] = p.mstate.Apply(p.mstate.Cols[i])
+	}
+	q.mdata.Cols = make([]uint32, q.w)
+	// First (earlier) w data bits pass through the second application of
+	// Mstate; the last w bits are injected directly.
+	for j := 0; j < p.w; j++ {
+		q.mdata.Cols[j] = p.mstate.Apply(p.mdata.Cols[j])
+		q.mdata.Cols[p.w+j] = p.mdata.Cols[j]
+	}
+	return q
+}
+
+// Parallel16 is the 16-bit-FCS counterpart of Parallel32.
+type Parallel16 struct {
+	w      int
+	mstate []uint16
+	mdata  []uint16
+}
+
+// NewParallel16 builds the W-bit-per-step parallel engine for the FCS-16
+// polynomial.
+func NewParallel16(w int) *Parallel16 {
+	if w < 1 || w > 64 || (w%8 != 0 && 8%w != 0) {
+		panic("crc: parallel width out of range")
+	}
+	p := &Parallel16{w: w}
+	step := func(state uint16, data uint64) uint16 {
+		for i := 0; i < w; i++ {
+			state = UpdateBit16(state, uint16(data>>uint(i))&1)
+		}
+		return state
+	}
+	p.mstate = make([]uint16, 16)
+	for i := 0; i < 16; i++ {
+		p.mstate[i] = step(1<<uint(i), 0)
+	}
+	p.mdata = make([]uint16, w)
+	for j := 0; j < w; j++ {
+		p.mdata[j] = step(0, 1<<uint(j))
+	}
+	return p
+}
+
+// Width reports the number of data bits consumed per Step.
+func (p *Parallel16) Width() int { return p.w }
+
+// Step advances the FCS by one datapath word.
+func (p *Parallel16) Step(fcs uint16, data uint64) uint16 {
+	var next uint16
+	for i := 0; i < 16; i++ {
+		if fcs>>uint(i)&1 != 0 {
+			next ^= p.mstate[i]
+		}
+	}
+	for j := 0; j < p.w; j++ {
+		if data>>uint(j)&1 != 0 {
+			next ^= p.mdata[j]
+		}
+	}
+	return next
+}
+
+// Update runs the engine over buf with a Sarwate tail.
+func (p *Parallel16) Update(fcs uint16, buf []byte) uint16 {
+	if p.w%8 != 0 {
+		for _, b := range buf {
+			for i := 0; i < 8; i += p.w {
+				fcs = p.Step(fcs, uint64(b>>uint(i)))
+			}
+		}
+		return fcs
+	}
+	nb := p.w / 8
+	for len(buf) >= nb {
+		var word uint64
+		for k := 0; k < nb; k++ {
+			word |= uint64(buf[k]) << uint(8*k)
+		}
+		fcs = p.Step(fcs, word)
+		buf = buf[nb:]
+	}
+	return Table16(fcs, buf)
+}

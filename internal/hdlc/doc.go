@@ -1,0 +1,15 @@
+// Package hdlc implements HDLC-like framing for PPP (RFC 1662): flag
+// delimiting, octet stuffing/destuffing, async-control-character maps,
+// and a streaming frame tokenizer.
+//
+// Two stuffing code paths are provided deliberately:
+//
+//   - the byte-at-a-time path (Stuff/Destuff), the software mirror of the
+//     paper's 8-bit P5 datapath, and
+//   - the word-parallel SWAR path (StuffWord/words scanning 8 lanes per
+//     step), the software mirror of the 32-bit P5 datapath where a flag
+//     or escape can appear in any lane of the word.
+//
+// Both produce identical byte streams; the P5 cycle-accurate model in
+// internal/p5 is verified against them.
+package hdlc

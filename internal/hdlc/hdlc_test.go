@@ -1,0 +1,357 @@
+package hdlc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStuffPaperExample(t *testing.T) {
+	// Paper §2: 0x31 0x33 0x7E 0x96 → 0x31 0x33 0x7D 0x5E 0x96.
+	got := Stuff(nil, []byte{0x31, 0x33, 0x7E, 0x96}, ACCMNone)
+	want := []byte{0x31, 0x33, 0x7D, 0x5E, 0x96}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Stuff = % x, want % x", got, want)
+	}
+}
+
+func TestStuffEscapesEscape(t *testing.T) {
+	got := Stuff(nil, []byte{0x7D}, ACCMNone)
+	want := []byte{0x7D, 0x5D}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Stuff(7D) = % x, want % x", got, want)
+	}
+}
+
+func TestACCMEscaped(t *testing.T) {
+	if !ACCMNone.Escaped(Flag) || !ACCMNone.Escaped(Escape) {
+		t.Error("flag/escape must always be escaped")
+	}
+	if ACCMNone.Escaped(0x03) {
+		t.Error("ACCMNone must not escape control chars")
+	}
+	if !ACCMAll.Escaped(0x03) || !ACCMAll.Escaped(0x1F) {
+		t.Error("ACCMAll must escape all control chars")
+	}
+	if ACCMAll.Escaped(0x20) {
+		t.Error("0x20 is not a control char")
+	}
+	m := ACCM(1 << 0x11) // only XON-ish char 0x11
+	if !m.Escaped(0x11) || m.Escaped(0x13) {
+		t.Error("selective ACCM mapping wrong")
+	}
+}
+
+func TestStuffDestuffRoundTrip(t *testing.T) {
+	f := func(p []byte, m uint32) bool {
+		accm := ACCM(m)
+		enc := Stuff(nil, p, accm)
+		dec, esc := Destuff(nil, enc, false)
+		return !esc && bytes.Equal(dec, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSWARMatchesByteAtATime(t *testing.T) {
+	f := func(p []byte, m uint32) bool {
+		accm := ACCM(m)
+		return bytes.Equal(Stuff(nil, p, accm), StuffSWAR(nil, p, accm))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDestuffSWARMatches(t *testing.T) {
+	f := func(p []byte) bool {
+		enc := Stuff(nil, p, ACCMAll)
+		a, ea := Destuff(nil, enc, false)
+		b, eb := DestuffSWAR(nil, enc, false)
+		return ea == eb && bytes.Equal(a, b) && bytes.Equal(a, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDestuffSWARChunked(t *testing.T) {
+	// Streaming state must survive arbitrary chunk splits, including a
+	// split straight through an escape sequence.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		p := make([]byte, 1+rng.Intn(200))
+		for i := range p {
+			// Bias toward escapes and flags.
+			switch rng.Intn(3) {
+			case 0:
+				p[i] = Flag
+			case 1:
+				p[i] = Escape
+			default:
+				p[i] = byte(rng.Intn(256))
+			}
+		}
+		enc := Stuff(nil, p, ACCMNone)
+		var dec []byte
+		esc := false
+		for off := 0; off < len(enc); {
+			n := 1 + rng.Intn(9)
+			if off+n > len(enc) {
+				n = len(enc) - off
+			}
+			dec, esc = DestuffSWAR(dec, enc[off:off+n], esc)
+			off += n
+		}
+		if esc || !bytes.Equal(dec, p) {
+			t.Fatalf("trial %d: chunked destuff mismatch", trial)
+		}
+	}
+}
+
+func TestStuffedLen(t *testing.T) {
+	f := func(p []byte, m uint32) bool {
+		accm := ACCM(m)
+		return StuffedLen(p, accm) == len(Stuff(nil, p, accm))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindFlagSWAR(t *testing.T) {
+	for _, tc := range []struct {
+		p    []byte
+		want int
+	}{
+		{nil, -1},
+		{[]byte{0x7E}, 0},
+		{[]byte{0, 0, 0, 0, 0, 0, 0, 0x7E}, 7},
+		{[]byte{0, 0, 0, 0, 0, 0, 0, 0, 0x7E}, 8},
+		{bytes.Repeat([]byte{0xAA}, 100), -1},
+		{append(bytes.Repeat([]byte{0xAA}, 37), 0x7E), 37},
+	} {
+		if got := FindFlagSWAR(tc.p); got != tc.want {
+			t.Errorf("FindFlagSWAR(% x) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	f := func(p []byte) bool {
+		return FindFlagSWAR(p) == bytes.IndexByte(p, Flag)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizerBasic(t *testing.T) {
+	var tk Tokenizer
+	stream := Encode(nil, []byte{1, 2, 3}, ACCMNone, false)
+	stream = Encode(stream, []byte{0x7E, 0x7D, 4}, ACCMNone, true)
+	toks := tk.Feed(nil, stream)
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens, want 2", len(toks))
+	}
+	if !bytes.Equal(toks[0].Body, []byte{1, 2, 3}) {
+		t.Errorf("frame 0 = % x", toks[0].Body)
+	}
+	if !bytes.Equal(toks[1].Body, []byte{0x7E, 0x7D, 4}) {
+		t.Errorf("frame 1 = % x", toks[1].Body)
+	}
+	if tk.Frames != 2 {
+		t.Errorf("Frames = %d", tk.Frames)
+	}
+}
+
+func TestTokenizerSplitAcrossFeeds(t *testing.T) {
+	stream := Encode(nil, bytes.Repeat([]byte{0x7E, 0x55}, 50), ACCMNone, false)
+	for chunk := 1; chunk <= 7; chunk++ {
+		var tk Tokenizer
+		var toks []Token
+		for off := 0; off < len(stream); off += chunk {
+			end := off + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			toks = tk.Feed(toks, stream[off:end])
+		}
+		if len(toks) != 1 || toks[0].Err != nil {
+			t.Fatalf("chunk %d: tokens %v", chunk, toks)
+		}
+		if !bytes.Equal(toks[0].Body, bytes.Repeat([]byte{0x7E, 0x55}, 50)) {
+			t.Fatalf("chunk %d: body mismatch", chunk)
+		}
+	}
+}
+
+func TestTokenizerAbort(t *testing.T) {
+	var tk Tokenizer
+	stream := []byte{Flag, 1, 2, Escape, Flag, 3, 4, Flag}
+	toks := tk.Feed(nil, stream)
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens, want 2: %v", len(toks), toks)
+	}
+	if toks[0].Err != ErrAborted {
+		t.Errorf("token 0 err = %v, want ErrAborted", toks[0].Err)
+	}
+	if toks[1].Err != nil || !bytes.Equal(toks[1].Body, []byte{3, 4}) {
+		t.Errorf("token 1 = %+v", toks[1])
+	}
+	if tk.Aborts != 1 {
+		t.Errorf("Aborts = %d", tk.Aborts)
+	}
+}
+
+func TestTokenizerRunt(t *testing.T) {
+	tk := Tokenizer{MinFrame: 5}
+	toks := tk.Feed(nil, []byte{Flag, 1, 2, Flag, 1, 2, 3, 4, 5, Flag})
+	if len(toks) != 2 || toks[0].Err != ErrRunt || toks[1].Err != nil {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	if tk.Runts != 1 {
+		t.Errorf("Runts = %d", tk.Runts)
+	}
+}
+
+func TestTokenizerOversize(t *testing.T) {
+	tk := Tokenizer{MaxFrame: 10}
+	body := bytes.Repeat([]byte{0x42}, 100)
+	stream := Encode(nil, body, ACCMNone, false)
+	stream = Encode(stream, []byte{1, 2, 3, 4, 5}, ACCMNone, true)
+	toks := tk.Feed(nil, stream)
+	if len(toks) != 2 || toks[0].Err != ErrOversize || toks[1].Err != nil {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	if tk.Oversize != 1 {
+		t.Errorf("Oversize = %d", tk.Oversize)
+	}
+}
+
+func TestTokenizerIgnoresInterFrameFill(t *testing.T) {
+	var tk Tokenizer
+	// Garbage before the first flag must be discarded silently.
+	toks := tk.Feed(nil, []byte{0xAA, 0xBB, Flag, 1, 2, 3, Flag})
+	if len(toks) != 1 || toks[0].Err != nil || !bytes.Equal(toks[0].Body, []byte{1, 2, 3}) {
+		t.Fatalf("tokens = %+v", toks)
+	}
+}
+
+func TestTokenizerBackToBackFlags(t *testing.T) {
+	var tk Tokenizer
+	toks := tk.Feed(nil, []byte{Flag, Flag, Flag, 1, 2, Flag, Flag})
+	if len(toks) != 1 || !bytes.Equal(toks[0].Body, []byte{1, 2}) {
+		t.Fatalf("tokens = %+v", toks)
+	}
+}
+
+func TestTokenizerReset(t *testing.T) {
+	var tk Tokenizer
+	tk.Feed(nil, []byte{Flag, 1, 2})
+	tk.Reset()
+	toks := tk.Feed(nil, []byte{3, 4, Flag}) // pre-flag garbage post reset
+	if len(toks) != 0 {
+		t.Fatalf("tokens after reset = %+v", toks)
+	}
+	toks = tk.Feed(nil, []byte{5, 6, Flag})
+	if len(toks) != 1 || !bytes.Equal(toks[0].Body, []byte{5, 6}) {
+		t.Fatalf("tokens = %+v", toks)
+	}
+}
+
+func TestEncodeSharedFlag(t *testing.T) {
+	s := Encode(nil, []byte{1}, ACCMNone, false)
+	s2 := Encode(s, []byte{2}, ACCMNone, true)
+	// Shared flag: exactly one flag between the frames.
+	want := []byte{Flag, 1, Flag, 2, Flag}
+	if !bytes.Equal(s2, want) {
+		t.Errorf("shared-flag stream = % x, want % x", s2, want)
+	}
+	s3 := Encode(s, []byte{2}, ACCMNone, false)
+	want3 := []byte{Flag, 1, Flag, Flag, 2, Flag}
+	if !bytes.Equal(s3, want3) {
+		t.Errorf("unshared stream = % x, want % x", s3, want3)
+	}
+}
+
+func TestEncodeTokenizeRoundTripProperty(t *testing.T) {
+	f := func(frames [][]byte, share bool) bool {
+		var stream []byte
+		var want [][]byte
+		for _, fr := range frames {
+			if len(fr) == 0 {
+				continue // empty bodies produce no token
+			}
+			stream = Encode(stream, fr, ACCMNone, share)
+			want = append(want, fr)
+		}
+		var tk Tokenizer
+		toks := tk.Feed(nil, stream)
+		if len(toks) != len(want) {
+			return false
+		}
+		for i := range toks {
+			if toks[i].Err != nil || !bytes.Equal(toks[i].Body, want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbortHelper(t *testing.T) {
+	var tk Tokenizer
+	stream := append([]byte{Flag, 1, 2}, Abort(nil)...)
+	toks := tk.Feed(nil, stream)
+	if len(toks) != 1 || toks[0].Err != ErrAborted {
+		t.Fatalf("tokens = %+v", toks)
+	}
+}
+
+func makePayload(n int, escFrac float64, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	p := make([]byte, n)
+	for i := range p {
+		if rng.Float64() < escFrac {
+			if rng.Intn(2) == 0 {
+				p[i] = Flag
+			} else {
+				p[i] = Escape
+			}
+		} else {
+			p[i] = 0x20 + byte(rng.Intn(0x5D)) // never needs escaping
+		}
+	}
+	return p
+}
+
+func BenchmarkStuffByte(b *testing.B) {
+	p := makePayload(1500, 0.01, 1)
+	dst := make([]byte, 0, 4096)
+	b.SetBytes(int64(len(p)))
+	for i := 0; i < b.N; i++ {
+		dst = Stuff(dst[:0], p, ACCMNone)
+	}
+}
+
+func BenchmarkStuffSWAR(b *testing.B) {
+	p := makePayload(1500, 0.01, 1)
+	dst := make([]byte, 0, 4096)
+	b.SetBytes(int64(len(p)))
+	for i := 0; i < b.N; i++ {
+		dst = StuffSWAR(dst[:0], p, ACCMNone)
+	}
+}
+
+func BenchmarkDestuffSWAR(b *testing.B) {
+	p := makePayload(1500, 0.01, 1)
+	enc := Stuff(nil, p, ACCMNone)
+	dst := make([]byte, 0, 4096)
+	b.SetBytes(int64(len(p)))
+	for i := 0; i < b.N; i++ {
+		dst, _ = DestuffSWAR(dst[:0], enc, false)
+	}
+}

@@ -1,0 +1,129 @@
+package hdlc
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Word-parallel stuffing. The hardware problem (paper §3, Figs 5 and 6) is
+// that on a W-byte datapath a flag/escape can sit in any lane, so one
+// input word can expand to up to 2W output bytes (stuffing) or collapse
+// leaving bubbles (destuffing). In software the analog is SWAR scanning:
+// all eight lanes of a 64-bit word are tested for 0x7E/0x7D in a handful
+// of ALU operations, and escape-free spans are copied in bulk.
+
+const (
+	lsbMask = 0x0101010101010101
+	msbMask = 0x8080808080808080
+)
+
+// zeroLanes returns a mask with bit 8i+7 set iff byte lane i of x is zero.
+func zeroLanes(x uint64) uint64 {
+	return (x - lsbMask) & ^x & msbMask
+}
+
+// matchLanes returns a mask with the MSB of each lane set iff that lane of
+// x equals v.
+func matchLanes(x uint64, v byte) uint64 {
+	return zeroLanes(x ^ (lsbMask * uint64(v)))
+}
+
+// escLanes returns the per-lane match mask for octets needing escape under
+// map m: flags, escapes, and (if the map is non-zero) mapped control
+// characters. Control characters are found via an unsigned < 0x20 lane
+// compare, then filtered through the map lane by lane only when the cheap
+// test fires.
+func escLanes(x uint64, m ACCM) uint64 {
+	lanes := matchLanes(x, Flag) | matchLanes(x, Escape)
+	if m == 0 {
+		return lanes
+	}
+	// Lane-parallel compare x[i] < 0x20: a lane is a control character
+	// iff its top three bits are all zero.
+	lt := zeroLanes(x & (lsbMask * 0xE0))
+	if lt == 0 {
+		return lanes
+	}
+	for i := 0; i < 8; i++ {
+		if lt>>(8*uint(i)+7)&1 != 0 {
+			b := byte(x >> (8 * uint(i)))
+			if m.Escaped(b) {
+				lanes |= 0x80 << (8 * uint(i))
+			}
+		}
+	}
+	return lanes
+}
+
+// StuffSWAR appends the octet-stuffed encoding of src to dst scanning
+// eight lanes per step — the software mirror of the 32-bit Escape
+// Generate byte sorter. Output is byte-identical to Stuff.
+func StuffSWAR(dst, src []byte, m ACCM) []byte {
+	for len(src) >= 8 {
+		x := binary.LittleEndian.Uint64(src)
+		lanes := escLanes(x, m)
+		if lanes == 0 {
+			dst = append(dst, src[:8]...)
+			src = src[8:]
+			continue
+		}
+		// First offending lane; copy the clean prefix in bulk, escape
+		// one octet, continue.
+		i := bits.TrailingZeros64(lanes) / 8
+		dst = append(dst, src[:i]...)
+		dst = append(dst, Escape, src[i]^XorBit)
+		src = src[i+1:]
+	}
+	return Stuff(dst, src, m)
+}
+
+// DestuffSWAR appends the decoded form of a stuffed sequence to dst,
+// scanning eight lanes per step for escape octets. esc threads streaming
+// state exactly as Destuff does.
+func DestuffSWAR(dst, src []byte, esc bool) ([]byte, bool) {
+	for len(src) >= 8 {
+		if esc {
+			dst = append(dst, src[0]^XorBit)
+			src = src[1:]
+			esc = false
+			continue
+		}
+		x := binary.LittleEndian.Uint64(src)
+		lanes := matchLanes(x, Escape)
+		if lanes == 0 {
+			dst = append(dst, src[:8]...)
+			src = src[8:]
+			continue
+		}
+		i := bits.TrailingZeros64(lanes) / 8
+		dst = append(dst, src[:i]...)
+		if i+1 < 8 || len(src) > i+1 {
+			dst = append(dst, src[i+1]^XorBit)
+			src = src[i+2:]
+		} else {
+			src = src[i+1:]
+			esc = true
+		}
+	}
+	return Destuff(dst, src, esc)
+}
+
+// FindFlagSWAR returns the index of the first Flag octet in p, or -1 —
+// the word-parallel flag hunt used for frame delineation.
+func FindFlagSWAR(p []byte) int {
+	off := 0
+	for len(p) >= 8 {
+		x := binary.LittleEndian.Uint64(p)
+		if lanes := matchLanes(x, Flag); lanes != 0 {
+			return off + bits.TrailingZeros64(lanes)/8
+		}
+		p = p[8:]
+		off += 8
+	}
+	for i, b := range p {
+		if b == Flag {
+			return off + i
+		}
+	}
+	return -1
+}

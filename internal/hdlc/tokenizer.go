@@ -1,0 +1,139 @@
+package hdlc
+
+import "errors"
+
+// Errors reported per frame by the Tokenizer.
+var (
+	// ErrAborted marks a frame terminated by the abort sequence
+	// (Escape immediately followed by Flag, RFC 1662 §4.3).
+	ErrAborted = errors.New("hdlc: frame aborted")
+	// ErrRunt marks an inter-flag span too short to hold any frame.
+	ErrRunt = errors.New("hdlc: runt frame")
+	// ErrOversize marks a frame exceeding the tokenizer's MaxFrame.
+	ErrOversize = errors.New("hdlc: frame exceeds maximum size")
+)
+
+// Token is one delineated, destuffed frame (or framing error) produced by
+// the Tokenizer. Body excludes the flags and has stuffing removed; the FCS
+// field is still present at the tail.
+type Token struct {
+	Body []byte
+	Err  error
+}
+
+// Tokenizer performs streaming frame delineation on a raw octet stream:
+// flag hunting, abort detection, destuffing, and size policing. It holds
+// state across Feed calls so frames may straddle arbitrary chunk (or
+// datapath-word) boundaries — the condition that forces the 32-bit P5 to
+// handle flags in any byte lane.
+type Tokenizer struct {
+	// MaxFrame, when non-zero, bounds the destuffed frame size; longer
+	// frames are reported with ErrOversize and the remainder discarded
+	// until the next flag.
+	MaxFrame int
+	// MinFrame, when non-zero, is the smallest valid frame body
+	// (typically the FCS size plus one); shorter inter-flag spans are
+	// reported with ErrRunt. Zero-length spans (back-to-back flags) are
+	// always silently skipped.
+	MinFrame int
+
+	buf     []byte // destuffed bytes of the in-progress frame
+	esc     bool   // escape octet pending
+	inFrame bool   // seen an opening flag
+	drop    bool   // discarding until next flag (after oversize)
+
+	// Counters for the OAM status registers.
+	Frames   uint64 // complete frames emitted
+	Aborts   uint64 // aborted frames
+	Runts    uint64 // runt spans
+	Oversize uint64 // oversize frames
+}
+
+// Feed consumes raw stream octets, appending any complete frame tokens to
+// out and returning it. Feed never retains chunk.
+func (t *Tokenizer) Feed(out []Token, chunk []byte) []Token {
+	for _, b := range chunk {
+		if b == Flag {
+			out = t.closeFrame(out)
+			continue
+		}
+		if !t.inFrame {
+			// Octets between frames (idle fill) are ignored; HDLC
+			// links may idle with flags or 0xFF fill.
+			continue
+		}
+		if t.drop {
+			continue
+		}
+		if t.esc {
+			t.esc = false
+			t.buf = append(t.buf, b^XorBit)
+		} else if b == Escape {
+			t.esc = true
+			continue
+		} else {
+			t.buf = append(t.buf, b)
+		}
+		if t.MaxFrame > 0 && len(t.buf) > t.MaxFrame {
+			t.drop = true
+			t.Oversize++
+		}
+	}
+	return out
+}
+
+// closeFrame handles a Flag octet: emit, skip, or report the span ended.
+func (t *Tokenizer) closeFrame(out []Token) []Token {
+	defer func() {
+		t.buf = nil
+		t.esc = false
+		t.drop = false
+		t.inFrame = true // a flag both closes and opens a frame
+	}()
+	if !t.inFrame {
+		return out
+	}
+	switch {
+	case t.esc:
+		// Escape followed by flag: deliberate abort.
+		t.Aborts++
+		return append(out, Token{Err: ErrAborted})
+	case t.drop:
+		return append(out, Token{Err: ErrOversize})
+	case len(t.buf) == 0:
+		// Back-to-back flags or shared flag: no frame.
+		return out
+	case t.MinFrame > 0 && len(t.buf) < t.MinFrame:
+		t.Runts++
+		return append(out, Token{Err: ErrRunt})
+	default:
+		t.Frames++
+		return append(out, Token{Body: t.buf})
+	}
+}
+
+// Reset returns the tokenizer to the hunting state, discarding any
+// partial frame. Counters are preserved.
+func (t *Tokenizer) Reset() {
+	t.buf = nil
+	t.esc = false
+	t.inFrame = false
+	t.drop = false
+}
+
+// Encode appends a fully framed encoding of body to dst: opening flag,
+// stuffed body, closing flag. If shareFlag is true and dst already ends
+// with a flag, the opening flag is omitted (RFC 1662 allows a single flag
+// between frames).
+func Encode(dst, body []byte, m ACCM, shareFlag bool) []byte {
+	if !shareFlag || len(dst) == 0 || dst[len(dst)-1] != Flag {
+		dst = append(dst, Flag)
+	}
+	dst = StuffSWAR(dst, body, m)
+	return append(dst, Flag)
+}
+
+// Abort appends an abort sequence terminating any in-progress frame.
+func Abort(dst []byte) []byte {
+	return append(dst, Escape, Flag)
+}

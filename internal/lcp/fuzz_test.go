@@ -1,0 +1,42 @@
+package lcp
+
+import "testing"
+
+// FuzzParsePacket must never panic, and valid parses must re-marshal
+// to a prefix-equal encoding.
+func FuzzParsePacket(f *testing.F) {
+	f.Add([]byte{1, 1, 0, 4})
+	f.Add([]byte{9, 2, 0, 8, 1, 2, 3, 4})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := ParsePacket(b)
+		if err != nil {
+			return
+		}
+		re := p.Marshal(nil)
+		if len(re) > len(b) {
+			t.Fatal("re-marshal grew")
+		}
+		for i := range re {
+			if re[i] != b[i] {
+				t.Fatalf("re-marshal differs at %d", i)
+			}
+		}
+	})
+}
+
+// FuzzParseOptions + automaton: a fuzzed Configure-Request must never
+// panic the automaton in any state.
+func FuzzReceive(f *testing.F) {
+	f.Add(byte(1), byte(1), []byte{1, 4, 5, 220})
+	f.Add(byte(5), byte(9), []byte{})
+	f.Add(byte(42), byte(0), []byte{0, 0})
+	f.Fuzz(func(t *testing.T, code, id byte, data []byte) {
+		a := NewAutomaton(func(*Packet) {}, NewLCPPolicy(1), Hooks{})
+		a.Open()
+		a.Up()
+		a.Receive(&Packet{Code: Code(code), ID: id, Data: data})
+		a.Advance(100)
+		a.Receive(&Packet{Code: Code(code), ID: id, Data: data})
+	})
+}

@@ -1,0 +1,515 @@
+package lcp
+
+import (
+	"testing"
+)
+
+// These tests walk the corners of the RFC 1661 §4.1 state table that the
+// end-to-end handshake tests never visit: crossed events, packets in
+// terminating states, administrative events out of order.
+
+// harness builds an automaton capturing its transmissions.
+type harness struct {
+	a                           *Automaton
+	sent                        []*Packet
+	up, down, started, finished int
+}
+
+func newHarness() *harness {
+	h := &harness{}
+	h.a = NewAutomaton(func(p *Packet) {
+		h.sent = append(h.sent, clonePacket(p))
+	}, NewLCPPolicy(7), Hooks{
+		Up:       func() { h.up++ },
+		Down:     func() { h.down++ },
+		Started:  func() { h.started++ },
+		Finished: func() { h.finished++ },
+	})
+	return h
+}
+
+// lastCode returns the most recent transmitted code (0 if none).
+func (h *harness) lastCode() Code {
+	if len(h.sent) == 0 {
+		return 0
+	}
+	return h.sent[len(h.sent)-1].Code
+}
+
+// toOpened drives the automaton to Opened against a scripted peer.
+func (h *harness) toOpened(t *testing.T) {
+	t.Helper()
+	h.a.Open()
+	h.a.Up()
+	h.a.Receive(&Packet{Code: ConfigureAck, ID: h.a.id, Data: MarshalOptions(nil, h.a.reqOpts)})
+	h.a.Receive(&Packet{Code: ConfigureRequest, ID: 1})
+	if h.a.State() != Opened {
+		t.Fatalf("setup: state = %v", h.a.State())
+	}
+}
+
+func TestUpInInitialGoesClosed(t *testing.T) {
+	h := newHarness()
+	h.a.Up()
+	if h.a.State() != Closed {
+		t.Errorf("state = %v", h.a.State())
+	}
+	// Up again: no transition.
+	h.a.Up()
+	if h.a.State() != Closed {
+		t.Errorf("second Up: %v", h.a.State())
+	}
+}
+
+func TestOpenInInitialSignalsStart(t *testing.T) {
+	h := newHarness()
+	h.a.Open()
+	if h.a.State() != Starting || h.started != 1 {
+		t.Errorf("state=%v started=%d", h.a.State(), h.started)
+	}
+	// Close from Starting: finished, back to Initial.
+	h.a.Close()
+	if h.a.State() != Initial || h.finished != 1 {
+		t.Errorf("state=%v finished=%d", h.a.State(), h.finished)
+	}
+}
+
+func TestDownFromEveryBusyState(t *testing.T) {
+	// Down in Req-Sent/Ack-Rcvd/Ack-Sent → Starting.
+	for _, prep := range []func(h *harness){
+		func(h *harness) { // Req-Sent
+			h.a.Open()
+			h.a.Up()
+		},
+		func(h *harness) { // Ack-Rcvd
+			h.a.Open()
+			h.a.Up()
+			h.a.Receive(&Packet{Code: ConfigureAck, ID: h.a.id, Data: MarshalOptions(nil, h.a.reqOpts)})
+		},
+		func(h *harness) { // Ack-Sent
+			h.a.Open()
+			h.a.Up()
+			h.a.Receive(&Packet{Code: ConfigureRequest, ID: 1})
+		},
+	} {
+		h := newHarness()
+		prep(h)
+		h.a.Down()
+		if h.a.State() != Starting {
+			t.Errorf("Down → %v, want Starting", h.a.State())
+		}
+	}
+	// Down in Opened signals this-layer-down.
+	h := newHarness()
+	h.toOpened(t)
+	h.a.Down()
+	if h.a.State() != Starting || h.down != 1 {
+		t.Errorf("state=%v down=%d", h.a.State(), h.down)
+	}
+	// Down in Closed → Initial.
+	h2 := newHarness()
+	h2.a.Up()
+	h2.a.Down()
+	if h2.a.State() != Initial {
+		t.Errorf("Closed+Down → %v", h2.a.State())
+	}
+	// Down in Stopped → Starting with tls.
+	h3 := newHarness()
+	h3.a.MaxConfigure = 1
+	h3.a.Open()
+	h3.a.Up()
+	h3.a.Advance(10) // TO- → Stopped
+	if h3.a.State() != Stopped {
+		t.Fatalf("setup: %v", h3.a.State())
+	}
+	h3.a.Down()
+	if h3.a.State() != Starting || h3.started < 2 {
+		t.Errorf("Stopped+Down → %v started=%d", h3.a.State(), h3.started)
+	}
+}
+
+func TestCloseAndReopenWhileClosing(t *testing.T) {
+	h := newHarness()
+	h.toOpened(t)
+	h.a.Close()
+	if h.a.State() != Closing || h.lastCode() != TerminateRequest {
+		t.Fatalf("state=%v last=%v", h.a.State(), h.lastCode())
+	}
+	// Open during Closing → Stopping (restart after termination).
+	h.a.Open()
+	if h.a.State() != Stopping {
+		t.Errorf("state = %v, want Stopping", h.a.State())
+	}
+	// Close during Stopping → back to Closing.
+	h.a.Close()
+	if h.a.State() != Closing {
+		t.Errorf("state = %v, want Closing", h.a.State())
+	}
+	// Terminate-Ack in Closing → Closed + tlf.
+	h.a.Receive(&Packet{Code: TerminateAck, ID: h.a.id})
+	if h.a.State() != Closed || h.finished != 1 {
+		t.Errorf("state=%v finished=%d", h.a.State(), h.finished)
+	}
+	// Open from Closed restarts negotiation.
+	h.a.Open()
+	if h.a.State() != ReqSent {
+		t.Errorf("reopen: %v", h.a.State())
+	}
+}
+
+func TestTimeoutInClosingGivesUpToClosed(t *testing.T) {
+	h := newHarness()
+	h.toOpened(t)
+	h.a.MaxTerminate = 2
+	h.a.Close()
+	now := int64(0)
+	for i := 0; i < 5 && h.a.State() == Closing; i++ {
+		now += DefaultRestartPeriod
+		h.a.Advance(now)
+	}
+	if h.a.State() != Closed || h.finished != 1 {
+		t.Errorf("state=%v finished=%d", h.a.State(), h.finished)
+	}
+	// Exactly 1 str + MaxTerminate-1 retries... count Terminate-Requests.
+	trs := 0
+	for _, p := range h.sent {
+		if p.Code == TerminateRequest {
+			trs++
+		}
+	}
+	if trs != 2 {
+		t.Errorf("terminate requests = %d, want MaxTerminate", trs)
+	}
+}
+
+func TestPacketsInClosingAreIgnoredOrAcked(t *testing.T) {
+	h := newHarness()
+	h.toOpened(t)
+	h.a.Close()
+	n := len(h.sent)
+	// Configure-Request while terminating: no reply, no transition.
+	h.a.Receive(&Packet{Code: ConfigureRequest, ID: 9})
+	if h.a.State() != Closing || len(h.sent) != n {
+		t.Errorf("RCR in Closing: state=%v sent=%d", h.a.State(), len(h.sent)-n)
+	}
+	// Configure-Ack likewise.
+	h.a.Receive(&Packet{Code: ConfigureAck, ID: h.a.id})
+	if h.a.State() != Closing {
+		t.Errorf("RCA in Closing: %v", h.a.State())
+	}
+	// Terminate-Request gets acked without leaving Closing.
+	h.a.Receive(&Packet{Code: TerminateRequest, ID: 3})
+	if h.a.State() != Closing || h.lastCode() != TerminateAck {
+		t.Errorf("RTR in Closing: state=%v last=%v", h.a.State(), h.lastCode())
+	}
+}
+
+func TestRCAInClosedSendsTerminateAck(t *testing.T) {
+	h := newHarness()
+	h.a.Up() // Closed
+	h.a.Receive(&Packet{Code: ConfigureAck, ID: 0})
+	if h.lastCode() != TerminateAck {
+		t.Errorf("last = %v, want Terminate-Ack", h.lastCode())
+	}
+	h.a.Receive(&Packet{Code: ConfigureNak, ID: 0})
+	if h.lastCode() != TerminateAck {
+		t.Errorf("RCN in Closed: %v", h.lastCode())
+	}
+	h.a.Receive(&Packet{Code: ConfigureRequest, ID: 0})
+	if h.lastCode() != TerminateAck {
+		t.Errorf("RCR in Closed: %v", h.lastCode())
+	}
+}
+
+func TestCrossedAcksRestartExchange(t *testing.T) {
+	// RCA in Ack-Rcvd (a second ack) indicates crossed connections:
+	// re-send Configure-Request and fall back to Req-Sent.
+	h := newHarness()
+	h.a.Open()
+	h.a.Up()
+	ackNow := func() *Packet {
+		return &Packet{Code: ConfigureAck, ID: h.a.id, Data: MarshalOptions(nil, h.a.reqOpts)}
+	}
+	h.a.Receive(ackNow()) // → Ack-Rcvd
+	if h.a.State() != AckRcvd {
+		t.Fatalf("state = %v", h.a.State())
+	}
+	h.a.Receive(ackNow())
+	if h.a.State() != ReqSent || h.lastCode() != ConfigureRequest {
+		t.Errorf("crossed ack: state=%v last=%v", h.a.State(), h.lastCode())
+	}
+}
+
+func TestNakInAckRcvdFallsBack(t *testing.T) {
+	h := newHarness()
+	h.a.Open()
+	h.a.Up()
+	h.a.Receive(&Packet{Code: ConfigureAck, ID: h.a.id, Data: MarshalOptions(nil, h.a.reqOpts)})
+	if h.a.State() != AckRcvd {
+		t.Fatalf("state = %v", h.a.State())
+	}
+	h.a.Receive(&Packet{Code: ConfigureNak, ID: h.a.id})
+	if h.a.State() != ReqSent {
+		t.Errorf("state = %v, want Req-Sent", h.a.State())
+	}
+}
+
+func TestRCRMinusInOpenedRenegotiates(t *testing.T) {
+	// An unacceptable Configure-Request on an open link: tld, scr, scn.
+	h := newHarness()
+	h.toOpened(t)
+	bad := MarshalOptions(nil, []Option{u16opt(OptMRU, 1)}) // below MinMRU
+	h.a.Receive(&Packet{Code: ConfigureRequest, ID: 7, Data: bad})
+	if h.a.State() != ReqSent {
+		t.Errorf("state = %v, want Req-Sent", h.a.State())
+	}
+	if h.down != 1 {
+		t.Errorf("down = %d", h.down)
+	}
+	var sawReq, sawNak bool
+	for _, p := range h.sent {
+		switch p.Code {
+		case ConfigureRequest:
+			sawReq = true
+		case ConfigureNak:
+			sawNak = true
+		}
+	}
+	if !sawReq || !sawNak {
+		t.Error("renegotiation packets missing")
+	}
+}
+
+func TestRCAInOpenedRestarts(t *testing.T) {
+	h := newHarness()
+	h.toOpened(t)
+	h.a.Receive(&Packet{Code: ConfigureAck, ID: h.a.id, Data: MarshalOptions(nil, h.a.reqOpts)})
+	if h.a.State() != ReqSent || h.down != 1 {
+		t.Errorf("state=%v down=%d", h.a.State(), h.down)
+	}
+}
+
+func TestRCNInOpenedRestarts(t *testing.T) {
+	h := newHarness()
+	h.toOpened(t)
+	h.a.Receive(&Packet{Code: ConfigureReject, ID: h.a.id, Data: MarshalOptions(nil, []Option{{Type: OptMagic, Data: []byte{0, 0, 0, 7}}})})
+	if h.a.State() != ReqSent || h.down != 1 {
+		t.Errorf("state=%v down=%d", h.a.State(), h.down)
+	}
+}
+
+func TestRTAInOpenedRestarts(t *testing.T) {
+	// An unsolicited Terminate-Ack on an open link signals the peer
+	// lost state: tld + scr.
+	h := newHarness()
+	h.toOpened(t)
+	h.a.Receive(&Packet{Code: TerminateAck, ID: 99})
+	if h.a.State() != ReqSent || h.down != 1 {
+		t.Errorf("state=%v down=%d", h.a.State(), h.down)
+	}
+}
+
+func TestRTAInAckRcvdFallsBack(t *testing.T) {
+	h := newHarness()
+	h.a.Open()
+	h.a.Up()
+	h.a.Receive(&Packet{Code: ConfigureAck, ID: h.a.id, Data: MarshalOptions(nil, h.a.reqOpts)})
+	h.a.Receive(&Packet{Code: TerminateAck, ID: 1})
+	if h.a.State() != ReqSent {
+		t.Errorf("state = %v", h.a.State())
+	}
+}
+
+func TestRXJMinusInOpenedRestartsTermination(t *testing.T) {
+	h := newHarness()
+	h.toOpened(t)
+	bad := (&Packet{Code: TerminateRequest, ID: 1}).Marshal(nil)
+	h.a.Receive(&Packet{Code: CodeReject, ID: 1, Data: bad})
+	if h.a.State() != Stopping || h.down != 1 {
+		t.Errorf("state=%v down=%d", h.a.State(), h.down)
+	}
+	if h.lastCode() != TerminateRequest {
+		t.Errorf("last = %v", h.lastCode())
+	}
+}
+
+func TestRXJMinusInClosingFinishes(t *testing.T) {
+	h := newHarness()
+	h.toOpened(t)
+	h.a.Close()
+	bad := (&Packet{Code: ConfigureRequest, ID: 1}).Marshal(nil)
+	h.a.Receive(&Packet{Code: CodeReject, ID: 1, Data: bad})
+	if h.a.State() != Closed || h.finished != 1 {
+		t.Errorf("state=%v finished=%d", h.a.State(), h.finished)
+	}
+}
+
+func TestCodeRejectOfExtensionCodeIgnored(t *testing.T) {
+	// Rejecting an Echo-Request (an extension code) is RXJ+: no
+	// transition.
+	h := newHarness()
+	h.toOpened(t)
+	bad := (&Packet{Code: EchoRequest, ID: 1}).Marshal(nil)
+	h.a.Receive(&Packet{Code: CodeReject, ID: 1, Data: bad})
+	if h.a.State() != Opened {
+		t.Errorf("state = %v, want Opened", h.a.State())
+	}
+}
+
+func TestProtocolRejectIsRXJPlus(t *testing.T) {
+	h := newHarness()
+	h.toOpened(t)
+	h.a.Receive(&Packet{Code: ProtocolReject, ID: 1, Data: []byte{0x80, 0x21}})
+	if h.a.State() != Opened {
+		t.Errorf("state = %v", h.a.State())
+	}
+}
+
+func TestDiscardRequestNoReply(t *testing.T) {
+	h := newHarness()
+	h.toOpened(t)
+	n := len(h.sent)
+	h.a.Receive(&Packet{Code: DiscardRequest, ID: 1})
+	if len(h.sent) != n || h.a.State() != Opened {
+		t.Error("discard-request must be silently discarded")
+	}
+}
+
+func TestTerminateRequestInAckSentFallsBack(t *testing.T) {
+	h := newHarness()
+	h.a.Open()
+	h.a.Up()
+	h.a.Receive(&Packet{Code: ConfigureRequest, ID: 1}) // → Ack-Sent
+	if h.a.State() != AckSent {
+		t.Fatalf("state = %v", h.a.State())
+	}
+	h.a.Receive(&Packet{Code: TerminateRequest, ID: 5})
+	if h.a.State() != ReqSent || h.lastCode() != TerminateAck {
+		t.Errorf("state=%v last=%v", h.a.State(), h.lastCode())
+	}
+}
+
+func TestStoppedStateAnswersRequests(t *testing.T) {
+	h := newHarness()
+	h.a.MaxConfigure = 1
+	h.a.Open()
+	h.a.Up()
+	h.a.Advance(10) // → Stopped
+	if h.a.State() != Stopped {
+		t.Fatalf("setup: %v", h.a.State())
+	}
+	// RCR+ in Stopped: irc, scr, sca → Ack-Sent.
+	h.a.Receive(&Packet{Code: ConfigureRequest, ID: 2})
+	if h.a.State() != AckSent {
+		t.Errorf("state = %v, want Ack-Sent", h.a.State())
+	}
+	// And a bad request from Stopped.
+	h2 := newHarness()
+	h2.a.MaxConfigure = 1
+	h2.a.Open()
+	h2.a.Up()
+	h2.a.Advance(10)
+	bad := MarshalOptions(nil, []Option{u16opt(OptMRU, 1)})
+	h2.a.Receive(&Packet{Code: ConfigureRequest, ID: 2, Data: bad})
+	if h2.a.State() != ReqSent {
+		t.Errorf("RCR- in Stopped: %v", h2.a.State())
+	}
+}
+
+func TestTimeoutInStoppingGivesUpToStopped(t *testing.T) {
+	h := newHarness()
+	h.toOpened(t)
+	// Peer terminates; we land in Stopping with zero restart count.
+	h.a.Receive(&Packet{Code: TerminateRequest, ID: 3})
+	if h.a.State() != Stopping {
+		t.Fatalf("state = %v", h.a.State())
+	}
+	now := int64(0)
+	for i := 0; i < 5 && h.a.State() == Stopping; i++ {
+		now += DefaultRestartPeriod
+		h.a.Advance(now)
+	}
+	if h.a.State() != Stopped || h.finished != 1 {
+		t.Errorf("state=%v finished=%d", h.a.State(), h.finished)
+	}
+}
+
+func TestOptionsEqualMismatchShapes(t *testing.T) {
+	a := []Option{{Type: 1, Data: []byte{1, 2}}}
+	if optionsEqual(a, []Option{{Type: 2, Data: []byte{1, 2}}}) {
+		t.Error("type mismatch accepted")
+	}
+	if optionsEqual(a, []Option{{Type: 1, Data: []byte{1}}}) {
+		t.Error("length mismatch accepted")
+	}
+	if optionsEqual(a, []Option{{Type: 1, Data: []byte{1, 3}}}) {
+		t.Error("data mismatch accepted")
+	}
+	if !optionsEqual(nil, nil) {
+		t.Error("empty lists must match")
+	}
+}
+
+func TestAuthOptionCodec(t *testing.T) {
+	pap := authOption(0xC023)
+	if p, ok := parseAuthOption(pap); !ok || p != 0xC023 {
+		t.Error("PAP option codec")
+	}
+	chap := authOption(0xC223)
+	if len(chap.Data) != 3 || chap.Data[2] != 5 {
+		t.Errorf("CHAP option data = % x", chap.Data)
+	}
+	if p, ok := parseAuthOption(chap); !ok || p != 0xC223 {
+		t.Error("CHAP option codec")
+	}
+	if _, ok := parseAuthOption(Option{Type: OptAuthProto, Data: []byte{0xC2}}); ok {
+		t.Error("short option accepted")
+	}
+	if _, ok := parseAuthOption(Option{Type: OptAuthProto, Data: []byte{0xC2, 0x23, 9}}); ok {
+		t.Error("unknown CHAP algorithm accepted")
+	}
+	if _, ok := parseAuthOption(Option{Type: OptAuthProto, Data: []byte{0x12, 0x34}}); ok {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestCheckRequestMalformedOptions(t *testing.T) {
+	p := NewLCPPolicy(1)
+	naks, rejs := p.CheckRequest([]Option{
+		{Type: OptMRU, Data: []byte{1}},         // short MRU
+		{Type: OptACCM, Data: []byte{1, 2}},     // short ACCM
+		{Type: OptMagic, Data: []byte{1}},       // short magic
+		{Type: OptQualityProt, Data: []byte{1}}, // unimplemented
+	})
+	if len(naks) != 0 || len(rejs) != 4 {
+		t.Errorf("naks=%d rejs=%d", len(naks), len(rejs))
+	}
+}
+
+func TestHandleNakAdoptsValues(t *testing.T) {
+	p := NewLCPPolicy(1)
+	p.WantMRU = 64
+	p.WantPFC = true
+	p.WantACFC = true
+	p.RequireAuth = 0xC023
+	p.CanAuth = map[uint16]bool{0xC223: true}
+	p.HandleNak([]Option{
+		u16opt(OptMRU, 1400),
+		u32opt(OptACCM, 0x000A0000),
+		{Type: OptPFC},
+		{Type: OptACFC},
+		authOption(0xC223),
+	})
+	if p.WantMRU != 1400 {
+		t.Errorf("MRU = %d", p.WantMRU)
+	}
+	if p.WantACCM&0x000A0000 == 0 {
+		t.Error("ACCM union not applied")
+	}
+	if p.WantPFC || p.WantACFC {
+		t.Error("compression naks must clear the requests")
+	}
+	if p.RequireAuth != 0xC223 {
+		t.Errorf("auth counter-proposal not adopted: %#x", p.RequireAuth)
+	}
+}

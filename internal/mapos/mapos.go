@@ -1,0 +1,102 @@
+// Package mapos implements the parts of MAPOS — Multiple Access Protocol
+// over SONET/SDH, RFC 2171 — that motivate the P5's *programmable* HDLC
+// address field: MAPOS reuses PPP/HDLC framing but gives every node a
+// real link address assigned by a switch, so a framer with a hard-wired
+// 0xFF address cannot join a MAPOS network.
+//
+// The package provides the address algebra, the frame header, a minimal
+// Node-Switch Protocol (NSP, RFC 2173) for address assignment, and a
+// software SONET switch that forwards frames between ports by HDLC
+// address — enough substrate to run a multi-node LAN over P5 framers.
+package mapos
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Address is a MAPOS HDLC address octet. The LSB of every valid address
+// is 1 (it marks the end of the one-octet address field, HDLC style).
+// The MSB distinguishes group (multicast) addresses; 0xFF is broadcast.
+type Address byte
+
+// Special addresses.
+const (
+	// Unassigned is the address of a node that has not completed NSP
+	// address acquisition.
+	Unassigned Address = 0x01
+	// Broadcast floods every port of the switch.
+	Broadcast Address = 0xFF
+)
+
+// Valid reports whether a has the mandatory trailing 1 bit.
+func (a Address) Valid() bool { return a&1 == 1 }
+
+// IsGroup reports whether a is a group (multicast/broadcast) address.
+func (a Address) IsGroup() bool { return a&0x80 != 0 }
+
+// IsBroadcast reports whether a is the all-ones broadcast address.
+func (a Address) IsBroadcast() bool { return a == Broadcast }
+
+// IsUnicast reports whether a is an assigned unicast address.
+func (a Address) IsUnicast() bool {
+	return a.Valid() && !a.IsGroup() && a != Unassigned
+}
+
+func (a Address) String() string { return fmt.Sprintf("%#02x", byte(a)) }
+
+// PortAddress returns the unicast address assigned to switch port n
+// (0-based): the port number shifted over the mandatory LSB.
+// Single-switch form of the RFC 2171 hierarchical address.
+func PortAddress(n int) Address {
+	return Address(byte(n+1)<<1 | 1)
+}
+
+// Port recovers the 0-based switch port from a unicast address.
+func (a Address) Port() int { return int(a>>1) - 1 }
+
+// MAPOS protocol numbers (RFC 2171 §5; NSP from RFC 2173).
+const (
+	ProtoIP  = 0x0021
+	ProtoNSP = 0xFE01
+)
+
+// Frame is a MAPOS frame: like PPP but the address octet selects the
+// destination node and there is no control octet in v1 — we keep the
+// UI control octet for P5 datapath compatibility (RFC 2171 frames do
+// carry 0x03 there too).
+type Frame struct {
+	Dest     Address
+	Protocol uint16
+	Payload  []byte
+}
+
+// NSP message types (simplified RFC 2173 exchange).
+const (
+	NSPAddressRequest = 1
+	NSPAddressAssign  = 2
+	NSPAddressRelease = 3
+	NSPAddressConfirm = 4
+)
+
+// NSP is one Node-Switch Protocol message.
+type NSP struct {
+	Type    byte
+	Address Address
+}
+
+// Marshal appends the 2-octet NSP encoding.
+func (m NSP) Marshal(dst []byte) []byte {
+	return append(dst, m.Type, byte(m.Address))
+}
+
+// ErrNSPFormat reports a malformed NSP payload.
+var ErrNSPFormat = errors.New("mapos: malformed NSP message")
+
+// ParseNSP decodes an NSP message.
+func ParseNSP(b []byte) (NSP, error) {
+	if len(b) < 2 {
+		return NSP{}, ErrNSPFormat
+	}
+	return NSP{Type: b[0], Address: Address(b[1])}, nil
+}

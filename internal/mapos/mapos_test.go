@@ -1,0 +1,164 @@
+package mapos
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAddressAlgebra(t *testing.T) {
+	if !Broadcast.IsBroadcast() || !Broadcast.IsGroup() || Broadcast.IsUnicast() {
+		t.Error("broadcast classification")
+	}
+	if !Unassigned.Valid() || Unassigned.IsUnicast() {
+		t.Error("unassigned classification")
+	}
+	a := PortAddress(0)
+	if !a.Valid() || !a.IsUnicast() || a.Port() != 0 {
+		t.Errorf("port 0 address %v", a)
+	}
+	for p := 0; p < 60; p++ {
+		ad := PortAddress(p)
+		if !ad.Valid() {
+			t.Fatalf("port %d address %v invalid", p, ad)
+		}
+		if ad.Port() != p {
+			t.Fatalf("port %d round trip gave %d", p, ad.Port())
+		}
+	}
+	if Address(0x84).Valid() {
+		t.Error("even addresses are invalid")
+	}
+	if !Address(0x85).IsGroup() {
+		t.Error("MSB marks group addresses")
+	}
+}
+
+func TestAddressString(t *testing.T) {
+	if PortAddress(1).String() != "0x05" {
+		t.Errorf("String = %s", PortAddress(1))
+	}
+}
+
+func TestNSPRoundTrip(t *testing.T) {
+	m := NSP{Type: NSPAddressAssign, Address: PortAddress(3)}
+	b := m.Marshal(nil)
+	got, err := ParseNSP(b)
+	if err != nil || got != m {
+		t.Errorf("round trip: %+v, %v", got, err)
+	}
+	if _, err := ParseNSP([]byte{1}); err != ErrNSPFormat {
+		t.Errorf("short NSP: %v", err)
+	}
+}
+
+func TestSwitchUnicastForwarding(t *testing.T) {
+	sw := NewSwitch(3)
+	var got [3][]*Frame
+	var src [3][]Address
+	for i := 0; i < 3; i++ {
+		i := i
+		sw.Attach(i, func(s Address, f *Frame) {
+			got[i] = append(got[i], f)
+			src[i] = append(src[i], s)
+		})
+	}
+	f := &Frame{Dest: PortAddress(2), Protocol: ProtoIP, Payload: []byte("x")}
+	sw.Ingress(0, f)
+	if len(got[2]) != 1 || len(got[1]) != 0 || len(got[0]) != 0 {
+		t.Fatalf("delivery counts: %d/%d/%d", len(got[0]), len(got[1]), len(got[2]))
+	}
+	if src[2][0] != PortAddress(0) {
+		t.Errorf("source address = %v", src[2][0])
+	}
+	if sw.Forwarded != 1 {
+		t.Errorf("Forwarded = %d", sw.Forwarded)
+	}
+}
+
+func TestSwitchBroadcastFloods(t *testing.T) {
+	sw := NewSwitch(4)
+	counts := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		sw.Attach(i, func(Address, *Frame) { counts[i]++ })
+	}
+	sw.Ingress(1, &Frame{Dest: Broadcast, Protocol: ProtoIP})
+	want := []int{1, 0, 1, 1} // every port except ingress
+	for i := range counts {
+		if counts[i] != want[i] {
+			t.Errorf("port %d got %d frames, want %d", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestSwitchDropsUnknownAndInvalid(t *testing.T) {
+	sw := NewSwitch(2)
+	sw.Attach(0, func(Address, *Frame) {})
+	sw.Attach(1, func(Address, *Frame) {})
+	sw.Ingress(0, &Frame{Dest: PortAddress(9), Protocol: ProtoIP}) // no such port
+	sw.Ingress(0, &Frame{Dest: Address(0x04), Protocol: ProtoIP})  // invalid (even)
+	sw.Ingress(0, &Frame{Dest: Unassigned, Protocol: ProtoIP})     // not unicast
+	if sw.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3", sw.Dropped)
+	}
+}
+
+func TestNSPAddressAcquisition(t *testing.T) {
+	sw := NewSwitch(2)
+	var nodes [2]*Node
+	for i := 0; i < 2; i++ {
+		i := i
+		nodes[i] = NewNode(
+			func(f *Frame) { sw.Ingress(i, f) },
+			nil,
+		)
+		sw.Attach(i, func(s Address, f *Frame) { nodes[i].Deliver(s, f) })
+	}
+	nodes[0].AcquireAddress()
+	nodes[1].AcquireAddress()
+	if nodes[0].Addr != PortAddress(0) {
+		t.Errorf("node 0 addr = %v, want %v", nodes[0].Addr, PortAddress(0))
+	}
+	if nodes[1].Addr != PortAddress(1) {
+		t.Errorf("node 1 addr = %v, want %v", nodes[1].Addr, PortAddress(1))
+	}
+	if sw.NSPHandled != 2 {
+		t.Errorf("NSPHandled = %d", sw.NSPHandled)
+	}
+}
+
+func TestEndToEndIPOverMAPOS(t *testing.T) {
+	const n = 3
+	sw := NewSwitch(n)
+	type rx struct {
+		src     Address
+		payload []byte
+	}
+	inbox := make([][]rx, n)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		i := i
+		nodes[i] = NewNode(
+			func(f *Frame) { sw.Ingress(i, f) },
+			func(s Address, p []byte) { inbox[i] = append(inbox[i], rx{s, p}) },
+		)
+		sw.Attach(i, func(s Address, f *Frame) { nodes[i].Deliver(s, f) })
+		nodes[i].AcquireAddress()
+	}
+	nodes[0].SendIP(nodes[2].Addr, []byte("hello node 2"))
+	nodes[2].SendIP(nodes[0].Addr, []byte("hi back"))
+	nodes[1].SendIP(Broadcast, []byte("to all"))
+
+	if len(inbox[2]) != 2 { // unicast + broadcast
+		t.Fatalf("node 2 inbox = %d", len(inbox[2]))
+	}
+	if !bytes.Equal(inbox[2][0].payload, []byte("hello node 2")) || inbox[2][0].src != nodes[0].Addr {
+		t.Errorf("node 2 first rx = %+v", inbox[2][0])
+	}
+	if len(inbox[0]) != 2 || !bytes.Equal(inbox[0][0].payload, []byte("hi back")) {
+		t.Errorf("node 0 inbox = %+v", inbox[0])
+	}
+	if len(inbox[1]) != 0 {
+		t.Errorf("node 1 must not see unicast traffic: %+v", inbox[1])
+	}
+}

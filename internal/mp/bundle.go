@@ -1,0 +1,238 @@
+package mp
+
+// Sender fragments datagrams across the member links of a bundle.
+type Sender struct {
+	// Format selects short or long sequence numbers.
+	Format SeqFormat
+	// Links transmit one fragment each toward the peer; fragments are
+	// spread round-robin. At least one required.
+	Links []func(frag []byte)
+	// MaxFrag bounds the data octets per fragment (default 512).
+	MaxFrag int
+
+	seq  uint32
+	next int // round-robin cursor
+
+	// Counters.
+	Packets, Fragments uint64
+}
+
+func (s *Sender) maxFrag() int {
+	if s.MaxFrag <= 0 {
+		return 512
+	}
+	return s.MaxFrag
+}
+
+// Send fragments one datagram across the bundle.
+func (s *Sender) Send(p []byte) {
+	s.Packets++
+	first := true
+	for {
+		n := s.maxFrag()
+		if n > len(p) {
+			n = len(p)
+		}
+		frag := Fragment{
+			Begin: first,
+			End:   n == len(p),
+			Seq:   s.seq & s.Format.Mask(),
+			Data:  p[:n],
+		}
+		s.seq++
+		s.Fragments++
+		link := s.Links[s.next%len(s.Links)]
+		s.next++
+		link(frag.Marshal(nil, s.Format))
+		first = false
+		p = p[n:]
+		if frag.End {
+			return
+		}
+	}
+}
+
+// Receiver reassembles fragments arriving over the member links, in any
+// cross-link interleaving (each link delivers in order). Loss detection
+// follows RFC 1990 §4: every link tracks the newest sequence number it
+// has delivered; the bundle minimum M proves that any still-missing
+// fragment with sequence ≤ M was lost, and the packets it intersects
+// are discarded.
+type Receiver struct {
+	// Format must match the sender.
+	Format SeqFormat
+	// NLinks is the member-link count (loss is only ever declared once
+	// every link has delivered at least one fragment).
+	NLinks int
+	// Deliver receives each reassembled datagram.
+	Deliver func([]byte)
+
+	frags    map[uint32]Fragment
+	lastSeq  []uint32
+	seen     []bool
+	expected uint32
+	anchored bool
+
+	// Counters.
+	Delivered, Lost uint64
+}
+
+// Receive accepts one fragment that arrived on the given member link.
+func (r *Receiver) Receive(link int, raw []byte) error {
+	f, err := Parse(raw, r.Format)
+	if err != nil {
+		return err
+	}
+	if r.frags == nil {
+		n := r.NLinks
+		if n < 1 {
+			n = 1
+		}
+		r.frags = make(map[uint32]Fragment)
+		r.lastSeq = make([]uint32, n)
+		r.seen = make([]bool, n)
+	}
+	if link >= 0 && link < len(r.lastSeq) {
+		r.lastSeq[link] = f.Seq
+		r.seen[link] = true
+	}
+	mask := r.Format.Mask()
+	if !r.anchored {
+		// Synchronisation: buffer everything until every member link
+		// has been heard from. Links deliver in order, so once all
+		// have spoken nothing below the oldest buffered sequence can
+		// ever arrive — that is the anchor.
+		r.frags[f.Seq] = f
+		for _, ok := range r.seen {
+			if !ok {
+				return nil
+			}
+		}
+		first := true
+		for s := range r.frags {
+			if first || seqLess(s, r.expected, mask) {
+				r.expected = s
+				first = false
+			}
+		}
+		r.anchored = true
+		r.drain()
+		return nil
+	}
+	if seqLess(f.Seq, r.expected, mask) {
+		return nil // stale: before the consumption point
+	}
+	r.frags[f.Seq] = f
+	r.drain()
+	return nil
+}
+
+// minSeq returns the bundle's M and whether it is defined yet.
+func (r *Receiver) minSeq() (uint32, bool) {
+	mask := r.Format.Mask()
+	var m uint32
+	have := false
+	for i, ok := range r.seen {
+		if !ok {
+			return 0, false // an idle link can still deliver anything
+		}
+		if !have || seqLess(r.lastSeq[i], m, mask) {
+			m = r.lastSeq[i]
+			have = true
+		}
+	}
+	return m, have
+}
+
+// lostForever reports whether a missing fragment with sequence s can be
+// declared lost: s ≤ M.
+func (r *Receiver) lostForever(s uint32) bool {
+	m, ok := r.minSeq()
+	if !ok {
+		return false
+	}
+	mask := r.Format.Mask()
+	return s == m || seqLess(s, m, mask)
+}
+
+// drain consumes packets from the expected pointer, discarding those
+// proven broken.
+func (r *Receiver) drain() {
+	mask := r.Format.Mask()
+	for {
+		f, ok := r.frags[r.expected&mask]
+		switch {
+		case ok && f.Begin:
+			// Walk the run.
+			seq := r.expected
+			complete := false
+			for {
+				g, present := r.frags[seq&mask]
+				if !present {
+					break
+				}
+				if g.End {
+					complete = true
+					break
+				}
+				seq++
+			}
+			if complete {
+				var out []byte
+				for s := r.expected; ; s++ {
+					g := r.frags[s&mask]
+					out = append(out, g.Data...)
+					delete(r.frags, s&mask)
+					if s == seq {
+						break
+					}
+				}
+				r.expected = (seq + 1) & mask
+				r.Delivered++
+				if r.Deliver != nil {
+					r.Deliver(out)
+				}
+				continue
+			}
+			// Missing fragment at seq (first absent position).
+			if !r.lostForever(seq & mask) {
+				return // may still arrive
+			}
+			r.discardPacket()
+		case ok: // mid-packet fragment at the head position
+			// Its packet head has sequence < expected; it can still
+			// arrive only while some link could deliver that range.
+			if !r.lostForever((r.expected - 1) & mask) {
+				return
+			}
+			r.discardPacket()
+		default: // hole at the head position
+			if !r.lostForever(r.expected & mask) {
+				return
+			}
+			r.discardPacket()
+		}
+	}
+}
+
+// discardPacket drops fragments (and proven holes) from the expected
+// pointer forward until the next packet head, counting one lost packet.
+func (r *Receiver) discardPacket() {
+	mask := r.Format.Mask()
+	r.Lost++
+	for {
+		delete(r.frags, r.expected&mask)
+		r.expected = (r.expected + 1) & mask
+		if f, ok := r.frags[r.expected&mask]; ok {
+			if f.Begin {
+				return
+			}
+			continue // part of the same broken packet
+		}
+		// Hole: stop discarding unless it too is proven lost (it then
+		// belongs to this or another broken packet).
+		if !r.lostForever(r.expected & mask) {
+			return
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package mp implements the PPP Multilink Protocol (RFC 1990): splitting
+// datagrams into sequenced fragments spread across the member links of a
+// bundle and reassembling them at the far end. In the paper's setting
+// this is how several STM-4 P5 channels aggregate toward a higher-rate
+// pipe when a single STM-16 interface is not available.
+package mp
+
+import "errors"
+
+// Proto is the PPP protocol number for multilink fragments.
+const Proto = 0x003D
+
+// Fragment header flag bits (first octet).
+const (
+	flagBegin = 0x80 // B: first fragment of a packet
+	flagEnd   = 0x40 // E: last fragment of a packet
+)
+
+// SeqFormat selects the fragment header size.
+type SeqFormat int
+
+// The two negotiable header formats (LCP option 18 selects short).
+const (
+	// LongSeq is the default 4-octet header with a 24-bit sequence.
+	LongSeq SeqFormat = iota
+	// ShortSeq is the 2-octet header with a 12-bit sequence.
+	ShortSeq
+)
+
+// Mask returns the sequence-number modulus mask.
+func (f SeqFormat) Mask() uint32 {
+	if f == ShortSeq {
+		return 0xFFF
+	}
+	return 0xFFFFFF
+}
+
+// HeaderLen returns the fragment header size in octets.
+func (f SeqFormat) HeaderLen() int {
+	if f == ShortSeq {
+		return 2
+	}
+	return 4
+}
+
+// Fragment is one multilink fragment.
+type Fragment struct {
+	Begin, End bool
+	Seq        uint32
+	Data       []byte
+}
+
+// Marshal appends the wire encoding (header + data).
+func (f *Fragment) Marshal(dst []byte, fmt SeqFormat) []byte {
+	var b0 byte
+	if f.Begin {
+		b0 |= flagBegin
+	}
+	if f.End {
+		b0 |= flagEnd
+	}
+	if fmt == ShortSeq {
+		dst = append(dst, b0|byte(f.Seq>>8&0x0F), byte(f.Seq))
+	} else {
+		dst = append(dst, b0, byte(f.Seq>>16), byte(f.Seq>>8), byte(f.Seq))
+	}
+	return append(dst, f.Data...)
+}
+
+// ErrShortFragment reports a fragment too small to hold its header.
+var ErrShortFragment = errors.New("mp: fragment shorter than header")
+
+// Parse decodes a fragment.
+func Parse(b []byte, fmt SeqFormat) (Fragment, error) {
+	var f Fragment
+	n := fmt.HeaderLen()
+	if len(b) < n {
+		return f, ErrShortFragment
+	}
+	f.Begin = b[0]&flagBegin != 0
+	f.End = b[0]&flagEnd != 0
+	if fmt == ShortSeq {
+		f.Seq = uint32(b[0]&0x0F)<<8 | uint32(b[1])
+	} else {
+		f.Seq = uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	}
+	f.Data = b[n:]
+	return f, nil
+}
+
+// seqLess compares sequence numbers modulo the format's space.
+func seqLess(a, b, mask uint32) bool {
+	return (b-a)&mask < mask/2 && a != b
+}

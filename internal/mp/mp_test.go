@@ -1,0 +1,216 @@
+package mp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFragmentCodec(t *testing.T) {
+	for _, format := range []SeqFormat{LongSeq, ShortSeq} {
+		f := func(begin, end bool, seq uint32, data []byte) bool {
+			fr := Fragment{Begin: begin, End: end, Seq: seq & format.Mask(), Data: data}
+			got, err := Parse(fr.Marshal(nil, format), format)
+			if err != nil {
+				return false
+			}
+			return got.Begin == fr.Begin && got.End == fr.End &&
+				got.Seq == fr.Seq && bytes.Equal(got.Data, fr.Data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("format %v: %v", format, err)
+		}
+	}
+	if _, err := Parse([]byte{0x80}, LongSeq); err != ErrShortFragment {
+		t.Error("short fragment accepted")
+	}
+}
+
+func TestSeqLess(t *testing.T) {
+	if !seqLess(1, 2, 0xFFF) || seqLess(2, 1, 0xFFF) || seqLess(5, 5, 0xFFF) {
+		t.Error("basic ordering")
+	}
+	// Wraparound: 0xFFE < 0x001 modulo 12 bits.
+	if !seqLess(0xFFE, 0x001, 0xFFF) {
+		t.Error("wraparound ordering")
+	}
+}
+
+// bundle wires a sender to a receiver over n in-order member links with
+// controllable interleaving.
+type bundle struct {
+	s     *Sender
+	r     *Receiver
+	links [][][]byte // per-link queues of fragments
+	got   [][]byte
+}
+
+func newBundle(n int, format SeqFormat, maxFrag int) *bundle {
+	b := &bundle{links: make([][][]byte, n)}
+	b.s = &Sender{Format: format, MaxFrag: maxFrag}
+	for i := 0; i < n; i++ {
+		i := i
+		b.s.Links = append(b.s.Links, func(frag []byte) {
+			b.links[i] = append(b.links[i], append([]byte(nil), frag...))
+		})
+	}
+	b.r = &Receiver{Format: format, NLinks: n, Deliver: func(p []byte) {
+		b.got = append(b.got, append([]byte(nil), p...))
+	}}
+	return b
+}
+
+// shuttle delivers queued fragments; order across links controlled by
+// pick.
+func (b *bundle) shuttle(pick func(nonEmpty []int) int) {
+	for {
+		var nonEmpty []int
+		for i := range b.links {
+			if len(b.links[i]) > 0 {
+				nonEmpty = append(nonEmpty, i)
+			}
+		}
+		if len(nonEmpty) == 0 {
+			return
+		}
+		i := nonEmpty[pick(nonEmpty)]
+		frag := b.links[i][0]
+		b.links[i] = b.links[i][1:]
+		b.r.Receive(i, frag)
+	}
+}
+
+func roundRobin(nonEmpty []int) int { return 0 }
+
+func TestSingleLinkReassembly(t *testing.T) {
+	b := newBundle(1, LongSeq, 16)
+	payload := bytes.Repeat([]byte{0xAB}, 100) // 7 fragments
+	b.s.Send(payload)
+	b.shuttle(roundRobin)
+	if len(b.got) != 1 || !bytes.Equal(b.got[0], payload) {
+		t.Fatalf("got %d packets", len(b.got))
+	}
+	if b.s.Fragments != 7 {
+		t.Errorf("fragments = %d", b.s.Fragments)
+	}
+}
+
+func TestMultiLinkInterleavedArrival(t *testing.T) {
+	for _, format := range []SeqFormat{LongSeq, ShortSeq} {
+		rng := rand.New(rand.NewSource(3))
+		b := newBundle(4, format, 32)
+		var want [][]byte
+		for i := 0; i < 20; i++ {
+			p := make([]byte, 10+rng.Intn(300))
+			rng.Read(p)
+			want = append(want, p)
+			b.s.Send(p)
+		}
+		// Arbitrary cross-link interleaving (each link stays in order).
+		b.shuttle(func(nonEmpty []int) int { return rng.Intn(len(nonEmpty)) })
+		if len(b.got) != len(want) {
+			t.Fatalf("format %v: delivered %d/%d", format, len(b.got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(b.got[i], want[i]) {
+				t.Fatalf("format %v: packet %d mismatch", format, i)
+			}
+		}
+	}
+}
+
+func TestTinyPacketsOneFragmentEach(t *testing.T) {
+	b := newBundle(3, ShortSeq, 512)
+	for i := 0; i < 9; i++ {
+		b.s.Send([]byte{byte(i)})
+	}
+	b.shuttle(roundRobin)
+	if len(b.got) != 9 {
+		t.Fatalf("delivered %d", len(b.got))
+	}
+	for i, p := range b.got {
+		if p[0] != byte(i) {
+			t.Fatal("order broken")
+		}
+	}
+	if b.s.Fragments != 9 {
+		t.Errorf("fragments = %d (1 per packet expected)", b.s.Fragments)
+	}
+}
+
+func TestLostFragmentDiscardsOnlyThatPacket(t *testing.T) {
+	b := newBundle(2, LongSeq, 16)
+	p1 := bytes.Repeat([]byte{1}, 40) // frags 0,1,2
+	p2 := bytes.Repeat([]byte{2}, 40) // frags 3,4,5
+	p3 := bytes.Repeat([]byte{3}, 40) // frags 6,7,8
+	b.s.Send(p1)
+	b.s.Send(p2)
+	b.s.Send(p3)
+	// Drop one mid fragment of p2 (seq 4, second fragment → link 0
+	// queue position: round robin 0,1,0,1,... seq4 → link 0, index 2).
+	b.links[0] = append(b.links[0][:2], b.links[0][3:]...)
+	b.shuttle(roundRobin)
+	// p1 delivered; p2 unresolvable until the gap is proven — feed
+	// filler traffic to advance the window.
+	for i := 0; i < 40; i++ {
+		b.s.Send([]byte{9})
+	}
+	b.shuttle(roundRobin)
+	if len(b.got) < 2 {
+		t.Fatalf("delivered %d packets", len(b.got))
+	}
+	if !bytes.Equal(b.got[0], p1) {
+		t.Error("p1 mangled")
+	}
+	for _, p := range b.got {
+		if bytes.Equal(p, p2) {
+			t.Fatal("p2 delivered despite losing a fragment")
+		}
+	}
+	// p3 must be among the delivered packets.
+	found := false
+	for _, p := range b.got {
+		if bytes.Equal(p, p3) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("p3 lost along with p2")
+	}
+	if b.r.Lost == 0 {
+		t.Error("loss not counted")
+	}
+}
+
+func TestSequenceWraparoundShortFormat(t *testing.T) {
+	b := newBundle(2, ShortSeq, 64)
+	// Push enough packets to wrap the 12-bit space.
+	rng := rand.New(rand.NewSource(8))
+	total := 0
+	for i := 0; i < 5000; i++ {
+		p := make([]byte, 1+rng.Intn(100))
+		rng.Read(p)
+		b.s.Send(p)
+		total++
+		if i%50 == 0 {
+			b.shuttle(roundRobin)
+		}
+	}
+	b.shuttle(roundRobin)
+	if len(b.got) != total {
+		t.Fatalf("delivered %d/%d across wraparound", len(b.got), total)
+	}
+}
+
+func TestReceiverIgnoresPreSyncMidFragments(t *testing.T) {
+	r := &Receiver{Format: LongSeq, NLinks: 1}
+	// A mid-packet fragment before any Begin: ignored, no panic.
+	f := Fragment{Seq: 5, Data: []byte{1}}
+	if err := r.Receive(0, f.Marshal(nil, LongSeq)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Delivered != 0 {
+		t.Error("phantom delivery")
+	}
+}

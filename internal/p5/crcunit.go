@@ -1,0 +1,186 @@
+package p5
+
+import (
+	"repro/internal/crc"
+	"repro/internal/rtl"
+)
+
+// fcsCore wraps the parallel matrix CRC engines for every lane count the
+// datapath can present (1..W octets per clock), in both FCS sizes. This
+// is the paper's "highly efficient and optimised parallel CRC core": the
+// 8-bit P5 uses the 8×32 matrix, the 32-bit P5 the 32×32 matrix, and the
+// partial final word of a frame uses the narrower matrices.
+type fcsCore struct {
+	mode crc.Size
+	e32  []*crc.Parallel32 // e32[n] consumes n octets per step
+	e16  []*crc.Parallel16
+	st32 uint32
+	st16 uint16
+}
+
+func newFCSCore(w int, mode crc.Size) *fcsCore {
+	if mode == 0 {
+		mode = crc.FCS32Mode
+	}
+	c := &fcsCore{mode: mode}
+	c.e32 = make([]*crc.Parallel32, w+1)
+	c.e16 = make([]*crc.Parallel16, w+1)
+	for n := 1; n <= w; n++ {
+		c.e32[n] = crc.NewParallel32(8 * n)
+		c.e16[n] = crc.NewParallel16(8 * n)
+	}
+	c.reset()
+	return c
+}
+
+func (c *fcsCore) reset() {
+	c.st32 = crc.Init32
+	c.st16 = crc.Init16
+}
+
+// step consumes one flit's octets in a single (simulated) clock.
+func (c *fcsCore) step(f rtl.Flit) {
+	if f.N == 0 {
+		return
+	}
+	if c.mode == crc.FCS16Mode {
+		c.st16 = c.e16[f.N].Step(c.st16, f.Data)
+	} else {
+		c.st32 = c.e32[f.N].Step(c.st32, f.Data)
+	}
+}
+
+// fcsBytes returns the complemented FCS field, LSB first.
+func (c *fcsCore) fcsBytes() []byte {
+	if c.mode == crc.FCS16Mode {
+		v := c.st16 ^ 0xFFFF
+		return []byte{byte(v), byte(v >> 8)}
+	}
+	v := c.st32 ^ 0xFFFFFFFF
+	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}
+
+// good reports whether the register sits on the magic residue (receiver
+// side, after the FCS octets themselves have been folded in).
+func (c *fcsCore) good() bool {
+	if c.mode == crc.FCS16Mode {
+		return c.st16 == crc.Good16
+	}
+	return c.st32 == crc.Good32
+}
+
+// TxCRC is the transmitter CRC unit: it computes the FCS over the frame
+// body W octets per clock as the body streams through, then appends the
+// complemented FCS octets behind the payload.
+type TxCRC struct {
+	In  *rtl.Wire
+	Out *rtl.Wire
+
+	W    int
+	Mode crc.Size
+
+	core *fcsCore
+	// FCS octets still to transmit; non-empty means the unit is in the
+	// append phase and upstream naturally stalls.
+	pending []byte
+
+	Frames uint64
+}
+
+// Eval implements rtl.Module.
+func (t *TxCRC) Eval() {
+	if t.core == nil {
+		t.core = newFCSCore(t.W, t.Mode)
+	}
+	if len(t.pending) > 0 {
+		if !t.Out.CanPush() {
+			return
+		}
+		n := t.W
+		if n > len(t.pending) {
+			n = len(t.pending)
+		}
+		f := rtl.FlitOf(t.pending[:n])
+		t.pending = t.pending[n:]
+		f.EOF = len(t.pending) == 0
+		t.Out.Push(f)
+		return
+	}
+	f, ok := t.In.Peek()
+	if !ok {
+		return
+	}
+	if !t.Out.CanPush() {
+		return
+	}
+	t.In.Take()
+	if f.SOF {
+		t.core.reset()
+	}
+	t.core.step(f)
+	if f.EOF {
+		t.pending = t.core.fcsBytes()
+		t.Frames++
+		f.EOF = false
+		if f.Err || f.Abort {
+			// Aborted upstream: emit no FCS, pass the abort mark.
+			t.pending = nil
+			f.EOF = true
+		}
+	}
+	t.Out.Push(f)
+}
+
+// Tick implements rtl.Module.
+func (t *TxCRC) Tick() {}
+
+// Busy reports whether FCS octets are still queued.
+func (t *TxCRC) Busy() bool { return len(t.pending) > 0 }
+
+// RxCRC is the receiver CRC unit: it folds every frame octet (FCS
+// included) into the running register and, at end of frame, verifies the
+// magic residue, tagging the frame in error on mismatch.
+type RxCRC struct {
+	In  *rtl.Wire
+	Out *rtl.Wire
+
+	W    int
+	Mode crc.Size
+
+	core *fcsCore
+
+	Frames    uint64
+	FCSErrors uint64
+}
+
+// Eval implements rtl.Module.
+func (r *RxCRC) Eval() {
+	if r.core == nil {
+		r.core = newFCSCore(r.W, r.Mode)
+	}
+	f, ok := r.In.Peek()
+	if !ok {
+		return
+	}
+	if !r.Out.CanPush() {
+		return
+	}
+	r.In.Take()
+	if f.SOF {
+		r.core.reset()
+	}
+	r.core.step(f)
+	if f.EOF {
+		r.Frames++
+		if !f.Err && !f.Abort && !r.core.good() {
+			f.Err = true
+			r.FCSErrors++
+		}
+		// Re-arm for frames whose SOF flit was lost to an overrun.
+		r.core.reset()
+	}
+	r.Out.Push(f)
+}
+
+// Tick implements rtl.Module.
+func (r *RxCRC) Tick() {}

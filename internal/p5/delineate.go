@@ -1,0 +1,120 @@
+package p5
+
+import (
+	"repro/internal/hdlc"
+	"repro/internal/rtl"
+)
+
+// Delineator is the receiver's frame-alignment front end: it hunts for
+// flag octets in the raw line word stream — a flag can sit in any lane,
+// the condition that forces the 32-bit receiver's sorting logic — and
+// carves out the stuffed frame content between flags, detecting aborts
+// (escape immediately followed by flag).
+//
+// A PHY cannot be stalled, so the delineator takes a word every cycle it
+// is offered one; if its small buffer overflows because downstream is
+// stalled, octets are dropped and the damaged frame is marked in error
+// (the Overruns counter records it).
+type Delineator struct {
+	In  *rtl.Wire // raw line words from the PHY
+	Out *rtl.Wire // stuffed frame content, SOF/EOF/Err marked
+
+	// W is the datapath width in octets.
+	W int
+	// BufCap bounds the internal buffer; zero selects 8W.
+	BufCap int
+
+	fifo    tagFIFO
+	inFrame bool
+	content int  // content octets seen in the current frame
+	lastEsc bool // previous content octet was an escape
+	dropped bool // current frame suffered an overrun
+
+	// Counters surfaced through the OAM.
+	FlagsSeen uint64
+	Frames    uint64
+	Aborts    uint64
+	Overruns  uint64
+}
+
+func (dl *Delineator) bufCap() int {
+	if dl.BufCap == 0 {
+		return 8 * dl.W
+	}
+	return dl.BufCap
+}
+
+// Busy reports whether frame content is still buffered.
+func (dl *Delineator) Busy() bool { return dl.fifo.Len() > 0 }
+
+// Eval implements rtl.Module.
+func (dl *Delineator) Eval() {
+	dl.evalOutput()
+	f, ok := dl.In.Take() // never refuse the PHY
+	if !ok {
+		return
+	}
+	for i := 0; i < f.N; i++ {
+		dl.octet(f.Byte(i))
+	}
+}
+
+func (dl *Delineator) octet(b byte) {
+	if b == hdlc.Flag {
+		dl.FlagsSeen++
+		if dl.inFrame && dl.content > 0 {
+			dl.closeFrame()
+		}
+		dl.inFrame = true
+		dl.content = 0
+		dl.lastEsc = false
+		dl.dropped = false
+		return
+	}
+	if !dl.inFrame {
+		return // inter-frame fill / pre-alignment garbage
+	}
+	if dl.fifo.Len() >= dl.bufCap() {
+		dl.Overruns++
+		dl.dropped = true
+		dl.content++
+		return
+	}
+	t := tagByte{b: b, sof: dl.content == 0}
+	dl.fifo.Push(t)
+	dl.content++
+	dl.lastEsc = b == hdlc.Escape
+}
+
+func (dl *Delineator) closeFrame() {
+	abort := dl.lastEsc
+	if abort {
+		// Abort sequence: the frame was deliberately cancelled.
+		dl.Aborts++
+	}
+	dl.Frames++
+	dl.fifo.Push(tagByte{mark: true, err: dl.dropped, abort: abort})
+}
+
+// evalOutput drains buffered content downstream, cutting at frame ends.
+func (dl *Delineator) evalOutput() {
+	f, take, ok := packWord(&dl.fifo, dl.W)
+	if !ok {
+		return
+	}
+	if !f.EOF && f.N < dl.W {
+		// Mid-frame partial word: wait for more line octets unless the
+		// line has gone quiet.
+		if _, more := dl.In.Peek(); more {
+			return
+		}
+	}
+	if !dl.Out.CanPush() {
+		return
+	}
+	dl.fifo.Pop(take)
+	dl.Out.Push(f)
+}
+
+// Tick implements rtl.Module.
+func (dl *Delineator) Tick() {}

@@ -1,0 +1,23 @@
+// Package p5 is the cycle-accurate model of the paper's contribution: the
+// Programmable Point-to-Point-Protocol Packet Processor (P5), a pipelined
+// PPP framer/deframer processing one datapath word per clock.
+//
+// The model is built on the rtl kernel and mirrors the paper's block
+// structure exactly (Figures 2-4):
+//
+//	Transmitter:  Control (framing FSM) → CRC unit → Escape Generate → PHY
+//	Receiver:     PHY → Delineate → Escape Detect → CRC check → Control
+//	Protocol OAM: control/status register file + interrupts
+//
+// Width is parameterised: W = 1 octet per clock is the paper's 8-bit P5
+// (625 Mbps at 78.125 MHz), W = 4 is the 32-bit P5 (2.5 Gbps). The
+// Escape Generate/Detect units embody the paper's novel pipelined byte
+// sorter: on the 32-bit datapath a flag can occupy any of four lanes, so
+// stuffing expands a word to up to eight octets (Figure 5) and
+// destuffing leaves bubbles (Figure 6); a four-stage pipeline with a
+// small resynchronisation buffer and upstream backpressure keeps the
+// stream continuous after a 4-cycle fill.
+//
+// Byte-exact correctness of the whole datapath is verified against the
+// software reference in packages hdlc and ppp.
+package p5

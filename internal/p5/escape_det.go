@@ -1,0 +1,283 @@
+package p5
+
+import (
+	"repro/internal/hdlc"
+	"repro/internal/rtl"
+)
+
+// tagByte is one entry in a receive-side resynchronisation buffer:
+// either a frame octet (with its start-of-frame tag) or an end-of-frame
+// marker. Markers travel in-band so frame boundaries can never be lost
+// or reordered, whatever the cycle-level interleaving.
+type tagByte struct {
+	b     byte
+	sof   bool
+	mark  bool // end-of-frame marker entry (b unused)
+	err   bool // valid on markers: frame damaged
+	abort bool // valid on markers: frame deliberately aborted
+}
+
+// tagFIFO is the receive-side resynchronisation buffer.
+type tagFIFO struct {
+	buf       []tagByte
+	head      int
+	HighWater int
+}
+
+func (q *tagFIFO) Len() int { return len(q.buf) - q.head }
+
+func (q *tagFIFO) Push(t ...tagByte) {
+	q.buf = append(q.buf, t...)
+	if n := q.Len(); n > q.HighWater {
+		q.HighWater = n
+	}
+}
+
+func (q *tagFIFO) Peek(i int) tagByte { return q.buf[q.head+i] }
+
+func (q *tagFIFO) Pop(n int) []tagByte {
+	if n > q.Len() {
+		n = q.Len()
+	}
+	p := q.buf[q.head : q.head+n]
+	q.head += n
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return p
+}
+
+// EscapeDetect is the Escape Detect unit of the P5 receiver: it removes
+// octet stuffing from the delineated frame-content stream. On the W-octet
+// datapath a removed escape leaves a bubble in the word (paper Figure 6);
+// the four-stage sorter collapses bubbles through the resynchronisation
+// buffer and re-emits dense W-octet words.
+//
+//	stage A  detect — find escape octets in every lane;
+//	stage B  remove — delete escapes, XOR the following octet with 0x20
+//	                  (the escape may straddle a word boundary);
+//	stage C  merge  — pour surviving octets into the buffer;
+//	stage D  output — re-align into dense words, never mixing frames.
+//
+// For W == 1 the unit degenerates to the classic 8-bit design: deleting
+// an escape simply produces no output for one clock.
+type EscapeDetect struct {
+	In  *rtl.Wire // stuffed frame content (SOF/EOF marked, no flags)
+	Out *rtl.Wire // destuffed frame content, dense words
+
+	// W is the datapath width in octets.
+	W int
+	// BufCap is the resynchronisation buffer capacity in octets; the
+	// zero value selects 4W.
+	BufCap int
+
+	stA, stB detStage
+	fifo     tagFIFO
+	esc      bool // escape pending across a word boundary
+	sofPend  bool // tag next surviving octet as frame start
+
+	// Counters surfaced through the OAM.
+	Removed     uint64 // escape octets removed
+	Frames      uint64 // frames completed
+	InputStalls uint64
+}
+
+type detStage struct {
+	valid    bool
+	flit     rtl.Flit
+	mask     uint8 // lanes holding escape octets
+	out      [8]tagByte
+	outN     int
+	sof, eof bool
+	err      bool
+	abort    bool
+}
+
+func (s *detStage) committed() int {
+	if !s.valid {
+		return 0
+	}
+	return s.flit.N // upper bound; removal only shrinks it
+}
+
+func (d *EscapeDetect) bufCap() int {
+	if d.BufCap == 0 {
+		return 4 * d.W
+	}
+	return d.BufCap
+}
+
+// Occupancy returns the current buffer fill.
+func (d *EscapeDetect) Occupancy() int { return d.fifo.Len() }
+
+// HighWater returns the maximum buffer occupancy observed.
+func (d *EscapeDetect) HighWater() int { return d.fifo.HighWater }
+
+// Busy reports whether any octet is still inside the unit.
+func (d *EscapeDetect) Busy() bool {
+	return d.stA.valid || d.stB.valid || d.fifo.Len() > 0
+}
+
+// Eval implements rtl.Module.
+func (d *EscapeDetect) Eval() {
+	d.evalOutput() // stage D
+	if d.W == 1 {
+		if st, ok := d.take(); ok {
+			d.remove(&st)
+			d.merge(&st)
+		}
+		return
+	}
+	if d.stB.valid { // stage C
+		d.merge(&d.stB)
+		d.stB.valid = false
+	}
+	if d.stA.valid && !d.stB.valid { // stage B
+		d.stB = d.stA
+		d.remove(&d.stB)
+		d.stA.valid = false
+	}
+	if !d.stA.valid { // stage A
+		if st, ok := d.take(); ok {
+			d.stA = st
+		}
+	}
+}
+
+// take is stage A.
+func (d *EscapeDetect) take() (detStage, bool) {
+	f, ok := d.In.Peek()
+	if !ok {
+		return detStage{}, false
+	}
+	if d.fifo.Len()+d.stA.committed()+d.stB.committed()+f.N > d.bufCap() {
+		d.InputStalls++
+		return detStage{}, false
+	}
+	d.In.Take()
+	st := detStage{valid: true, flit: f, sof: f.SOF, eof: f.EOF, err: f.Err, abort: f.Abort}
+	for i := 0; i < f.N; i++ {
+		if f.Byte(i) == hdlc.Escape {
+			st.mask |= 1 << uint(i)
+		}
+	}
+	return st, true
+}
+
+// remove is stage B: delete escapes and restore the escaped octets. The
+// escape-pending state carries across word boundaries.
+func (d *EscapeDetect) remove(st *detStage) {
+	n := 0
+	sofPend := st.sof
+	for i := 0; i < st.flit.N; i++ {
+		b := st.flit.Byte(i)
+		if d.esc {
+			st.out[n] = tagByte{b: b ^ hdlc.XorBit, sof: sofPend}
+			sofPend = false
+			n++
+			d.esc = false
+			continue
+		}
+		if b == hdlc.Escape {
+			d.esc = true
+			d.Removed++
+			continue
+		}
+		st.out[n] = tagByte{b: b, sof: sofPend}
+		sofPend = false
+		n++
+	}
+	if st.eof {
+		d.esc = false // a dangling escape at end of frame is malformed
+	}
+	st.outN = n
+	// Frame start that survived no octets this word: defer the tag.
+	st.sof = sofPend
+}
+
+// merge is stage C: pour surviving octets (and the in-band end-of-frame
+// marker) into the buffer.
+func (d *EscapeDetect) merge(st *detStage) {
+	if st.sof {
+		d.sofPend = true
+	}
+	for i := 0; i < st.outN; i++ {
+		t := st.out[i]
+		if d.sofPend {
+			t.sof = true
+			d.sofPend = false
+		}
+		d.fifo.Push(t)
+	}
+	if st.eof {
+		d.fifo.Push(tagByte{mark: true, err: st.err, abort: st.abort})
+		d.sofPend = false
+		d.Frames++
+	}
+}
+
+// evalOutput is stage D: emit dense words, cutting at frame boundaries.
+func (d *EscapeDetect) evalOutput() {
+	f, take, ok := packWord(&d.fifo, d.W)
+	if !ok {
+		return
+	}
+	if !f.EOF && f.N < d.W {
+		// Partial word and no frame end in sight: emit only if the
+		// pipeline behind is empty (the stream has paused).
+		if d.stA.valid || d.stB.valid {
+			return
+		}
+		if _, more := d.In.Peek(); more {
+			return
+		}
+	}
+	if !d.Out.CanPush() {
+		return
+	}
+	d.fifo.Pop(take)
+	d.Out.Push(f)
+}
+
+// packWord assembles up to w data octets from the front of q into a
+// flit, stopping at (and consuming) an end-of-frame marker. It returns
+// the flit, the number of entries it spans, and whether anything is
+// available.
+func packWord(q *tagFIFO, w int) (rtl.Flit, int, bool) {
+	n := q.Len()
+	if n == 0 {
+		return rtl.Flit{}, 0, false
+	}
+	var f rtl.Flit
+	take := 0
+	for take < n && f.N < w {
+		t := q.Peek(take)
+		if t.mark {
+			f.EOF = true
+			f.Err = f.Err || t.err
+			f.Abort = f.Abort || t.abort
+			take++
+			break
+		}
+		f.SetByte(f.N, t.b)
+		if t.sof {
+			f.SOF = true
+		}
+		f.N++
+		take++
+	}
+	if f.N == w && take < n && q.Peek(take).mark {
+		// The marker immediately follows a full word: take it too, so
+		// full-word frame tails still carry their EOF.
+		t := q.Peek(take)
+		f.EOF = true
+		f.Err = f.Err || t.err
+		f.Abort = f.Abort || t.abort
+		take++
+	}
+	return f, take, true
+}
+
+// Tick implements rtl.Module.
+func (d *EscapeDetect) Tick() {}

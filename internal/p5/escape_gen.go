@@ -1,0 +1,269 @@
+package p5
+
+import (
+	"math/bits"
+
+	"repro/internal/hdlc"
+	"repro/internal/rtl"
+)
+
+// EscapeGen is the Escape Generate unit: it byte-stuffs the frame-body
+// stream and delimits frames with flags, producing the raw line byte
+// stream in W-octet words.
+//
+// For W > 1 it is the paper's four-stage pipelined byte sorter:
+//
+//	stage A  detect — compare every lane against 0x7E/0x7D (and the
+//	                  programmable ACCM);
+//	stage B  expand — rewrite the word into up to 2W octets, inserting
+//	                  0x7D and XORing flagged lanes with 0x20;
+//	stage C  merge  — pour the expanded octets, plus frame-delimiting
+//	                  flags, into the resynchronisation buffer;
+//	stage D  output — drain the buffer W octets per clock.
+//
+// The resynchronisation buffer is deliberately small; when the octets
+// already committed to it could exceed its capacity, the unit refuses to
+// take input — the backpressure scheme the paper introduces to keep
+// on-chip memory low. For W == 1 (the 8-bit P5) detect/expand/merge
+// collapse into a single cycle and an escape simply holds the input for
+// one extra clock, the classic 8-bit design the paper contrasts against.
+type EscapeGen struct {
+	In  *rtl.Wire // frame body flits (SOF/EOF marked, FCS included)
+	Out *rtl.Wire // raw line words
+
+	// W is the datapath width in octets: 1 and 4 are the paper's 8-
+	// and 32-bit systems; 2 and 8 (16-/64-bit) are supported for the
+	// scaling study.
+	W int
+	// ACCM is the programmable escape map (an OAM register).
+	ACCM hdlc.ACCM
+	// SharedFlags emits a single flag between back-to-back frames.
+	SharedFlags bool
+	// IdleFill, when set, transmits all-flag idle words whenever the
+	// unit would otherwise emit nothing — the continuous line fill of
+	// a real POS interface.
+	IdleFill bool
+	// BufCap is the resynchronisation buffer capacity in octets; the
+	// zero value selects 4W.
+	BufCap int
+
+	stA, stB genStage
+	fifo     rtl.ByteFIFO
+	inFrame  bool
+	lastFlag bool // previous octet merged was a closing flag
+
+	// Counters surfaced through the OAM.
+	Escaped     uint64 // octets escaped
+	Frames      uint64 // frames delimited
+	InputStalls uint64 // cycles input was refused by backpressure
+	IdleWords   uint64 // idle fill words emitted
+}
+
+// genStage is one internal pipeline register of the sorter.
+type genStage struct {
+	valid    bool
+	flit     rtl.Flit
+	mask     uint8    // stage A: lanes needing escape
+	exp      [18]byte // stage B: expanded octets (≤ 2W for W ≤ 8, +2 flags)
+	expN     int
+	sof, eof bool
+	err      bool
+}
+
+// committed returns the octets this stage will eventually pour into the
+// resynchronisation buffer (exact, since the escape mask is known).
+func (s *genStage) committed() int {
+	if !s.valid {
+		return 0
+	}
+	if s.expN > 0 {
+		n := s.expN
+		if s.sof {
+			n++
+		}
+		if s.eof {
+			n += 1 // closing flag or half the abort pair
+		}
+		if s.err {
+			n++ // abort is two octets
+		}
+		return n
+	}
+	n := s.flit.N + bits.OnesCount8(s.mask)
+	if s.sof {
+		n++
+	}
+	if s.eof {
+		n++
+	}
+	if s.err {
+		n++
+	}
+	return n
+}
+
+func (g *EscapeGen) bufCap() int {
+	c := g.BufCap
+	if c == 0 {
+		c = 4 * g.W
+	}
+	// A single worst-case word commits 2W stuffed octets plus two
+	// delimiting flags; any smaller buffer could never accept it and
+	// the unit would deadlock.
+	if min := 2*g.W + 2; c < min {
+		c = min
+	}
+	return c
+}
+
+// Occupancy returns the current resynchronisation-buffer fill.
+func (g *EscapeGen) Occupancy() int { return g.fifo.Len() }
+
+// HighWater returns the maximum buffer occupancy observed.
+func (g *EscapeGen) HighWater() int { return g.fifo.HighWater }
+
+// Busy reports whether any octet is still inside the unit.
+func (g *EscapeGen) Busy() bool {
+	return g.stA.valid || g.stB.valid || g.fifo.Len() > 0
+}
+
+// Eval implements rtl.Module. Stages run downstream-first, so a word
+// advances exactly one stage per clock.
+func (g *EscapeGen) Eval() {
+	g.evalOutput() // stage D
+	if g.W == 1 {
+		// 8-bit datapath: detect, expand and merge in one cycle.
+		if st, ok := g.take(); ok {
+			g.expand(&st)
+			g.merge(&st)
+		}
+		return
+	}
+	// Stage C: merge the word expanded last cycle.
+	if g.stB.valid {
+		g.merge(&g.stB)
+		g.stB.valid = false
+	}
+	// Stage B: expand the word detected last cycle.
+	if g.stA.valid && !g.stB.valid {
+		g.stB = g.stA
+		g.expand(&g.stB)
+		g.stA.valid = false
+	}
+	// Stage A: detect.
+	if !g.stA.valid {
+		if st, ok := g.take(); ok {
+			g.stA = st
+		}
+	}
+}
+
+// take is stage A: accept one word from upstream if the buffer can absorb
+// everything already committed plus this word.
+func (g *EscapeGen) take() (genStage, bool) {
+	f, ok := g.In.Peek()
+	if !ok {
+		return genStage{}, false
+	}
+	st := genStage{valid: true, flit: f, sof: f.SOF, eof: f.EOF, err: f.Err || f.Abort}
+	for i := 0; i < f.N; i++ {
+		if g.ACCM.Escaped(f.Byte(i)) {
+			st.mask |= 1 << uint(i)
+		}
+	}
+	if g.fifo.Len()+g.stA.committed()+g.stB.committed()+st.committed() > g.bufCap() {
+		g.InputStalls++
+		return genStage{}, false
+	}
+	g.In.Take()
+	return st, true
+}
+
+// expand is stage B: apply the escape rewriting.
+func (g *EscapeGen) expand(st *genStage) {
+	n := 0
+	for i := 0; i < st.flit.N; i++ {
+		b := st.flit.Byte(i)
+		if st.mask&(1<<uint(i)) != 0 {
+			st.exp[n] = hdlc.Escape
+			st.exp[n+1] = b ^ hdlc.XorBit
+			n += 2
+			g.Escaped++
+		} else {
+			st.exp[n] = b
+			n++
+		}
+	}
+	st.expN = n
+}
+
+// merge is stage C: pour the expanded octets and any frame-delimiting
+// flags into the resynchronisation buffer.
+func (g *EscapeGen) merge(st *genStage) {
+	if st.sof {
+		if !(g.SharedFlags && g.lastFlag) {
+			g.fifo.Push(hdlc.Flag)
+		}
+		g.inFrame = true
+		g.lastFlag = false
+	}
+	if st.expN > 0 {
+		g.fifo.Push(st.exp[:st.expN]...)
+		g.lastFlag = false
+	}
+	if st.eof {
+		if st.err {
+			// Deliberate abort: escape immediately followed by flag.
+			g.fifo.Push(hdlc.Escape, hdlc.Flag)
+		} else {
+			g.fifo.Push(hdlc.Flag)
+		}
+		g.Frames++
+		g.inFrame = false
+		g.lastFlag = true
+	}
+}
+
+// evalOutput is stage D: drain the buffer onto the line.
+func (g *EscapeGen) evalOutput() {
+	n := g.fifo.Len()
+	switch {
+	case n >= g.W:
+		if !g.Out.CanPush() {
+			return
+		}
+		g.Out.Push(rtl.FlitOf(g.fifo.Pop(g.W)))
+	case n > 0 && !g.inFrame && !g.stA.valid && !g.stB.valid:
+		// Frame tail shorter than a word and nothing behind it: pad
+		// with inter-frame fill flags to keep the line word-aligned.
+		if !g.Out.CanPush() {
+			return
+		}
+		var f rtl.Flit
+		for i := 0; i < g.W; i++ {
+			if i < n {
+				f.SetByte(i, g.fifo.Peek(i))
+			} else {
+				f.SetByte(i, hdlc.Flag)
+			}
+		}
+		f.N = g.W
+		g.fifo.Pop(n)
+		g.Out.Push(f)
+	case n == 0 && g.IdleFill && !g.stA.valid && !g.stB.valid:
+		if !g.Out.CanPush() {
+			return
+		}
+		var f rtl.Flit
+		for i := 0; i < g.W; i++ {
+			f.SetByte(i, hdlc.Flag)
+		}
+		f.N = g.W
+		g.IdleWords++
+		g.Out.Push(f)
+	}
+}
+
+// Tick implements rtl.Module; all state advances inside Eval thanks to
+// the downstream-first ordering.
+func (g *EscapeGen) Tick() {}

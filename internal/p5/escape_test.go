@@ -1,0 +1,373 @@
+package p5
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hdlc"
+	"repro/internal/rtl"
+)
+
+// runEscapeGen pushes body through an EscapeGen of width w and returns
+// the line bytes and the sim.
+func runEscapeGen(t *testing.T, w int, bodies ...[]byte) ([]byte, *rtl.Sim, *EscapeGen) {
+	t.Helper()
+	sim := &rtl.Sim{}
+	src := &rtl.Source{Out: sim.Wire("in")}
+	out := sim.Wire("out")
+	gen := &EscapeGen{In: src.Out, Out: out, W: w}
+	sink := rtl.NewSink(out)
+	sim.Add(src, gen, sink)
+	for _, b := range bodies {
+		src.FeedBytes(b, w)
+	}
+	ok := sim.RunUntil(func() bool {
+		return src.Pending() == 0 && !gen.Busy() && sim.Drained()
+	}, 100000)
+	if !ok {
+		t.Fatalf("escape gen did not drain (w=%d)", w)
+	}
+	return sink.Data, sim, gen
+}
+
+// stripIdleFlags removes leading/trailing flag padding for comparison.
+func stripIdleFlags(p []byte) []byte {
+	i := 0
+	for i < len(p) && p[i] == hdlc.Flag {
+		i++
+	}
+	j := len(p)
+	for j > i && p[j-1] == hdlc.Flag {
+		j--
+	}
+	if i == 0 && j == len(p) {
+		return p
+	}
+	// Keep exactly one flag each side (frame delimiters).
+	return p[i-1 : j+1]
+}
+
+func TestEscapeGenMatchesReference(t *testing.T) {
+	bodies := [][]byte{
+		{0x31, 0x33, 0x7E, 0x96},       // the paper's example
+		{0x7E, 0x12, 0x34, 0x56},       // Figure 5 shape
+		{0x7E, 0x7E, 0x7E, 0x7E},       // all four lanes flags
+		bytes.Repeat([]byte{0x7D}, 17), // dense escapes, odd length
+		{0x00},                         // single byte
+		bytes.Repeat([]byte{0x55}, 64), // clean payload
+	}
+	for _, w := range []int{1, 4} {
+		for _, body := range bodies {
+			got, _, _ := runEscapeGen(t, w, body)
+			want := hdlc.Encode(nil, body, hdlc.ACCMNone, false)
+			if !bytes.Equal(stripIdleFlags(got), want) {
+				t.Errorf("w=%d body=% x:\n got % x\nwant % x", w, body, got, want)
+			}
+		}
+	}
+}
+
+func TestEscapeGenFigure5(t *testing.T) {
+	// Paper Figure 5: word 7E 12 .. .. — the flag in lane 0 expands and
+	// the word spills one octet into the next cycle.
+	got, _, gen := runEscapeGen(t, 4, []byte{0x7E, 0x12, 0xAA, 0xBB})
+	want := []byte{hdlc.Flag, 0x7D, 0x5E, 0x12, 0xAA, 0xBB, hdlc.Flag}
+	trimmed := stripIdleFlags(got)
+	if !bytes.Equal(trimmed, want) {
+		t.Errorf("line = % x, want % x", trimmed, want)
+	}
+	if gen.Escaped != 1 {
+		t.Errorf("Escaped = %d", gen.Escaped)
+	}
+}
+
+func TestEscapeGenAllFlagsWord(t *testing.T) {
+	// Paper §3: "If all 4 byte locations consisted of flag characters,
+	// however unlikely, then there will be 4 bytes of data awaiting
+	// transmission" — the worst-case expansion the sorter must absorb.
+	got, _, gen := runEscapeGen(t, 4, bytes.Repeat([]byte{0x7E}, 8))
+	want := hdlc.Encode(nil, bytes.Repeat([]byte{0x7E}, 8), hdlc.ACCMNone, false)
+	if !bytes.Equal(stripIdleFlags(got), want) {
+		t.Errorf("line = % x", got)
+	}
+	if gen.Escaped != 8 {
+		t.Errorf("Escaped = %d", gen.Escaped)
+	}
+	// The worst case must have stalled the input at least once.
+	if gen.InputStalls == 0 {
+		t.Error("all-flags input should trigger backpressure")
+	}
+}
+
+func TestEscapeGenMultiFrame(t *testing.T) {
+	a := []byte{1, 2, 3, 4, 5}
+	b := []byte{0x7E, 0x7D, 9}
+	got, _, gen := runEscapeGen(t, 4, a, b)
+	wire := hdlc.Encode(nil, a, hdlc.ACCMNone, false)
+	wire = hdlc.Encode(wire, b, hdlc.ACCMNone, false)
+	// Between-frame idle flags may be inserted by word-alignment
+	// padding; tokenize both streams and compare frames instead.
+	var tk1, tk2 hdlc.Tokenizer
+	got1 := tk1.Feed(nil, got)
+	want1 := tk2.Feed(nil, wire)
+	if len(got1) != len(want1) {
+		t.Fatalf("frame counts: %d vs %d", len(got1), len(want1))
+	}
+	for i := range got1 {
+		if !bytes.Equal(got1[i].Body, want1[i].Body) {
+			t.Errorf("frame %d: % x vs % x", i, got1[i].Body, want1[i].Body)
+		}
+	}
+	if gen.Frames != 2 {
+		t.Errorf("Frames = %d", gen.Frames)
+	}
+}
+
+func TestEscapeGenSharedFlags(t *testing.T) {
+	sim := &rtl.Sim{}
+	src := &rtl.Source{Out: sim.Wire("in")}
+	out := sim.Wire("out")
+	gen := &EscapeGen{In: src.Out, Out: out, W: 4, SharedFlags: true}
+	sink := rtl.NewSink(out)
+	sim.Add(src, gen, sink)
+	src.FeedBytes([]byte{1, 2, 3, 4}, 4)
+	src.FeedBytes([]byte{5, 6, 7, 8}, 4)
+	sim.RunUntil(func() bool { return src.Pending() == 0 && !gen.Busy() && sim.Drained() }, 1000)
+	// Exactly one flag between the two frames.
+	want := []byte{0x7E, 1, 2, 3, 4, 0x7E, 5, 6, 7, 8, 0x7E}
+	if !bytes.Equal(stripIdleFlags(sink.Data), want) {
+		t.Errorf("line = % x, want % x", sink.Data, want)
+	}
+}
+
+func TestEscapeGenPipelineLatency32(t *testing.T) {
+	// Paper: the 32-bit escape process "is divided up into 4 pipelined
+	// stages ... The first data transmitted is therefore delayed by 4
+	// clock cycles".
+	sim := &rtl.Sim{}
+	src := &rtl.Source{Out: sim.Wire("in")}
+	out := sim.Wire("out")
+	gen := &EscapeGen{In: src.Out, Out: out, W: 4}
+	sink := rtl.NewSink(out)
+	sim.Add(src, gen, sink)
+	src.FeedBytes(bytes.Repeat([]byte{0x42}, 32), 4)
+	sim.RunUntil(func() bool { return len(sink.Flits) > 0 }, 100)
+	// Input visible on the wire at cycle 1 (pushed at 0); output
+	// visible 4 cycles later.
+	if got := sink.FirstCycle; got != 5 {
+		t.Errorf("first line word at cycle %d, want 5 (4-cycle pipe fill)", got)
+	}
+}
+
+func TestEscapeGenLatency8BitIsShort(t *testing.T) {
+	// The 8-bit unit is a single-cycle design.
+	sim := &rtl.Sim{}
+	src := &rtl.Source{Out: sim.Wire("in")}
+	out := sim.Wire("out")
+	gen := &EscapeGen{In: src.Out, Out: out, W: 1}
+	sink := rtl.NewSink(out)
+	sim.Add(src, gen, sink)
+	src.FeedBytes(bytes.Repeat([]byte{0x42}, 8), 1)
+	sim.RunUntil(func() bool { return len(sink.Flits) > 0 }, 100)
+	if got := sink.FirstCycle; got > 3 {
+		t.Errorf("8-bit first output at cycle %d, want ≤3", got)
+	}
+}
+
+func TestEscapeGenContinuousThroughput(t *testing.T) {
+	// Paper: "Subsequent data flow is continuous and efficient." With
+	// no escapes, the 32-bit unit must sustain one word per cycle.
+	sim := &rtl.Sim{}
+	src := &rtl.Source{Out: sim.Wire("in")}
+	out := sim.Wire("out")
+	gen := &EscapeGen{In: src.Out, Out: out, W: 4}
+	sink := rtl.NewSink(out)
+	sim.Add(src, gen, sink)
+	const n = 400 // bytes
+	src.FeedBytes(bytes.Repeat([]byte{0x42}, n), 4)
+	sim.RunUntil(func() bool { return src.Pending() == 0 && !gen.Busy() && sim.Drained() }, 10000)
+	// n/4 input words + 2 flag octets; ideal cycles ≈ n/4 + fill.
+	cycles := sim.Now()
+	ideal := int64(n/4) + 8
+	if cycles > ideal+4 {
+		t.Errorf("took %d cycles for %d clean bytes, want ≤ %d", cycles, n, ideal+4)
+	}
+	if gen.InputStalls > 2 {
+		t.Errorf("clean payload should not stall the input repeatedly: %d stalls", gen.InputStalls)
+	}
+}
+
+func TestEscapeGenBackpressureBoundsBuffer(t *testing.T) {
+	// A worst-case all-escape payload doubles in size; the line drains
+	// only W octets per cycle, so the input MUST stall while the tiny
+	// resynchronisation buffer absorbs the expansion.
+	_, _, gen := runEscapeGen(t, 4, bytes.Repeat([]byte{0x7E}, 256))
+	if gen.InputStalls < 50 {
+		t.Errorf("InputStalls = %d, want many under 2x expansion", gen.InputStalls)
+	}
+	if hw := gen.HighWater(); hw > gen.bufCap() {
+		t.Errorf("buffer high water %d exceeded capacity %d", hw, gen.bufCap())
+	}
+}
+
+func TestEscapeGenAbort(t *testing.T) {
+	sim := &rtl.Sim{}
+	src := &rtl.Source{Out: sim.Wire("in")}
+	out := sim.Wire("out")
+	gen := &EscapeGen{In: src.Out, Out: out, W: 4}
+	sink := rtl.NewSink(out)
+	sim.Add(src, gen, sink)
+	f := rtl.FlitOf([]byte{1, 2, 3, 4})
+	f.SOF = true
+	f.EOF = true
+	f.Err = true // abort this frame
+	src.Feed(f)
+	sim.RunUntil(func() bool { return src.Pending() == 0 && !gen.Busy() && sim.Drained() }, 1000)
+	var tk hdlc.Tokenizer
+	toks := tk.Feed(nil, sink.Data)
+	if len(toks) != 1 || toks[0].Err != hdlc.ErrAborted {
+		t.Fatalf("tokens = %+v, want one aborted frame", toks)
+	}
+}
+
+// runEscapeRoundTrip sends bodies through gen → detect and returns the
+// recovered frames.
+func runEscapeRoundTrip(t *testing.T, w int, bodies ...[]byte) []rtl.Flit {
+	t.Helper()
+	sim := &rtl.Sim{}
+	src := &rtl.Source{Out: sim.Wire("in")}
+	mid := sim.Wire("line")
+	// The delineator sits between gen and detect in the real receiver;
+	// for a pure sorter round trip we reuse it to strip flags.
+	content := sim.Wire("content")
+	out := sim.Wire("out")
+	gen := &EscapeGen{In: src.Out, Out: mid, W: w}
+	dl := &Delineator{In: mid, Out: content, W: w}
+	det := &EscapeDetect{In: content, Out: out, W: w}
+	sink := rtl.NewSink(out)
+	sim.Add(src, gen, dl, det, sink)
+	for _, b := range bodies {
+		src.FeedBytes(b, w)
+	}
+	ok := sim.RunUntil(func() bool {
+		return src.Pending() == 0 && !gen.Busy() && !dl.Busy() && !det.Busy() && sim.Drained()
+	}, 100000)
+	if !ok {
+		t.Fatalf("round trip did not drain (w=%d)", w)
+	}
+	return sink.Flits
+}
+
+func framesOf(flits []rtl.Flit) [][]byte {
+	var frames [][]byte
+	var cur []byte
+	for _, f := range flits {
+		cur = f.Bytes(cur)
+		if f.EOF {
+			frames = append(frames, cur)
+			cur = nil
+		}
+	}
+	return frames
+}
+
+func TestEscapeDetectFigure6(t *testing.T) {
+	// Paper Figure 6: 7D 5E 12 .. collapses to 7E 12 .. with a bubble.
+	frames := framesOf(runEscapeRoundTrip(t, 4, []byte{0x7E, 0x12, 0x34, 0x56}))
+	if len(frames) != 1 || !bytes.Equal(frames[0], []byte{0x7E, 0x12, 0x34, 0x56}) {
+		t.Fatalf("frames = % x", frames)
+	}
+}
+
+func TestEscapeRoundTripTable(t *testing.T) {
+	bodies := [][]byte{
+		{0x31, 0x33, 0x7E, 0x96},
+		bytes.Repeat([]byte{0x7E}, 13),
+		bytes.Repeat([]byte{0x7D}, 8),
+		{0x7D}, // single escape-needing byte
+		{0x00, 0x01, 0x02},
+		bytes.Repeat([]byte{0xA5}, 61),
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		frames := framesOf(runEscapeRoundTrip(t, w, bodies...))
+		if len(frames) != len(bodies) {
+			t.Fatalf("w=%d: got %d frames, want %d", w, len(frames), len(bodies))
+		}
+		for i := range bodies {
+			if !bytes.Equal(frames[i], bodies[i]) {
+				t.Errorf("w=%d frame %d: got % x want % x", w, i, frames[i], bodies[i])
+			}
+		}
+	}
+}
+
+func TestEscapeRoundTripRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		w := []int{1, 2, 4, 8}[trial%4]
+		nf := 1 + rng.Intn(4)
+		var bodies [][]byte
+		for i := 0; i < nf; i++ {
+			n := 1 + rng.Intn(100)
+			b := make([]byte, n)
+			for j := range b {
+				switch rng.Intn(4) {
+				case 0:
+					b[j] = 0x7E
+				case 1:
+					b[j] = 0x7D
+				default:
+					b[j] = byte(rng.Intn(256))
+				}
+			}
+			bodies = append(bodies, b)
+		}
+		frames := framesOf(runEscapeRoundTrip(t, w, bodies...))
+		if len(frames) != len(bodies) {
+			t.Fatalf("trial %d w=%d: %d frames, want %d", trial, w, len(frames), len(bodies))
+		}
+		for i := range bodies {
+			if !bytes.Equal(frames[i], bodies[i]) {
+				t.Fatalf("trial %d w=%d frame %d mismatch", trial, w, i)
+			}
+		}
+	}
+}
+
+func TestEscapeDetectBubbleCompaction(t *testing.T) {
+	// Dense escapes halve the data rate after destuffing; the output
+	// words must still be dense (full W) except the frame tail.
+	flits := runEscapeRoundTrip(t, 4, bytes.Repeat([]byte{0x7E}, 32))
+	for i, f := range flits {
+		if f.EOF {
+			continue
+		}
+		if f.N != 4 {
+			t.Errorf("flit %d not dense: N=%d", i, f.N)
+		}
+	}
+}
+
+func TestEscapeGenTinyBufferClampsAndDrains(t *testing.T) {
+	// A buffer below the worst-case word commitment (2W+2) is clamped
+	// so the unit can never deadlock.
+	sim := &rtl.Sim{}
+	src := &rtl.Source{Out: sim.Wire("in")}
+	out := sim.Wire("out")
+	gen := &EscapeGen{In: src.Out, Out: out, W: 4, BufCap: 1}
+	sink := rtl.NewSink(out)
+	sim.Add(src, gen, sink)
+	src.FeedBytes(bytes.Repeat([]byte{0x7E}, 64), 4) // all-flags worst case
+	ok := sim.RunUntil(func() bool {
+		return src.Pending() == 0 && !gen.Busy() && sim.Drained()
+	}, 100000)
+	if !ok {
+		t.Fatal("tiny buffer deadlocked")
+	}
+	var tk hdlc.Tokenizer
+	toks := tk.Feed(nil, sink.Data)
+	if len(toks) != 1 || toks[0].Err != nil || !bytes.Equal(toks[0].Body, bytes.Repeat([]byte{0x7E}, 64)) {
+		t.Fatalf("tokens = %+v", toks)
+	}
+}

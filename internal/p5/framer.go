@@ -1,0 +1,121 @@
+package p5
+
+import (
+	"repro/internal/rtl"
+)
+
+// TxJob is one datagram waiting in shared memory for transmission.
+type TxJob struct {
+	// Address overrides the programmed HDLC address when non-zero
+	// (MAPOS destination addressing).
+	Address byte
+	// Protocol is the PPP protocol number of the payload.
+	Protocol uint16
+	// Payload is the information field.
+	Payload []byte
+	// Abort deliberately aborts the frame mid-payload (test hook for
+	// the abort datapath).
+	Abort bool
+}
+
+// Framer is the transmitter control unit: a framing FSM that reads
+// datagrams from the shared-memory queue and streams the frame body —
+// address, control, protocol, payload — W octets per clock, marking
+// frame boundaries for the CRC and Escape Generate units downstream.
+type Framer struct {
+	Out *rtl.Wire
+
+	// W is the datapath width in octets.
+	W int
+	// Regs is the OAM register file supplying the programmable address
+	// and control values.
+	Regs *Regs
+	// Ring, when set, is the shared-memory descriptor ring jobs are
+	// pulled from after the direct queue is empty.
+	Ring *Ring[TxJob]
+
+	queue []TxJob
+	cur   []byte
+	abort bool
+	off   int
+
+	// Counters surfaced through the OAM.
+	FramesStarted uint64
+	OctetsRead    uint64
+}
+
+// Enqueue appends jobs to the shared-memory transmit queue.
+func (fr *Framer) Enqueue(jobs ...TxJob) { fr.queue = append(fr.queue, jobs...) }
+
+// Pending returns queued jobs not yet started.
+func (fr *Framer) Pending() int { return len(fr.queue) }
+
+// Busy reports whether a frame is mid-transmission or queued.
+func (fr *Framer) Busy() bool {
+	return fr.cur != nil || len(fr.queue) > 0 || (fr.Ring != nil && fr.Ring.Len() > 0)
+}
+
+// nextJob pulls from the direct queue first, then the descriptor ring.
+func (fr *Framer) nextJob() (TxJob, bool) {
+	if len(fr.queue) > 0 {
+		job := fr.queue[0]
+		fr.queue = fr.queue[1:]
+		return job, true
+	}
+	if fr.Ring != nil {
+		return fr.Ring.Poll()
+	}
+	return TxJob{}, false
+}
+
+// Eval implements rtl.Module.
+func (fr *Framer) Eval() {
+	if fr.Regs != nil && !fr.Regs.TxEnable() {
+		return
+	}
+	if fr.cur == nil {
+		job, ok := fr.nextJob()
+		if !ok {
+			return
+		}
+		fr.cur = fr.buildBody(&job)
+		fr.abort = job.Abort
+		fr.off = 0
+		fr.FramesStarted++
+	}
+	if !fr.Out.CanPush() {
+		return
+	}
+	end := fr.off + fr.W
+	if end > len(fr.cur) {
+		end = len(fr.cur)
+	}
+	f := rtl.FlitOf(fr.cur[fr.off:end])
+	f.SOF = fr.off == 0
+	f.EOF = end == len(fr.cur)
+	if f.EOF && fr.abort {
+		f.Abort = true
+	}
+	fr.OctetsRead += uint64(f.N)
+	fr.off = end
+	if f.EOF {
+		fr.cur = nil
+	}
+	fr.Out.Push(f)
+}
+
+// buildBody assembles the uncompressed header plus payload (the FCS is
+// appended downstream by the CRC unit).
+func (fr *Framer) buildBody(job *TxJob) []byte {
+	addr := job.Address
+	if addr == 0 {
+		addr = fr.Regs.Address()
+	}
+	body := make([]byte, 0, 4+len(job.Payload))
+	body = append(body, addr, fr.Regs.Control(),
+		byte(job.Protocol>>8), byte(job.Protocol))
+	return append(body, job.Payload...)
+}
+
+// Tick implements rtl.Module.
+func (fr *Framer) Tick() {}

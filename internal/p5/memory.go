@@ -1,0 +1,101 @@
+package p5
+
+// The paper's Figure 2 places a shared memory between the host and the
+// P5: "Data is buffered before transmission and after reception in
+// memory." This file models that block as fixed-capacity descriptor
+// rings — the structure a real host driver would map: the host posts
+// transmit descriptors and polls receive descriptors; the P5 consumes
+// and produces at line rate. A full transmit ring pushes back on the
+// host (Post fails); a full receive ring drops frames and counts them,
+// exactly the failure mode of an undersized DMA ring.
+
+// Ring is a single-producer single-consumer descriptor ring.
+type Ring[T any] struct {
+	slots []T
+	used  []bool
+	head  int // consumer position
+	tail  int // producer position
+
+	// Drops counts producer attempts that found the ring full and
+	// discarded the item (receive-side semantics).
+	Drops uint64
+	// HighWater is the maximum occupancy observed.
+	HighWater int
+	n         int
+}
+
+// NewRing creates a ring with the given capacity (minimum 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{slots: make([]T, capacity), used: make([]bool, capacity)}
+}
+
+// Len returns the current occupancy.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// Post offers an item to the ring; it reports false (and changes
+// nothing) when the ring is full — transmit-side backpressure.
+func (r *Ring[T]) Post(v T) bool {
+	if r.used[r.tail] {
+		return false
+	}
+	r.slots[r.tail] = v
+	r.used[r.tail] = true
+	r.tail = (r.tail + 1) % len(r.slots)
+	r.n++
+	if r.n > r.HighWater {
+		r.HighWater = r.n
+	}
+	return true
+}
+
+// PostOrDrop offers an item and counts a drop when full — receive-side
+// semantics.
+func (r *Ring[T]) PostOrDrop(v T) bool {
+	if r.Post(v) {
+		return true
+	}
+	r.Drops++
+	return false
+}
+
+// Poll removes and returns the oldest item.
+func (r *Ring[T]) Poll() (T, bool) {
+	var zero T
+	if !r.used[r.head] {
+		return zero, false
+	}
+	v := r.slots[r.head]
+	r.slots[r.head] = zero
+	r.used[r.head] = false
+	r.head = (r.head + 1) % len(r.slots)
+	r.n--
+	return v, true
+}
+
+// UseRings replaces the system's unbounded software queues with
+// fixed-capacity shared-memory descriptor rings, returning them for the
+// host side to drive. A full receive ring drops frames (counted in the
+// returned ring's Drops and raised as IntRxError).
+func (s *System) UseRings(txCap, rxCap int) (tx *Ring[TxJob], rx *Ring[RxFrame]) {
+	tx = NewRing[TxJob](txCap)
+	rx = NewRing[RxFrame](rxCap)
+	s.Tx.Framer.Ring = tx
+	s.Rx.Control.Deliver = func(f RxFrame) {
+		if !rx.PostOrDrop(f) {
+			s.Regs.RaiseInt(IntRxError)
+			return
+		}
+		if f.Err != nil {
+			s.Regs.RaiseInt(IntRxError)
+		} else {
+			s.Regs.RaiseInt(IntRxFrame)
+		}
+	}
+	return tx, rx
+}

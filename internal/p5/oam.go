@@ -1,0 +1,251 @@
+package p5
+
+import (
+	"sync"
+
+	"repro/internal/crc"
+	"repro/internal/hdlc"
+	"repro/internal/ppp"
+)
+
+// Register addresses of the Protocol OAM block — the microprocessor
+// interface through which a host programs the P5 and reads its status.
+// All registers are 32 bits wide at word-aligned addresses.
+const (
+	RegCtrl    = 0x00 // control bits (see Ctrl* constants)
+	RegAddress = 0x04 // HDLC address octet (programmable, MAPOS)
+	RegControl = 0x08 // HDLC control octet
+	RegACCM    = 0x0C // async-control-character map
+	RegFCSMode = 0x10 // 2 = FCS-16, 4 = FCS-32
+	RegMRU     = 0x14 // maximum receive unit
+
+	RegIntStat = 0x20 // interrupt status (write 1 to clear)
+	RegIntMask = 0x24 // interrupt enable mask
+
+	RegTxFrames   = 0x40 // frames transmitted (RO)
+	RegTxEscaped  = 0x44 // octets escaped on transmit (RO)
+	RegTxStalls   = 0x48 // transmit backpressure stalls (RO)
+	RegRxGood     = 0x4C // good frames received (RO)
+	RegRxBad      = 0x50 // bad frames received (RO)
+	RegRxFCSErr   = 0x54 // FCS failures (RO)
+	RegRxAborts   = 0x58 // aborted frames (RO)
+	RegRxOverruns = 0x5C // line overrun octets (RO)
+	RegRxRunts    = 0x60 // runt frames (RO)
+)
+
+// RegCtrl bits.
+const (
+	CtrlTxEnable    = 1 << 0
+	CtrlRxEnable    = 1 << 1
+	CtrlLoopback    = 1 << 2
+	CtrlSharedFlags = 1 << 3
+	CtrlIdleFill    = 1 << 4
+	CtrlAnyAddress  = 1 << 5
+)
+
+// Interrupt bits (RegIntStat / RegIntMask).
+const (
+	IntRxFrame = 1 << 0 // a frame reached the receive queue
+	IntRxError = 1 << 1 // a damaged frame was disposed of
+	IntTxDone  = 1 << 2 // transmit queue drained
+)
+
+// Regs is the OAM configuration register file. Datapath modules read it
+// every cycle, so a host write takes effect on the next clock — the
+// system programmability the paper claims. The zero value is usable but
+// disabled; NewRegs returns the reset defaults.
+type Regs struct {
+	mu      sync.RWMutex
+	ctrl    uint32
+	address byte
+	control byte
+	accm    hdlc.ACCM
+	fcsMode crc.Size
+	mru     int
+
+	intStat uint32
+	intMask uint32
+}
+
+// NewRegs returns the power-on register file: Tx/Rx enabled, address
+// 0xFF, control 0x03, ACCM 0 (octet-synchronous link), FCS-32, MRU 1500.
+func NewRegs() *Regs {
+	return &Regs{
+		ctrl:    CtrlTxEnable | CtrlRxEnable,
+		address: ppp.AddrAllStations,
+		control: ppp.CtrlUI,
+		accm:    hdlc.ACCMNone,
+		fcsMode: crc.FCS32Mode,
+		mru:     ppp.DefaultMRU,
+	}
+}
+
+// Accessors used by the datapath (hot path: RLock).
+
+// TxEnable reports the transmit-enable control bit.
+func (r *Regs) TxEnable() bool { return r.ctrlBit(CtrlTxEnable) }
+
+// RxEnable reports the receive-enable control bit.
+func (r *Regs) RxEnable() bool { return r.ctrlBit(CtrlRxEnable) }
+
+// Loopback reports the internal-loopback control bit.
+func (r *Regs) Loopback() bool { return r.ctrlBit(CtrlLoopback) }
+
+// SharedFlags reports the shared-flag framing mode.
+func (r *Regs) SharedFlags() bool { return r.ctrlBit(CtrlSharedFlags) }
+
+// IdleFill reports whether the transmitter fills idle line time with
+// flags.
+func (r *Regs) IdleFill() bool { return r.ctrlBit(CtrlIdleFill) }
+
+// AnyAddress reports promiscuous address acceptance.
+func (r *Regs) AnyAddress() bool { return r.ctrlBit(CtrlAnyAddress) }
+
+func (r *Regs) ctrlBit(b uint32) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ctrl&b != 0
+}
+
+// Address returns the programmed HDLC address octet.
+func (r *Regs) Address() byte {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.address
+}
+
+// Control returns the programmed HDLC control octet.
+func (r *Regs) Control() byte {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.control
+}
+
+// ACCM returns the programmed escape map.
+func (r *Regs) ACCM() hdlc.ACCM {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.accm
+}
+
+// FCSMode returns the programmed FCS size.
+func (r *Regs) FCSMode() crc.Size {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.fcsMode
+}
+
+// MRU returns the programmed maximum receive unit.
+func (r *Regs) MRU() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.mru
+}
+
+// RaiseInt sets interrupt status bits.
+func (r *Regs) RaiseInt(bits uint32) {
+	r.mu.Lock()
+	r.intStat |= bits
+	r.mu.Unlock()
+}
+
+// IRQ reports whether any unmasked interrupt is pending.
+func (r *Regs) IRQ() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.intStat&r.intMask != 0
+}
+
+// OAM is the Protocol OAM block: it exposes the register map to a host
+// microprocessor (Read/Write) and snapshots live datapath counters into
+// the read-only status registers.
+type OAM struct {
+	Regs *Regs
+
+	// Counter taps, wired by the System assembly.
+	tx *Transmitter
+	rx *Receiver
+}
+
+// Write stores a host write to a configuration register. Writes to
+// unknown or read-only addresses are ignored (hardware-style).
+func (o *OAM) Write(addr uint32, v uint32) {
+	r := o.Regs
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch addr {
+	case RegCtrl:
+		r.ctrl = v
+	case RegAddress:
+		r.address = byte(v)
+	case RegControl:
+		r.control = byte(v)
+	case RegACCM:
+		r.accm = hdlc.ACCM(v)
+	case RegFCSMode:
+		if v == 2 {
+			r.fcsMode = crc.FCS16Mode
+		} else {
+			r.fcsMode = crc.FCS32Mode
+		}
+	case RegMRU:
+		r.mru = int(v & 0xFFFF)
+	case RegIntStat:
+		r.intStat &^= v // write-1-to-clear
+	case RegIntMask:
+		r.intMask = v
+	}
+}
+
+// Read returns the value of a register, pulling live counters from the
+// datapath for the status block.
+func (o *OAM) Read(addr uint32) uint32 {
+	r := o.Regs
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	switch addr {
+	case RegCtrl:
+		return r.ctrl
+	case RegAddress:
+		return uint32(r.address)
+	case RegControl:
+		return uint32(r.control)
+	case RegACCM:
+		return uint32(r.accm)
+	case RegFCSMode:
+		return uint32(r.fcsMode)
+	case RegMRU:
+		return uint32(r.mru)
+	case RegIntStat:
+		return r.intStat
+	case RegIntMask:
+		return r.intMask
+	}
+	if o.tx != nil {
+		switch addr {
+		case RegTxFrames:
+			return uint32(o.tx.CRC.Frames)
+		case RegTxEscaped:
+			return uint32(o.tx.Escape.Escaped)
+		case RegTxStalls:
+			return uint32(o.tx.Escape.InputStalls)
+		}
+	}
+	if o.rx != nil {
+		switch addr {
+		case RegRxGood:
+			return uint32(o.rx.Control.Good)
+		case RegRxBad:
+			return uint32(o.rx.Control.Bad)
+		case RegRxFCSErr:
+			return uint32(o.rx.CRC.FCSErrors)
+		case RegRxAborts:
+			return uint32(o.rx.Delineator.Aborts)
+		case RegRxOverruns:
+			return uint32(o.rx.Delineator.Overruns)
+		case RegRxRunts:
+			return uint32(o.rx.Control.Runts)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,126 @@
+package p5
+
+import "repro/internal/rtl"
+
+// Endpoint is one side of a point-to-point P5 link: its own register
+// file and OAM, transmitter and receiver — two of these, cross-
+// connected, model the real deployment (the loopback System shares one
+// register file and is for self-test).
+type Endpoint struct {
+	Regs *Regs
+	OAM  *OAM
+	Tx   *Transmitter
+	Rx   *Receiver
+}
+
+// Send queues datagrams at this endpoint.
+func (e *Endpoint) Send(jobs ...TxJob) { e.Tx.Framer.Enqueue(jobs...) }
+
+// Received drains this endpoint's receive queue.
+func (e *Endpoint) Received() []RxFrame {
+	q := e.Rx.Control.Queue
+	e.Rx.Control.Queue = nil
+	return q
+}
+
+// Busy reports in-flight octets at this endpoint.
+func (e *Endpoint) Busy() bool { return e.Tx.Busy() || e.Rx.Busy() }
+
+// Pair is two P5 endpoints on one clock, cross-connected by two
+// unidirectional lines. Setting an endpoint's CtrlLoopback register bit
+// steers its transmit line back into its own receiver (local loopback
+// self-test), exactly what the OAM control bit is for.
+type Pair struct {
+	Sim  *rtl.Sim
+	A, B *Endpoint
+
+	LineAB, LineBA *Line
+}
+
+// steer routes a line's output to the peer or, under loopback, back to
+// the sender's own receiver.
+type steer struct {
+	in       *rtl.Wire
+	peer     *rtl.Wire
+	self     *rtl.Wire
+	src      *Regs
+	Corrupt  func(f rtl.Flit, cycle int64) rtl.Flit
+	cycle    int64
+	Words    uint64
+	Returned uint64 // words steered back by loopback
+}
+
+// Eval implements rtl.Module.
+func (s *steer) Eval() {
+	f, ok := s.in.Peek()
+	if !ok {
+		return
+	}
+	dst := s.peer
+	loop := s.src.Loopback()
+	if loop {
+		dst = s.self
+	}
+	if !dst.CanPush() {
+		return
+	}
+	s.in.Take()
+	if s.Corrupt != nil {
+		f = s.Corrupt(f, s.cycle)
+	}
+	s.Words++
+	if loop {
+		s.Returned++
+	}
+	dst.Push(f)
+}
+
+// Tick implements rtl.Module.
+func (s *steer) Tick() { s.cycle++ }
+
+// NewPair builds a width-w cross-connected pair.
+func NewPair(w int) *Pair {
+	p := &Pair{Sim: &rtl.Sim{}}
+	regsA, regsB := NewRegs(), NewRegs()
+
+	txA := NewTransmitter(p.Sim, w, regsA)
+	sAB := &steer{in: txA.Out, src: regsA}
+	p.Sim.Add(sAB)
+	rxB := NewReceiver(p.Sim, w, regsB)
+
+	txB := NewTransmitter(p.Sim, w, regsB)
+	sBA := &steer{in: txB.Out, src: regsB}
+	p.Sim.Add(sBA)
+	rxA := NewReceiver(p.Sim, w, regsA)
+
+	sAB.peer = rxB.In
+	sAB.self = rxA.In
+	sBA.peer = rxA.In
+	sBA.self = rxB.In
+
+	p.A = &Endpoint{Regs: regsA, Tx: txA, Rx: rxA}
+	p.B = &Endpoint{Regs: regsB, Tx: txB, Rx: rxB}
+	p.A.OAM = &OAM{Regs: regsA, tx: txA, rx: rxA}
+	p.B.OAM = &OAM{Regs: regsB, tx: txB, rx: rxB}
+	return p
+}
+
+// Cycle advances the pair one clock.
+func (p *Pair) Cycle() {
+	p.A.Tx.syncConfig(p.A.Regs)
+	p.A.Rx.syncConfig(p.A.Regs)
+	p.B.Tx.syncConfig(p.B.Regs)
+	p.B.Rx.syncConfig(p.B.Regs)
+	p.Sim.Cycle()
+}
+
+// RunUntilIdle clocks until both endpoints drain.
+func (p *Pair) RunUntilIdle(budget int) bool {
+	for i := 0; i < budget; i++ {
+		if !p.A.Busy() && !p.B.Busy() && p.Sim.Drained() {
+			return true
+		}
+		p.Cycle()
+	}
+	return !p.A.Busy() && !p.B.Busy() && p.Sim.Drained()
+}

@@ -1,0 +1,202 @@
+package p5
+
+import (
+	"repro/internal/rtl"
+)
+
+// Transmitter is the assembled P5 transmit block (paper Figure 3):
+// Control → CRC → Escape Generate, one W-octet word per clock.
+type Transmitter struct {
+	Framer *Framer
+	CRC    *TxCRC
+	Escape *EscapeGen
+	// Out carries the raw line words to the PHY.
+	Out *rtl.Wire
+}
+
+// NewTransmitter builds a transmitter of width w on sim, reading its
+// configuration from regs.
+func NewTransmitter(sim *rtl.Sim, w int, regs *Regs) *Transmitter {
+	t := &Transmitter{}
+	w1 := sim.Wire("tx.body")
+	w2 := sim.Wire("tx.crc")
+	t.Out = sim.Wire("tx.line")
+	t.Framer = &Framer{Out: w1, W: w, Regs: regs}
+	t.CRC = &TxCRC{In: w1, Out: w2, W: w}
+	t.Escape = &EscapeGen{In: w2, Out: t.Out, W: w}
+	sim.Add(t.Framer, t.CRC, t.Escape)
+	return t
+}
+
+// Busy reports whether any frame octet is still inside the transmitter.
+func (t *Transmitter) Busy() bool {
+	return t.Framer.Busy() || t.CRC.Busy() || t.Escape.Busy()
+}
+
+// syncConfig pulls the live register values into the datapath (runs
+// first every cycle, so host writes take effect on the next clock).
+func (t *Transmitter) syncConfig(r *Regs) {
+	t.Escape.ACCM = r.ACCM()
+	t.Escape.SharedFlags = r.SharedFlags()
+	t.Escape.IdleFill = r.IdleFill()
+	t.CRC.Mode = r.FCSMode()
+	if t.CRC.core != nil && t.CRC.core.mode != r.FCSMode() {
+		t.CRC.core = nil // mode change re-arms the core
+	}
+}
+
+// Receiver is the assembled P5 receive block (paper Figure 4):
+// Delineate → Escape Detect → CRC check → Control.
+type Receiver struct {
+	Delineator *Delineator
+	Escape     *EscapeDetect
+	CRC        *RxCRC
+	Control    *RxControl
+	// In accepts raw line words from the PHY.
+	In *rtl.Wire
+}
+
+// NewReceiver builds a receiver of width w on sim.
+func NewReceiver(sim *rtl.Sim, w int, regs *Regs) *Receiver {
+	return NewReceiverOn(sim, w, regs, sim.Wire("rx.line"))
+}
+
+// NewReceiverOn builds a receiver reading from an existing line wire —
+// used when the producer (a PHY) must be registered before the receiver
+// so the evaluation order keeps the line at full rate.
+func NewReceiverOn(sim *rtl.Sim, w int, regs *Regs, in *rtl.Wire) *Receiver {
+	r := &Receiver{}
+	r.In = in
+	w1 := sim.Wire("rx.content")
+	w2 := sim.Wire("rx.clean")
+	w3 := sim.Wire("rx.checked")
+	r.Delineator = &Delineator{In: r.In, Out: w1, W: w}
+	r.Escape = &EscapeDetect{In: w1, Out: w2, W: w}
+	r.CRC = &RxCRC{In: w2, Out: w3, W: w}
+	r.Control = &RxControl{In: w3, Regs: regs}
+	sim.Add(r.Delineator, r.Escape, r.CRC, r.Control)
+	return r
+}
+
+// Busy reports whether any octet is still inside the receiver.
+func (r *Receiver) Busy() bool {
+	return r.Delineator.Busy() || r.Escape.Busy()
+}
+
+func (r *Receiver) syncConfig(regs *Regs) {
+	r.CRC.Mode = regs.FCSMode()
+	if r.CRC.core != nil && r.CRC.core.mode != regs.FCSMode() {
+		r.CRC.core = nil
+	}
+}
+
+// Line is the physical link between a transmitter and a receiver: it
+// moves words at line rate and can inject errors (the synthetic stand-in
+// for optics and noise).
+type Line struct {
+	In  *rtl.Wire
+	Out *rtl.Wire
+	// Corrupt, when set, may damage a word in flight.
+	Corrupt func(f rtl.Flit, cycle int64) rtl.Flit
+
+	cycle int64
+	Words uint64
+}
+
+// Eval implements rtl.Module.
+func (l *Line) Eval() {
+	f, ok := l.In.Peek()
+	if !ok {
+		return
+	}
+	if !l.Out.CanPush() {
+		return
+	}
+	l.In.Take()
+	if l.Corrupt != nil {
+		f = l.Corrupt(f, l.cycle)
+	}
+	l.Words++
+	l.Out.Push(f)
+}
+
+// Tick implements rtl.Module.
+func (l *Line) Tick() { l.cycle++ }
+
+// System is a full loopback P5: transmitter, line, receiver, and the
+// Protocol OAM block, all on one clock.
+type System struct {
+	W    int
+	Sim  *rtl.Sim
+	Regs *Regs
+	OAM  *OAM
+	Tx   *Transmitter
+	Rx   *Receiver
+	Line *Line
+
+	txWasBusy bool
+}
+
+// NewSystem assembles a width-w system (w = 1 for the 8-bit P5, 4 for
+// the 32-bit P5).
+func NewSystem(w int) *System {
+	sys := &System{W: w, Sim: &rtl.Sim{}, Regs: NewRegs()}
+	sys.Tx = NewTransmitter(sys.Sim, w, sys.Regs)
+	// The line registers between Tx and Rx so that, in the kernel's
+	// downstream-first evaluation, the receiver vacates Rx.In before
+	// the line pushes and the line vacates Tx.Out before the
+	// transmitter pushes — full one-word-per-cycle line rate.
+	sys.Line = &Line{In: sys.Tx.Out}
+	sys.Sim.Add(sys.Line)
+	sys.Rx = NewReceiver(sys.Sim, w, sys.Regs)
+	sys.Line.Out = sys.Rx.In
+	sys.OAM = &OAM{Regs: sys.Regs, tx: sys.Tx, rx: sys.Rx}
+	sys.Rx.Control.Deliver = func(f RxFrame) {
+		sys.Rx.Control.Queue = append(sys.Rx.Control.Queue, f)
+		if f.Err != nil {
+			sys.Regs.RaiseInt(IntRxError)
+		} else {
+			sys.Regs.RaiseInt(IntRxFrame)
+		}
+	}
+	return sys
+}
+
+// Send queues datagrams for transmission.
+func (s *System) Send(jobs ...TxJob) { s.Tx.Framer.Enqueue(jobs...) }
+
+// Received drains and returns the receive queue.
+func (s *System) Received() []RxFrame {
+	q := s.Rx.Control.Queue
+	s.Rx.Control.Queue = nil
+	return q
+}
+
+// Cycle advances the whole system one clock.
+func (s *System) Cycle() {
+	s.Tx.syncConfig(s.Regs)
+	s.Rx.syncConfig(s.Regs)
+	s.Sim.Cycle()
+	busy := s.Tx.Busy()
+	if s.txWasBusy && !busy {
+		s.Regs.RaiseInt(IntTxDone)
+	}
+	s.txWasBusy = busy
+}
+
+// Busy reports whether any octet is in flight anywhere in the system.
+func (s *System) Busy() bool {
+	return s.Tx.Busy() || s.Rx.Busy() || !s.Sim.Drained()
+}
+
+// RunUntilIdle clocks the system until it drains or the budget runs
+// out; it reports whether the system drained.
+func (s *System) RunUntilIdle(budget int) bool {
+	for i := 0; i < budget; i++ {
+		if !s.Busy() {
+			return true
+		}
+		s.Cycle()
+	}
+	return !s.Busy()
+}

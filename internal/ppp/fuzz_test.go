@@ -1,0 +1,33 @@
+package ppp
+
+import (
+	"testing"
+
+	"repro/internal/crc"
+)
+
+// FuzzDecodeBody must never panic on arbitrary bodies and must accept
+// everything EncodeBody produces.
+func FuzzDecodeBody(f *testing.F) {
+	f.Add([]byte{0xFF, 0x03, 0x00, 0x21, 1, 2, 3}, true, true, false)
+	f.Add([]byte{}, false, false, true)
+	f.Add([]byte{0x21}, true, false, false)
+	f.Fuzz(func(t *testing.T, body []byte, pfc, acfc, fcs16 bool) {
+		cfg := Config{PFC: pfc, ACFC: acfc}
+		if fcs16 {
+			cfg.FCS = crc.FCS16Mode
+		}
+		DecodeBody(body, cfg) // must not panic
+
+		// And the constructive direction always decodes.
+		fr := &Frame{Protocol: ProtoIPv4, Payload: body}
+		enc := EncodeBody(nil, fr, cfg)
+		got, err := DecodeBody(enc, Config{PFC: pfc, ACFC: acfc, FCS: cfg.FCS, MRU: 1 << 16})
+		if err != nil {
+			t.Fatalf("self-encoded frame rejected: %v", err)
+		}
+		if got.Protocol != ProtoIPv4 || len(got.Payload) != len(body) {
+			t.Fatal("self-encoded frame mangled")
+		}
+	})
+}

@@ -1,0 +1,239 @@
+// Package ppp implements the PPP encapsulation of RFC 1661 atop the HDLC
+// framing of package hdlc: the Flag/Address/Control/Protocol/Payload/FCS
+// frame of the paper's Figure 1, with the negotiable variations the P5
+// register map exposes — programmable address (MAPOS), protocol-field
+// compression, address-and-control-field compression, and 16- or 32-bit
+// FCS.
+package ppp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/crc"
+	"repro/internal/hdlc"
+)
+
+// Standard field values (RFC 1662 §3.1).
+const (
+	// AddrAllStations is the default HDLC address: all stations accept.
+	AddrAllStations = 0xFF
+	// CtrlUI is the control value for unnumbered information frames,
+	// the normal PPP operating mode.
+	CtrlUI = 0x03
+)
+
+// Well-known protocol numbers (RFC 1661 §2; assigned numbers).
+const (
+	ProtoIPv4 = 0x0021
+	ProtoIPv6 = 0x0057
+	ProtoVJC  = 0x002D // Van Jacobson compressed TCP/IP
+	ProtoVJU  = 0x002F // Van Jacobson uncompressed TCP/IP
+	ProtoIPCP = 0x8021
+	ProtoLCP  = 0xC021
+	ProtoPAP  = 0xC023
+	ProtoLQR  = 0xC025 // link quality report (RFC 1333)
+	ProtoCHAP = 0xC223
+)
+
+// DefaultMRU is the maximum-receive-unit every implementation must accept
+// until a different value is negotiated (RFC 1661 §6.1).
+const DefaultMRU = 1500
+
+// Decode errors.
+var (
+	ErrBadFCS       = errors.New("ppp: FCS check failed")
+	ErrTooShort     = errors.New("ppp: frame too short")
+	ErrBadAddress   = errors.New("ppp: unexpected address field")
+	ErrBadControl   = errors.New("ppp: unexpected control field")
+	ErrBadProtocol  = errors.New("ppp: malformed protocol field")
+	ErrTooLong      = errors.New("ppp: payload exceeds MRU")
+	ErrPaddingRules = errors.New("ppp: invalid padding")
+)
+
+// Frame is one PPP frame between the flags, before stuffing.
+type Frame struct {
+	// Address is the HDLC address octet. The paper makes this
+	// programmable for MAPOS compatibility; it defaults to
+	// AddrAllStations.
+	Address byte
+	// Control is the HDLC control octet, CtrlUI unless numbered mode
+	// (RFC 1663) is negotiated.
+	Control byte
+	// Protocol identifies the payload (ProtoIPv4, ProtoLCP, ...).
+	Protocol uint16
+	// Payload is the information field, excluding padding.
+	Payload []byte
+}
+
+// Config is the per-link framing configuration — the software image of the
+// P5 OAM control registers.
+type Config struct {
+	// Address is the expected/emitted address octet; zero means
+	// AddrAllStations. The receiver rejects frames whose address
+	// matches neither this value nor AddrAllStations unless
+	// AnyAddress is set.
+	Address byte
+	// AnyAddress accepts every address octet on receive (promiscuous
+	// MAPOS monitoring).
+	AnyAddress bool
+	// PFC enables protocol-field compression: protocols < 0x100 (which
+	// are all odd) are sent as one octet.
+	PFC bool
+	// ACFC enables address-and-control-field compression: the FF 03
+	// prefix is omitted for network-layer protocols. LCP frames are
+	// always sent uncompressed (RFC 1661 §6.6).
+	ACFC bool
+	// FCS selects the frame-check-sequence size; the zero value means
+	// crc.FCS32Mode, the mode the paper's P5 implements.
+	FCS crc.Size
+	// MRU bounds the information field on receive; zero means
+	// DefaultMRU.
+	MRU int
+	// ACCM is the transmit async-control-character map.
+	ACCM hdlc.ACCM
+}
+
+func (c Config) address() byte {
+	if c.Address == 0 {
+		return AddrAllStations
+	}
+	return c.Address
+}
+
+func (c Config) fcs() crc.Size {
+	if c.FCS == 0 {
+		return crc.FCS32Mode
+	}
+	return c.FCS
+}
+
+func (c Config) mru() int {
+	if c.MRU == 0 {
+		return DefaultMRU
+	}
+	return c.MRU
+}
+
+// EncodeBody appends the frame body — address, control, protocol, payload
+// and FCS, but no flags or stuffing — to dst. This is the byte sequence
+// the P5 transmitter's CRC unit sees.
+func EncodeBody(dst []byte, f *Frame, c Config) []byte {
+	start := len(dst)
+	compressAC := c.ACFC && f.Protocol != ProtoLCP
+	if !compressAC {
+		addr := f.Address
+		if addr == 0 {
+			addr = c.address()
+		}
+		ctrl := f.Control
+		if ctrl == 0 {
+			ctrl = CtrlUI
+		}
+		dst = append(dst, addr, ctrl)
+	}
+	if c.PFC && f.Protocol < 0x100 && f.Protocol&1 == 1 && f.Protocol != ProtoLCP {
+		dst = append(dst, byte(f.Protocol))
+	} else {
+		dst = append(dst, byte(f.Protocol>>8), byte(f.Protocol))
+	}
+	dst = append(dst, f.Payload...)
+	if c.fcs() == crc.FCS16Mode {
+		v := crc.FCS16(dst[start:])
+		dst = append(dst, byte(v), byte(v>>8))
+	} else {
+		v := crc.FCS32(dst[start:])
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return dst
+}
+
+// Encode appends the complete on-the-wire encoding of f — flags, stuffed
+// body, FCS — to dst. shareFlag elides the opening flag after a previous
+// closing flag.
+func Encode(dst []byte, f *Frame, c Config, shareFlag bool) []byte {
+	body := EncodeBody(nil, f, c)
+	return hdlc.Encode(dst, body, c.ACCM, shareFlag)
+}
+
+// DecodeBody parses a destuffed frame body (as produced by the hdlc
+// Tokenizer: address through FCS) into f. It verifies the FCS, polices the
+// address and MRU, and understands compressed headers when the
+// corresponding Config option is on.
+func DecodeBody(body []byte, c Config) (*Frame, error) {
+	fcsN := c.fcs().Bytes()
+	if len(body) < fcsN+1 {
+		return nil, ErrTooShort
+	}
+	if !c.fcs().Check(body) {
+		return nil, ErrBadFCS
+	}
+	p := body[:len(body)-fcsN]
+	var f Frame
+	// Address/control, possibly compressed away (ACFC). A compressed
+	// frame cannot begin with 0xFF: that would be ambiguous with the
+	// address octet, so 0xFF always means "uncompressed header".
+	if len(p) >= 2 && p[0] == AddrAllStations || !c.ACFC {
+		if len(p) < 2 {
+			return nil, ErrTooShort
+		}
+		f.Address = p[0]
+		f.Control = p[1]
+		if !c.AnyAddress && f.Address != AddrAllStations && f.Address != c.address() {
+			return nil, ErrBadAddress
+		}
+		if f.Control != CtrlUI {
+			return nil, ErrBadControl
+		}
+		p = p[2:]
+	} else {
+		f.Address = c.address()
+		f.Control = CtrlUI
+	}
+	// Protocol field: 2 octets, or 1 if PFC and the first octet is odd
+	// (all protocol numbers have an odd low octet and even high octet,
+	// RFC 1661 §2).
+	if len(p) == 0 {
+		return nil, ErrBadProtocol
+	}
+	if p[0]&1 == 1 {
+		if !c.PFC {
+			return nil, ErrBadProtocol
+		}
+		f.Protocol = uint16(p[0])
+		p = p[1:]
+	} else {
+		if len(p) < 2 || p[1]&1 == 0 {
+			return nil, ErrBadProtocol
+		}
+		f.Protocol = uint16(p[0])<<8 | uint16(p[1])
+		p = p[2:]
+	}
+	if len(p) > c.mru() {
+		return nil, ErrTooLong
+	}
+	f.Payload = p
+	return &f, nil
+}
+
+// String implements fmt.Stringer for log-friendly frame dumps.
+func (f *Frame) String() string {
+	return fmt.Sprintf("PPP{addr=%#02x ctrl=%#02x proto=%#04x len=%d}",
+		f.Address, f.Control, f.Protocol, len(f.Payload))
+}
+
+// ProtocolClass reports the RFC 1661 protocol-number range of p.
+func ProtocolClass(p uint16) string {
+	switch {
+	case p >= 0x0001 && p <= 0x3FFF:
+		return "network-layer"
+	case p >= 0x4001 && p <= 0x7FFF:
+		return "low-volume"
+	case p >= 0x8001 && p <= 0xBFFF:
+		return "network-control"
+	case p >= 0xC001 && p <= 0xFFFF:
+		return "link-layer"
+	default:
+		return "reserved"
+	}
+}

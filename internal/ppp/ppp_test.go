@@ -1,0 +1,229 @@
+package ppp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crc"
+	"repro/internal/hdlc"
+)
+
+func TestEncodeBodyLayout(t *testing.T) {
+	f := &Frame{Protocol: ProtoIPv4, Payload: []byte{0xDE, 0xAD}}
+	body := EncodeBody(nil, f, Config{})
+	// FF 03 00 21 DE AD + 4-byte FCS
+	if len(body) != 10 {
+		t.Fatalf("body len = %d, want 10", len(body))
+	}
+	want := []byte{0xFF, 0x03, 0x00, 0x21, 0xDE, 0xAD}
+	if !bytes.Equal(body[:6], want) {
+		t.Errorf("header = % x, want % x", body[:6], want)
+	}
+	if !crc.Check32(body) {
+		t.Error("FCS over body must verify")
+	}
+}
+
+func TestRoundTripDefault(t *testing.T) {
+	cfg := Config{}
+	f := &Frame{Protocol: ProtoIPv4, Payload: []byte("hello world")}
+	body := EncodeBody(nil, f, cfg)
+	got, err := DecodeBody(body, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Protocol != ProtoIPv4 || !bytes.Equal(got.Payload, f.Payload) {
+		t.Errorf("decoded %v", got)
+	}
+	if got.Address != AddrAllStations || got.Control != CtrlUI {
+		t.Errorf("addr/ctrl = %#x/%#x", got.Address, got.Control)
+	}
+}
+
+func TestRoundTripAllConfigs(t *testing.T) {
+	payload := []byte{0x00, 0x7E, 0x7D, 0xFF, 0x01}
+	for _, fcs := range []crc.Size{crc.FCS16Mode, crc.FCS32Mode} {
+		for _, pfc := range []bool{false, true} {
+			for _, acfc := range []bool{false, true} {
+				cfg := Config{FCS: fcs, PFC: pfc, ACFC: acfc}
+				for _, proto := range []uint16{ProtoIPv4, ProtoLCP, ProtoIPCP} {
+					f := &Frame{Protocol: proto, Payload: payload}
+					body := EncodeBody(nil, f, cfg)
+					got, err := DecodeBody(body, cfg)
+					if err != nil {
+						t.Fatalf("fcs=%v pfc=%v acfc=%v proto=%#x: %v", fcs, pfc, acfc, proto, err)
+					}
+					if got.Protocol != proto || !bytes.Equal(got.Payload, payload) {
+						t.Fatalf("fcs=%v pfc=%v acfc=%v proto=%#x: got %v", fcs, pfc, acfc, proto, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPFCCompressesNetworkProto(t *testing.T) {
+	cfg := Config{PFC: true}
+	f := &Frame{Protocol: ProtoIPv4, Payload: nil}
+	body := EncodeBody(nil, f, cfg)
+	// FF 03 21 + FCS4: protocol is a single octet.
+	if body[2] != 0x21 || len(body) != 3+4 {
+		t.Errorf("PFC body = % x", body)
+	}
+}
+
+func TestACFCKeepsLCPUncompressed(t *testing.T) {
+	cfg := Config{ACFC: true}
+	lcp := EncodeBody(nil, &Frame{Protocol: ProtoLCP}, cfg)
+	if lcp[0] != 0xFF || lcp[1] != 0x03 {
+		t.Errorf("LCP frame must keep FF 03: % x", lcp)
+	}
+	ip := EncodeBody(nil, &Frame{Protocol: ProtoIPv4}, cfg)
+	if ip[0] == 0xFF {
+		t.Errorf("network frame should be compressed: % x", ip)
+	}
+}
+
+func TestDecodeRejectsBadFCS(t *testing.T) {
+	body := EncodeBody(nil, &Frame{Protocol: ProtoIPv4, Payload: []byte{1}}, Config{})
+	body[3] ^= 0x40
+	if _, err := DecodeBody(body, Config{}); !errors.Is(err, ErrBadFCS) {
+		t.Errorf("err = %v, want ErrBadFCS", err)
+	}
+}
+
+func TestDecodeRejectsShort(t *testing.T) {
+	if _, err := DecodeBody([]byte{1, 2, 3}, Config{}); !errors.Is(err, ErrTooShort) {
+		t.Errorf("err = %v, want ErrTooShort", err)
+	}
+	if _, err := DecodeBody(nil, Config{}); !errors.Is(err, ErrTooShort) {
+		t.Errorf("err = %v, want ErrTooShort", err)
+	}
+}
+
+func TestDecodeRejectsWrongAddress(t *testing.T) {
+	// Encode with MAPOS address 0x04, decode expecting 0x08.
+	body := EncodeBody(nil, &Frame{Address: 0x04, Protocol: ProtoIPv4}, Config{Address: 0x04})
+	if _, err := DecodeBody(body, Config{Address: 0x08}); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("err = %v, want ErrBadAddress", err)
+	}
+	// AnyAddress accepts it.
+	if _, err := DecodeBody(body, Config{Address: 0x08, AnyAddress: true}); err != nil {
+		t.Errorf("AnyAddress: %v", err)
+	}
+	// All-stations always accepted.
+	body2 := EncodeBody(nil, &Frame{Protocol: ProtoIPv4}, Config{})
+	if _, err := DecodeBody(body2, Config{Address: 0x08}); err != nil {
+		t.Errorf("all-stations: %v", err)
+	}
+}
+
+func TestDecodeRejectsBadControl(t *testing.T) {
+	body := EncodeBody(nil, &Frame{Protocol: ProtoIPv4}, Config{})
+	body[1] = 0x13                    // not UI
+	body = body[:len(body)-4]         // strip stale FCS
+	body = crc.FCS32Mode.Append(body) // re-seal
+	if _, err := DecodeBody(body, Config{}); !errors.Is(err, ErrBadControl) {
+		t.Errorf("err = %v, want ErrBadControl", err)
+	}
+}
+
+func TestDecodeRejectsBadProtocol(t *testing.T) {
+	// Low protocol octet must be odd.
+	raw := []byte{0xFF, 0x03, 0x00, 0x20}
+	raw = crc.FCS32Mode.Append(raw)
+	if _, err := DecodeBody(raw, Config{}); !errors.Is(err, ErrBadProtocol) {
+		t.Errorf("even low octet: err = %v", err)
+	}
+	// Single-octet protocol without PFC negotiated.
+	raw2 := []byte{0xFF, 0x03, 0x21}
+	raw2 = crc.FCS32Mode.Append(raw2)
+	if _, err := DecodeBody(raw2, Config{}); !errors.Is(err, ErrBadProtocol) {
+		t.Errorf("PFC off: err = %v", err)
+	}
+}
+
+func TestDecodeEnforcesMRU(t *testing.T) {
+	big := make([]byte, 100)
+	body := EncodeBody(nil, &Frame{Protocol: ProtoIPv4, Payload: big}, Config{})
+	if _, err := DecodeBody(body, Config{MRU: 99}); !errors.Is(err, ErrTooLong) {
+		t.Errorf("err = %v, want ErrTooLong", err)
+	}
+	if _, err := DecodeBody(body, Config{MRU: 100}); err != nil {
+		t.Errorf("exact MRU: %v", err)
+	}
+}
+
+func TestWireRoundTripThroughTokenizer(t *testing.T) {
+	cfg := Config{ACCM: hdlc.ACCMNone}
+	frames := []*Frame{
+		{Protocol: ProtoLCP, Payload: []byte{1, 1, 0, 4}},
+		{Protocol: ProtoIPv4, Payload: []byte{0x7E, 0x7D, 0x7E, 0x7E}},
+		{Protocol: ProtoIPv4, Payload: bytes.Repeat([]byte{0x7E}, 64)},
+	}
+	var wire []byte
+	for _, f := range frames {
+		wire = Encode(wire, f, cfg, true)
+	}
+	var tk hdlc.Tokenizer
+	toks := tk.Feed(nil, wire)
+	if len(toks) != len(frames) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(frames))
+	}
+	for i, tok := range toks {
+		if tok.Err != nil {
+			t.Fatalf("token %d: %v", i, tok.Err)
+		}
+		got, err := DecodeBody(tok.Body, cfg)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Protocol != frames[i].Protocol || !bytes.Equal(got.Payload, frames[i].Payload) {
+			t.Errorf("frame %d mismatch: %v", i, got)
+		}
+	}
+}
+
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, pfc, acfc bool) bool {
+		cfg := Config{PFC: pfc, ACFC: acfc, MRU: 65535}
+		fr := &Frame{Protocol: ProtoIPv4, Payload: payload}
+		wire := Encode(nil, fr, cfg, false)
+		var tk hdlc.Tokenizer
+		toks := tk.Feed(nil, wire)
+		if len(toks) != 1 || toks[0].Err != nil {
+			return false
+		}
+		got, err := DecodeBody(toks[0].Body, cfg)
+		return err == nil && got.Protocol == ProtoIPv4 && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProtocolClass(t *testing.T) {
+	for _, tc := range []struct {
+		p    uint16
+		want string
+	}{
+		{ProtoIPv4, "network-layer"},
+		{ProtoIPCP, "network-control"},
+		{ProtoLCP, "link-layer"},
+		{0x4001, "low-volume"},
+		{0x0000, "reserved"},
+	} {
+		if got := ProtocolClass(tc.p); got != tc.want {
+			t.Errorf("ProtocolClass(%#x) = %q, want %q", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	s := (&Frame{Address: 0xFF, Control: 3, Protocol: ProtoIPv4, Payload: []byte{1, 2}}).String()
+	if s == "" || !bytes.Contains([]byte(s), []byte("0x0021")) {
+		t.Errorf("String() = %q", s)
+	}
+}

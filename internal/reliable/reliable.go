@@ -1,0 +1,359 @@
+// Package reliable implements PPP Reliable Transmission (RFC 1663):
+// numbered-mode operation of the HDLC control field with LAPB-style
+// (ISO 7776) sliding-window acknowledgement and retransmission.
+//
+// The paper notes the P5 control field "may be configured via the LCP
+// to use sequence numbers and acknowledgements for reliable data
+// transmission. This is of particular use in noisy environments such
+// as wireless networks." This package is that mode: modulo-8 send and
+// receive sequence numbers, I/RR/RNR/REJ frames, go-back-N
+// retransmission on reject or timeout, and SABM/UA link reset.
+package reliable
+
+import "errors"
+
+// Control-field encodings (ISO 4335 / LAPB, modulo 8).
+//
+//	I frame : N(R) P N(S) 0            — numbered information
+//	S frame : N(R) P/F SS 0 1          — RR / RNR / REJ supervision
+//	U frame : M M M P/F M M 1 1        — SABM / UA / DISC / DM / FRMR
+const (
+	ctrlSMask = 0x0F
+	ctrlRR    = 0x01
+	ctrlRNR   = 0x05
+	ctrlREJ   = 0x09
+
+	ctrlUMask = 0xEF // mask out the P/F bit
+	CtrlSABM  = 0x2F // set asynchronous balanced mode
+	CtrlUA    = 0x63 // unnumbered acknowledgement
+	CtrlDISC  = 0x43 // disconnect
+	CtrlDM    = 0x0F // disconnected mode
+)
+
+// Modulus is the sequence-number space (basic mode).
+const Modulus = 8
+
+// DefaultWindow is the default transmit window k (RFC 1663 suggests
+// small windows; LAPB default k = 7 for modulo 8).
+const DefaultWindow = 7
+
+// FrameKind classifies a control octet.
+type FrameKind int
+
+// Control-field classes.
+const (
+	KindI FrameKind = iota
+	KindRR
+	KindRNR
+	KindREJ
+	KindU
+)
+
+// Classify decodes a numbered-mode control octet.
+func Classify(ctrl byte) FrameKind {
+	if ctrl&0x01 == 0 {
+		return KindI
+	}
+	if ctrl&0x03 == 0x01 {
+		switch ctrl & ctrlSMask {
+		case ctrlRR:
+			return KindRR
+		case ctrlRNR:
+			return KindRNR
+		case ctrlREJ:
+			return KindREJ
+		}
+	}
+	return KindU
+}
+
+// NS extracts the send sequence number of an I frame.
+func NS(ctrl byte) uint8 { return ctrl >> 1 & 0x07 }
+
+// NR extracts the receive sequence number of an I or S frame.
+func NR(ctrl byte) uint8 { return ctrl >> 5 & 0x07 }
+
+// iCtrl builds an I-frame control octet.
+func iCtrl(ns, nr uint8) byte { return ns&7<<1 | nr&7<<5 }
+
+// sCtrl builds an S-frame control octet.
+func sCtrl(base byte, nr uint8) byte { return base | nr&7<<5 }
+
+// Errors.
+var (
+	// ErrNotConnected is returned by Send before SABM/UA completes.
+	ErrNotConnected = errors.New("reliable: link not in ABM")
+	// ErrWindowFull is returned when k frames are unacknowledged.
+	ErrWindowFull = errors.New("reliable: transmit window full")
+)
+
+// Frame is one numbered-mode frame on the wire: the control octet and
+// (for I frames) the information field.
+type Frame struct {
+	Ctrl    byte
+	Payload []byte
+}
+
+// Station is one end of a numbered-mode link. It is transport-agnostic:
+// Out receives frames to put on the wire, Deliver receives in-sequence
+// information fields. Drive timeouts with Advance using any monotonic
+// virtual clock.
+type Station struct {
+	// Out transmits a frame toward the peer. Required.
+	Out func(Frame)
+	// Deliver hands a received information field up the stack. Required
+	// for data reception.
+	Deliver func([]byte)
+	// Window is the transmit window k (default DefaultWindow, max 7).
+	Window int
+	// RetransmitPeriod is the T1 timer in virtual time units
+	// (default 3).
+	RetransmitPeriod int64
+	// MaxRetries is N2 (default 10); exceeding it resets the link.
+	MaxRetries int
+
+	connected bool
+	initiator bool
+
+	vs, vr, va uint8 // V(S), V(R), V(A), modulo 8
+
+	sent    []Frame // unacknowledged I frames, oldest first
+	pending [][]byte
+
+	rejSent bool // a REJ is outstanding (suppress duplicates)
+
+	now, t1 int64
+	retries int
+
+	// Counters.
+	TxI, RxI, TxREJ, RxREJ, Retransmits, Resets uint64
+	RxDiscarded                                 uint64
+}
+
+func (s *Station) window() int {
+	if s.Window <= 0 || s.Window > 7 {
+		return DefaultWindow
+	}
+	return s.Window
+}
+
+func (s *Station) period() int64 {
+	if s.RetransmitPeriod <= 0 {
+		return 3
+	}
+	return s.RetransmitPeriod
+}
+
+func (s *Station) maxRetries() int {
+	if s.MaxRetries <= 0 {
+		return 10
+	}
+	return s.MaxRetries
+}
+
+// Connected reports whether the link is in asynchronous balanced mode.
+func (s *Station) Connected() bool { return s.connected }
+
+// Connect initiates link setup (SABM). The peer answers UA.
+func (s *Station) Connect() {
+	s.initiator = true
+	s.reset()
+	s.Out(Frame{Ctrl: CtrlSABM})
+	s.armT1()
+}
+
+// Disconnect tears the link down.
+func (s *Station) Disconnect() {
+	if s.connected {
+		s.Out(Frame{Ctrl: CtrlDISC})
+	}
+	s.connected = false
+	s.stopT1()
+}
+
+func (s *Station) reset() {
+	s.vs, s.vr, s.va = 0, 0, 0
+	s.sent = nil
+	s.rejSent = false
+	s.retries = 0
+}
+
+// InFlight returns the number of unacknowledged I frames.
+func (s *Station) InFlight() int { return len(s.sent) }
+
+// Queued returns the number of payloads waiting for window space.
+func (s *Station) Queued() int { return len(s.pending) }
+
+// Send queues an information field for numbered transmission. Payloads
+// beyond the window are buffered and flushed as acknowledgements open
+// the window.
+func (s *Station) Send(payload []byte) error {
+	if !s.connected {
+		return ErrNotConnected
+	}
+	s.pending = append(s.pending, payload)
+	s.pump()
+	return nil
+}
+
+// pump transmits pending payloads while window space exists.
+func (s *Station) pump() {
+	for len(s.pending) > 0 && len(s.sent) < s.window() {
+		p := s.pending[0]
+		s.pending = s.pending[1:]
+		f := Frame{Ctrl: iCtrl(s.vs, s.vr), Payload: p}
+		s.vs = (s.vs + 1) % Modulus
+		s.sent = append(s.sent, f)
+		s.TxI++
+		s.Out(f)
+		s.armT1()
+	}
+}
+
+func (s *Station) armT1()  { s.t1 = s.now + s.period() }
+func (s *Station) stopT1() { s.t1 = 0 }
+
+// Advance moves the virtual clock, firing the retransmission timer.
+func (s *Station) Advance(now int64) {
+	if now > s.now {
+		s.now = now
+	}
+	if s.t1 == 0 || s.now < s.t1 {
+		return
+	}
+	if !s.connected {
+		// SABM unanswered.
+		if s.initiator {
+			s.retries++
+			if s.retries > s.maxRetries() {
+				s.stopT1()
+				return
+			}
+			s.Out(Frame{Ctrl: CtrlSABM})
+			s.armT1()
+		}
+		return
+	}
+	if len(s.sent) == 0 {
+		s.stopT1()
+		return
+	}
+	s.retries++
+	if s.retries > s.maxRetries() {
+		// N2 exhausted: reset the link (RFC 1663 §2 / LAPB).
+		s.Resets++
+		s.connected = false
+		s.reset()
+		if s.initiator {
+			s.Connect()
+		}
+		return
+	}
+	// Go-back-N: retransmit everything outstanding with updated N(R).
+	s.retransmit()
+	s.armT1()
+}
+
+func (s *Station) retransmit() {
+	for i := range s.sent {
+		s.sent[i].Ctrl = iCtrl(NS(s.sent[i].Ctrl), s.vr)
+		s.Retransmits++
+		s.Out(s.sent[i])
+	}
+}
+
+// Receive processes one frame from the peer.
+func (s *Station) Receive(f Frame) {
+	switch Classify(f.Ctrl) {
+	case KindU:
+		s.receiveU(f)
+	case KindI:
+		s.receiveI(f)
+	case KindRR, KindREJ, KindRNR:
+		s.ack(NR(f.Ctrl))
+		if Classify(f.Ctrl) == KindREJ {
+			s.RxREJ++
+			s.retransmit()
+			s.armT1()
+		}
+	}
+}
+
+func (s *Station) receiveU(f Frame) {
+	switch f.Ctrl & ctrlUMask {
+	case CtrlSABM & ctrlUMask:
+		s.reset()
+		s.connected = true
+		s.Out(Frame{Ctrl: CtrlUA})
+		s.stopT1()
+	case CtrlUA & ctrlUMask:
+		if !s.connected {
+			s.reset()
+			s.connected = true
+			s.stopT1()
+			s.pump()
+		}
+	case CtrlDISC & ctrlUMask:
+		s.connected = false
+		s.reset()
+		s.Out(Frame{Ctrl: CtrlDM})
+	}
+}
+
+func (s *Station) receiveI(f Frame) {
+	if !s.connected {
+		s.Out(Frame{Ctrl: CtrlDM})
+		return
+	}
+	s.ack(NR(f.Ctrl))
+	ns := NS(f.Ctrl)
+	if ns != s.vr {
+		// Out of sequence: discard and (once) ask for a go-back.
+		s.RxDiscarded++
+		if !s.rejSent {
+			s.rejSent = true
+			s.TxREJ++
+			s.Out(Frame{Ctrl: sCtrl(ctrlREJ, s.vr)})
+		}
+		return
+	}
+	s.rejSent = false
+	s.vr = (s.vr + 1) % Modulus
+	s.RxI++
+	if s.Deliver != nil {
+		s.Deliver(f.Payload)
+	}
+	// Acknowledge. Piggybacking happens naturally when pump() runs; if
+	// nothing is pending, send an explicit RR.
+	if len(s.pending) > 0 && len(s.sent) < s.window() {
+		s.pump()
+	} else {
+		s.Out(Frame{Ctrl: sCtrl(ctrlRR, s.vr)})
+	}
+}
+
+// ack processes an incoming N(R): everything below it is confirmed.
+func (s *Station) ack(nr uint8) {
+	for len(s.sent) > 0 {
+		first := NS(s.sent[0].Ctrl)
+		// first is acknowledged iff it lies in [va, nr) modulo 8.
+		if !seqInRange(s.va, first, nr) {
+			break
+		}
+		s.sent = s.sent[1:]
+		s.va = (first + 1) % Modulus
+		s.retries = 0
+	}
+	if len(s.sent) == 0 {
+		s.stopT1()
+	} else {
+		s.armT1()
+	}
+	s.pump()
+}
+
+// seqInRange reports whether x lies in the half-open window [lo, hi)
+// modulo 8.
+func seqInRange(lo, x, hi uint8) bool {
+	return (x-lo)%Modulus < (hi-lo)%Modulus
+}

@@ -1,0 +1,120 @@
+package rtl
+
+// Source feeds a queue of flits into a wire, one per cycle, honouring
+// backpressure.
+type Source struct {
+	Out   *Wire
+	queue []Flit
+	// Sent counts flits pushed; StallCycles counts cycles blocked.
+	Sent        uint64
+	StallCycles uint64
+}
+
+// Feed appends flits to the source queue.
+func (s *Source) Feed(f ...Flit) { s.queue = append(s.queue, f...) }
+
+// FeedBytes packs p into flits of w bytes and appends them, marking SOF
+// on the first and EOF on the last.
+func (s *Source) FeedBytes(p []byte, w int) {
+	for off := 0; off < len(p); off += w {
+		end := off + w
+		if end > len(p) {
+			end = len(p)
+		}
+		f := FlitOf(p[off:end])
+		f.SOF = off == 0
+		f.EOF = end == len(p)
+		s.Feed(f)
+	}
+}
+
+// Pending reports how many flits remain queued.
+func (s *Source) Pending() int { return len(s.queue) }
+
+// Eval implements Module.
+func (s *Source) Eval() {
+	if len(s.queue) == 0 {
+		return
+	}
+	if !s.Out.CanPush() {
+		s.StallCycles++
+		return
+	}
+	s.Out.Push(s.queue[0])
+	s.queue = s.queue[1:]
+	s.Sent++
+}
+
+// Tick implements Module.
+func (s *Source) Tick() {}
+
+// Sink drains a wire, recording every flit and the flattened byte stream.
+type Sink struct {
+	In    *Wire
+	Flits []Flit
+	Data  []byte
+	// FirstCycle is the simulation cycle (counted by the sink itself)
+	// at which the first flit arrived; -1 until then.
+	FirstCycle int64
+	cycle      int64
+}
+
+// NewSink creates a sink on w.
+func NewSink(w *Wire) *Sink { return &Sink{In: w, FirstCycle: -1} }
+
+// Eval implements Module.
+func (s *Sink) Eval() {
+	if f, ok := s.In.Take(); ok {
+		if s.FirstCycle < 0 {
+			s.FirstCycle = s.cycle
+		}
+		s.Flits = append(s.Flits, f)
+		s.Data = f.Bytes(s.Data)
+	}
+}
+
+// Tick implements Module.
+func (s *Sink) Tick() { s.cycle++ }
+
+// ByteFIFO is a small synchronous byte buffer with occupancy tracking —
+// the resynchronisation buffer of the paper's byte sorter.
+type ByteFIFO struct {
+	buf  []byte
+	head int
+	// HighWater records the maximum occupancy ever seen.
+	HighWater int
+}
+
+// Len returns the current occupancy.
+func (q *ByteFIFO) Len() int { return len(q.buf) - q.head }
+
+// Push appends bytes.
+func (q *ByteFIFO) Push(p ...byte) {
+	q.buf = append(q.buf, p...)
+	if n := q.Len(); n > q.HighWater {
+		q.HighWater = n
+	}
+}
+
+// Pop removes and returns up to n bytes.
+func (q *ByteFIFO) Pop(n int) []byte {
+	if n > q.Len() {
+		n = q.Len()
+	}
+	p := q.buf[q.head : q.head+n]
+	q.head += n
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return p
+}
+
+// Peek returns byte i from the front without removing it.
+func (q *ByteFIFO) Peek(i int) byte { return q.buf[q.head+i] }
+
+// Reset empties the FIFO (HighWater is preserved).
+func (q *ByteFIFO) Reset() {
+	q.buf = q.buf[:0]
+	q.head = 0
+}

@@ -1,0 +1,320 @@
+package rtl
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlitBytes(t *testing.T) {
+	f := FlitOf([]byte{1, 2, 3, 4})
+	if f.N != 4 || f.Byte(0) != 1 || f.Byte(3) != 4 {
+		t.Errorf("flit = %+v", f)
+	}
+	f.SetByte(2, 0xAA)
+	if f.Byte(2) != 0xAA || f.Byte(1) != 2 || f.Byte(3) != 4 {
+		t.Errorf("SetByte clobbered lanes: %+v", f)
+	}
+	got := f.Bytes(nil)
+	if !bytes.Equal(got, []byte{1, 2, 0xAA, 4}) {
+		t.Errorf("Bytes = % x", got)
+	}
+}
+
+func TestFlitOfTruncates(t *testing.T) {
+	f := FlitOf(bytes.Repeat([]byte{9}, 12))
+	if f.N != 8 {
+		t.Errorf("N = %d, want 8", f.N)
+	}
+}
+
+func TestFlitRoundTripProperty(t *testing.T) {
+	f := func(p []byte) bool {
+		if len(p) > 8 {
+			p = p[:8]
+		}
+		if len(p) == 0 {
+			return true
+		}
+		return bytes.Equal(FlitOf(p).Bytes(nil), p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireHandshake(t *testing.T) {
+	var w Wire
+	if _, ok := w.Take(); ok {
+		t.Error("take from empty wire")
+	}
+	if !w.CanPush() {
+		t.Error("empty wire must accept push")
+	}
+	w.Push(FlitOf([]byte{1}))
+	if w.CanPush() {
+		t.Error("double push in one cycle must be refused")
+	}
+	if _, ok := w.Peek(); ok {
+		t.Error("pushed flit visible before tick")
+	}
+	w.Tick()
+	f, ok := w.Peek()
+	if !ok || f.Byte(0) != 1 {
+		t.Error("flit not visible after tick")
+	}
+	// Not consumed: producer must stall.
+	if w.CanPush() {
+		t.Error("occupied wire must refuse push")
+	}
+	if w.Stalls != 1 {
+		t.Errorf("Stalls = %d", w.Stalls)
+	}
+	// Consume, then push is allowed again in the same cycle.
+	if _, ok := w.Take(); !ok {
+		t.Error("take failed")
+	}
+	if !w.CanPush() {
+		t.Error("vacating wire must accept push")
+	}
+	w.Push(FlitOf([]byte{2}))
+	w.Tick()
+	f, _ = w.Take()
+	if f.Byte(0) != 2 {
+		t.Error("second flit lost")
+	}
+	if w.Transfers != 2 {
+		t.Errorf("Transfers = %d", w.Transfers)
+	}
+}
+
+func TestWirePushPanicsWhenBlocked(t *testing.T) {
+	var w Wire
+	w.Push(FlitOf([]byte{1}))
+	w.Tick()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	w.Push(FlitOf([]byte{2}))
+}
+
+// passthrough copies input to output, used to build deep pipelines.
+type passthrough struct{ in, out *Wire }
+
+func (p *passthrough) Eval() {
+	if _, ok := p.in.Peek(); !ok {
+		return
+	}
+	if !p.out.CanPush() {
+		return
+	}
+	f, _ := p.in.Take()
+	p.out.Push(f)
+}
+func (p *passthrough) Tick() {}
+
+func TestPipelineLatencyAndThroughput(t *testing.T) {
+	// N passthrough stages = N+1 wires = N+1 cycles of latency, and
+	// sustained 1 flit/cycle afterwards.
+	const stages = 4
+	var sim Sim
+	src := &Source{Out: sim.Wire("w0")}
+	sim.Add(src)
+	prev := src.Out
+	for i := 0; i < stages; i++ {
+		next := sim.Wire("w")
+		sim.Add(&passthrough{in: prev, out: next})
+		prev = next
+	}
+	sink := NewSink(prev)
+	sim.Add(sink)
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		src.Feed(FlitOf([]byte{byte(i)}))
+	}
+	// First flit: pushed at cycle 0, visible on w0 at cycle 1, ...
+	// visible on w_stages at cycle stages+1.
+	sim.RunUntil(func() bool { return len(sink.Flits) > 0 }, 1000)
+	if sink.FirstCycle != stages+1 {
+		t.Errorf("first output at cycle %d, want %d", sink.FirstCycle, stages+1)
+	}
+	sim.RunUntil(func() bool { return len(sink.Flits) == n }, 1000)
+	// Total time = fill latency + n-1 further cycles (full throughput).
+	if got, want := sim.Now(), int64(stages+1+n); got > want+1 {
+		t.Errorf("drained at cycle %d, want ~%d (1 flit/cycle)", got, want)
+	}
+	for i := range sink.Flits {
+		if sink.Flits[i].Byte(0) != byte(i) {
+			t.Fatalf("flit %d out of order", i)
+		}
+	}
+}
+
+// throttle consumes only once every k cycles — a slow sink that must
+// backpressure the pipeline.
+type throttle struct {
+	in, out *Wire
+	k       int
+	c       int
+}
+
+func (th *throttle) Eval() {
+	th.c++
+	if th.c%th.k != 0 {
+		return
+	}
+	if _, ok := th.in.Peek(); !ok {
+		return
+	}
+	if !th.out.CanPush() {
+		return
+	}
+	f, _ := th.in.Take()
+	th.out.Push(f)
+}
+func (th *throttle) Tick() {}
+
+func TestBackpressurePropagates(t *testing.T) {
+	var sim Sim
+	src := &Source{Out: sim.Wire("w0")}
+	w1 := sim.Wire("w1")
+	w2 := sim.Wire("w2")
+	sim.Add(src, &passthrough{in: src.Out, out: w1}, &throttle{in: w1, out: w2, k: 3})
+	sink := NewSink(w2)
+	sim.Add(sink)
+
+	const n = 30
+	for i := 0; i < n; i++ {
+		src.Feed(FlitOf([]byte{byte(i)}))
+	}
+	sim.RunUntil(func() bool { return len(sink.Flits) == n }, 10000)
+	if len(sink.Flits) != n {
+		t.Fatalf("only %d flits arrived", len(sink.Flits))
+	}
+	// The source must have been stalled by upstream-propagated pressure.
+	if src.StallCycles == 0 {
+		t.Error("no backpressure reached the source")
+	}
+	if src.Out.Stalls == 0 {
+		t.Error("no stalls recorded on the source wire")
+	}
+	// No flit lost or reordered.
+	for i := range sink.Flits {
+		if sink.Flits[i].Byte(0) != byte(i) {
+			t.Fatalf("flit %d out of order", i)
+		}
+	}
+}
+
+func TestSourceFeedBytes(t *testing.T) {
+	var sim Sim
+	src := &Source{Out: sim.Wire("w")}
+	sink := NewSink(src.Out)
+	sim.Add(src, sink)
+	src.FeedBytes([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, 4)
+	sim.RunUntil(func() bool { return src.Pending() == 0 && sim.Drained() }, 100)
+	if len(sink.Flits) != 3 {
+		t.Fatalf("flits = %d, want 3", len(sink.Flits))
+	}
+	if !sink.Flits[0].SOF || sink.Flits[0].EOF {
+		t.Error("first flit markers")
+	}
+	if !sink.Flits[2].EOF || sink.Flits[2].N != 1 {
+		t.Errorf("last flit = %+v", sink.Flits[2])
+	}
+	if !bytes.Equal(sink.Data, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+		t.Errorf("data = % x", sink.Data)
+	}
+}
+
+func TestByteFIFO(t *testing.T) {
+	var q ByteFIFO
+	q.Push(1, 2, 3)
+	if q.Len() != 3 || q.Peek(0) != 1 || q.Peek(2) != 3 {
+		t.Error("push/peek")
+	}
+	p := q.Pop(2)
+	if !bytes.Equal(p, []byte{1, 2}) || q.Len() != 1 {
+		t.Error("pop")
+	}
+	q.Push(4, 5)
+	if q.HighWater != 3 {
+		t.Errorf("HighWater = %d", q.HighWater)
+	}
+	p = q.Pop(10)
+	if !bytes.Equal(p, []byte{3, 4, 5}) || q.Len() != 0 {
+		t.Errorf("drain pop = % x", p)
+	}
+	q.Push(9)
+	q.Reset()
+	if q.Len() != 0 || q.HighWater != 3 {
+		t.Error("reset")
+	}
+}
+
+func TestSimDrained(t *testing.T) {
+	var sim Sim
+	w := sim.Wire("w")
+	if !sim.Drained() {
+		t.Error("fresh sim not drained")
+	}
+	w.Push(FlitOf([]byte{1}))
+	if sim.Drained() {
+		t.Error("pending push must count as in flight")
+	}
+	sim.Cycle()
+	if sim.Drained() {
+		t.Error("standing flit must count as in flight")
+	}
+	w.Take()
+	sim.Cycle()
+	if !sim.Drained() {
+		t.Error("consumed wire must drain")
+	}
+}
+
+func TestVCDDump(t *testing.T) {
+	var sim Sim
+	src := &Source{Out: sim.Wire("w")}
+	sink := NewSink(src.Out)
+	sim.Add(src, sink)
+
+	var buf bytes.Buffer
+	vcd := NewVCD(&buf)
+	vcd.WatchWire("line", src.Out, 4)
+	occ := 0
+	vcd.Watch("occupancy", 8, func() (uint64, bool) { return uint64(occ), true })
+
+	src.FeedBytes([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	for i := 0; i < 6; i++ {
+		sim.Cycle()
+		occ = i
+		vcd.Sample(sim.Now())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale", "$var wire 32 ! line.data $end",
+		"$var wire 1 \" line.valid $end", "$enddefinitions", "#1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// The first data word 0x04030201 must appear in binary.
+	if !strings.Contains(out, fmt.Sprintf("b%b !", 0x04030201)) {
+		t.Errorf("first word value missing:\n%s", out)
+	}
+	// Unknown marker after the stream drains.
+	if !strings.Contains(out, "bx !") {
+		t.Errorf("no x state after drain:\n%s", out)
+	}
+	// Change-only encoding: occupancy value 3 appears exactly once.
+	if strings.Count(out, "b11 #") != 1 {
+		t.Errorf("occupancy not change-encoded:\n%s", out)
+	}
+}

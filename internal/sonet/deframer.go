@@ -1,0 +1,128 @@
+package sonet
+
+// Deframer recovers the HDLC payload stream from a received STM-N octet
+// stream: it hunts for the A1/A2 alignment pattern, descrambles,
+// verifies B1/B3 parity against its own computation, and emits the
+// payload octets.
+type Deframer struct {
+	Level Level
+	// Emit receives recovered payload octets in order.
+	Emit func(b byte)
+
+	buf     []byte // accumulating candidate frame
+	aligned bool
+
+	scr       Scrambler
+	prevFrame []byte
+	prevPath  []byte
+	// first frame after alignment cannot be parity-checked (no
+	// previous frame).
+	havePrev bool
+
+	// Counters.
+	FramesOK    uint64
+	B1Errors    uint64
+	B3Errors    uint64
+	ResyncCount uint64
+}
+
+// NewDeframer returns a deframer for the given level.
+func NewDeframer(level Level, emit func(byte)) *Deframer {
+	return &Deframer{Level: level, Emit: emit}
+}
+
+// Aligned reports whether frame alignment has been acquired.
+func (d *Deframer) Aligned() bool { return d.aligned }
+
+// Feed consumes received line octets.
+func (d *Deframer) Feed(p []byte) {
+	for _, b := range p {
+		d.buf = append(d.buf, b)
+		if !d.aligned {
+			d.hunt()
+			continue
+		}
+		if len(d.buf) == d.Level.FrameBytes() {
+			raw := d.buf
+			d.buf = nil
+			d.frame(raw)
+		}
+	}
+}
+
+// hunt looks for the A1...A1 A2...A2 pattern at the start of buf.
+func (d *Deframer) hunt() {
+	n := int(d.Level)
+	need := 6 * n
+	for len(d.buf) >= need {
+		if matchAlignment(d.buf, n) {
+			// Everything from here is the start of a frame; keep any
+			// octets already received beyond the alignment pattern.
+			d.aligned = true
+			d.ResyncCount++
+			return
+		}
+		// Slide by one octet.
+		d.buf = d.buf[1:]
+	}
+}
+
+func matchAlignment(p []byte, n int) bool {
+	for i := 0; i < 3*n; i++ {
+		if p[i] != A1 {
+			return false
+		}
+	}
+	for i := 3 * n; i < 6*n; i++ {
+		if p[i] != A2 {
+			return false
+		}
+	}
+	return true
+}
+
+// frame processes one aligned transport frame.
+func (d *Deframer) frame(raw []byte) {
+	n := int(d.Level)
+	row := colsPerSTM1 * n
+	soh := sohCols * n
+	if !matchAlignment(raw, n) {
+		// Alignment lost: drop back to hunting.
+		d.aligned = false
+		d.havePrev = false
+		d.buf = append([]byte(nil), raw[1:]...)
+		d.hunt()
+		return
+	}
+	frame := append([]byte(nil), raw...)
+	d.scr.Reset()
+	d.scr.Apply(frame[soh:])
+
+	// Parity checks against the previous frame.
+	if d.havePrev {
+		wantB1 := bip8(d.prevFrame)
+		if frame[row+0] != wantB1 { // row 1, first overhead byte
+			d.B1Errors++
+		}
+		wantB3 := bip8(d.prevPath)
+		if frame[2*row+soh] != wantB3 {
+			d.B3Errors++
+		}
+	}
+
+	// Extract POH column + payload.
+	var path []byte
+	for r := 0; r < rows; r++ {
+		base := r * row
+		path = append(path, frame[base+soh:base+row]...)
+		for c := soh + 1; c < row; c++ {
+			if d.Emit != nil {
+				d.Emit(frame[base+c])
+			}
+		}
+	}
+	d.prevPath = path
+	d.prevFrame = append(d.prevFrame[:0], raw...)
+	d.havePrev = true
+	d.FramesOK++
+}

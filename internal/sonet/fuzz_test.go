@@ -1,0 +1,22 @@
+package sonet
+
+import "testing"
+
+// FuzzDeframer must survive arbitrary line garbage in any chunking and
+// still re-acquire alignment on a subsequent clean frame.
+func FuzzDeframer(f *testing.F) {
+	f.Add([]byte{0xF6, 0xF6, 0xF6, 0x28, 0x28, 0x28})
+	f.Add(make([]byte, 300))
+	f.Fuzz(func(t *testing.T, garbage []byte) {
+		df := NewDeframer(STM1, nil)
+		df.Feed(garbage)
+		fr := NewFramer(STM1, func() (byte, bool) { return 0x42, true })
+		before := df.FramesOK
+		for i := 0; i < 4; i++ {
+			df.Feed(fr.NextFrame())
+		}
+		if df.FramesOK < before+2 {
+			t.Fatalf("did not recover after garbage: %d frames", df.FramesOK-before)
+		}
+	})
+}

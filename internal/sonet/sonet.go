@@ -1,0 +1,101 @@
+// Package sonet is the SDH/SONET physical-layer substrate: a simplified
+// but structurally faithful STM-N framer and deframer carrying the
+// byte-synchronous HDLC/PPP payload mapping of RFC 1619/2615 — the
+// "PHY" blocks on either side of the P5 in the paper's Figure 2.
+//
+// A transport frame is 9 rows by 270·N columns repeated every 125 µs.
+// The model implements the overhead actually needed to exercise the
+// datapath: A1/A2 frame alignment, B1/B3 BIP-8 parity monitoring, the
+// C2 path-signal label for PPP, the x^7+x^6+1 frame-synchronous
+// scrambler, and a concatenated payload area. Pointers are fixed
+// (concatenation with zero offset), which matches the byte-synchronous
+// mapping the paper assumes.
+package sonet
+
+// Level is the STM level N (STM-1, STM-4, STM-16...). OC-3N equivalent.
+type Level int
+
+// Common levels and their line rates.
+const (
+	STM1  Level = 1  // OC-3,  155.52 Mb/s
+	STM4  Level = 4  // OC-12, 622.08 Mb/s
+	STM16 Level = 16 // OC-48, 2488.32 Mb/s — the paper's 2.5 Gb/s target
+	STM64 Level = 64 // OC-192, 9953.28 Mb/s — the scaling study's ceiling
+)
+
+// Geometry constants (per STM-1).
+const (
+	rows        = 9
+	colsPerSTM1 = 270
+	sohCols     = 9 // section+line overhead columns per STM-1
+	// FramesPerSecond is the 125 µs frame cadence.
+	FramesPerSecond = 8000
+)
+
+// FrameBytes returns the transport frame size in octets.
+func (n Level) FrameBytes() int { return rows * colsPerSTM1 * int(n) }
+
+// LineRate returns the gross line rate in bits per second.
+func (n Level) LineRate() float64 {
+	return float64(n.FrameBytes()) * 8 * FramesPerSecond
+}
+
+// PayloadBytes returns the octets per frame available to the HDLC
+// stream: the payload area minus one path-overhead column.
+func (n Level) PayloadBytes() int {
+	return rows * (colsPerSTM1 - sohCols - 1) * int(n)
+}
+
+// PayloadRate returns the HDLC-visible payload rate in bits per second.
+func (n Level) PayloadRate() float64 {
+	return float64(n.PayloadBytes()) * 8 * FramesPerSecond
+}
+
+// Overhead byte values.
+const (
+	A1 = 0xF6 // frame alignment, first half
+	A2 = 0x28 // frame alignment, second half
+	// C2PPP is the path signal label for PPP/HDLC payload (RFC 2615).
+	C2PPP = 0x16
+)
+
+// Scrambler is the frame-synchronous SDH scrambler, generator
+// 1 + x^6 + x^7, reset to all ones at the first payload-scrambled byte
+// of every frame. Scrambling is an XOR stream, so the same operation
+// descrambles.
+type Scrambler struct {
+	state byte
+}
+
+// Reset re-seeds the scrambler (start of frame).
+func (s *Scrambler) Reset() { s.state = 0x7F }
+
+// Next returns the next scrambler byte (eight successive LFSR bits).
+func (s *Scrambler) Next() byte {
+	var out byte
+	st := s.state // 7-bit state
+	for i := 7; i >= 0; i-- {
+		bit := (st >> 6) & 1 // x^7 tap
+		out |= bit << uint(i)
+		fb := ((st >> 6) ^ (st >> 5)) & 1 // x^7 + x^6
+		st = (st<<1 | fb) & 0x7F
+	}
+	s.state = st
+	return out
+}
+
+// Apply XORs the scrambler stream over p in place.
+func (s *Scrambler) Apply(p []byte) {
+	for i := range p {
+		p[i] ^= s.Next()
+	}
+}
+
+// bip8 computes even byte-interleaved parity over p.
+func bip8(p []byte) byte {
+	var b byte
+	for _, x := range p {
+		b ^= x
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+// Package sweep is a small parallel parameter-sweep harness: it fans a
+// grid of independent simulation points out over a worker pool and
+// collects results in input order. The cycle-accurate P5 simulations
+// are single-threaded by nature (one synchronous clock), but the
+// evaluation grid — width × escape-density × buffer-depth — is
+// embarrassingly parallel across points, which is where the speedup
+// lives.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Point is one cell of a sweep grid.
+type Point struct {
+	// Width is the datapath width in octets.
+	Width int
+	// Density is the payload escape density.
+	Density float64
+	// BufCap is the resynchronisation buffer capacity (0 = default).
+	BufCap int
+}
+
+// Result pairs a point with its measured outcome.
+type Result struct {
+	Point
+	// BitsPerCycle is the measured goodput.
+	BitsPerCycle float64
+	// Stalls counts transmit backpressure stalls.
+	Stalls uint64
+	// HighWater is the peak resynchronisation-buffer occupancy.
+	HighWater int
+	// Err reports a failed run.
+	Err error
+}
+
+// Grid builds the cross product of the parameter lists.
+func Grid(widths []int, densities []float64, bufCaps []int) []Point {
+	if len(bufCaps) == 0 {
+		bufCaps = []int{0}
+	}
+	var pts []Point
+	for _, w := range widths {
+		for _, d := range densities {
+			for _, b := range bufCaps {
+				pts = append(pts, Point{Width: w, Density: d, BufCap: b})
+			}
+		}
+	}
+	return pts
+}
+
+// Run evaluates fn over every point using up to workers goroutines
+// (0 = GOMAXPROCS) and returns results in point order.
+func Run(points []Point, workers int, fn func(Point) Result) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	results := make([]Result, len(points))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = fn(points[i])
+			}
+		}()
+	}
+	for i := range points {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,70 @@
+package sweep
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGridCrossProduct(t *testing.T) {
+	pts := Grid([]int{1, 4}, []float64{0, 0.5}, []int{8, 16})
+	if len(pts) != 8 {
+		t.Fatalf("grid size = %d", len(pts))
+	}
+	// First point is the first of every list; last is the last.
+	if pts[0] != (Point{Width: 1, Density: 0, BufCap: 8}) {
+		t.Errorf("first = %+v", pts[0])
+	}
+	if pts[7] != (Point{Width: 4, Density: 0.5, BufCap: 16}) {
+		t.Errorf("last = %+v", pts[7])
+	}
+	// Empty bufCaps defaults to a single zero entry.
+	if got := Grid([]int{1}, []float64{0}, nil); len(got) != 1 || got[0].BufCap != 0 {
+		t.Errorf("default bufcaps: %+v", got)
+	}
+}
+
+func TestRunPreservesOrderAndRunsAll(t *testing.T) {
+	pts := Grid([]int{1, 2, 4, 8}, []float64{0, 0.1, 0.2}, []int{8, 32})
+	var calls int64
+	results := Run(pts, 4, func(p Point) Result {
+		atomic.AddInt64(&calls, 1)
+		return Result{Point: p, BitsPerCycle: float64(p.Width)}
+	})
+	if int(calls) != len(pts) {
+		t.Fatalf("calls = %d", calls)
+	}
+	for i, r := range results {
+		if r.Point != pts[i] {
+			t.Fatalf("result %d out of order: %+v vs %+v", i, r.Point, pts[i])
+		}
+		if r.BitsPerCycle != float64(pts[i].Width) {
+			t.Fatalf("result %d value mismatch", i)
+		}
+	}
+}
+
+func TestRunWorkerClamping(t *testing.T) {
+	pts := Grid([]int{1}, []float64{0}, nil)
+	// More workers than points, and the zero default, must both work.
+	for _, w := range []int{0, 1, 100} {
+		res := Run(pts, w, func(p Point) Result { return Result{Point: p} })
+		if len(res) != 1 {
+			t.Fatalf("workers=%d: %d results", w, len(res))
+		}
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	pts := Grid([]int{1, 2}, []float64{0}, nil)
+	res := Run(pts, 2, func(p Point) Result {
+		if p.Width == 2 {
+			return Result{Point: p, Err: boom}
+		}
+		return Result{Point: p}
+	})
+	if res[0].Err != nil || res[1].Err != boom {
+		t.Fatalf("errors not propagated: %+v", res)
+	}
+}

@@ -1,0 +1,451 @@
+package gigapos
+
+import (
+	"errors"
+
+	"repro/internal/hdlc"
+	"repro/internal/ipcp"
+	"repro/internal/lcp"
+	"repro/internal/lqm"
+	"repro/internal/ppp"
+	"repro/internal/reliable"
+	"repro/internal/vj"
+)
+
+// LinkConfig configures a software PPP endpoint.
+type LinkConfig struct {
+	// Magic is the LCP magic number (0 disables the option).
+	Magic uint32
+	// MRU to request; 0 keeps the 1500 default.
+	MRU int
+	// WantPFC/WantACFC request header compression for our receive
+	// direction; AllowPFC/AllowACFC grant it to the peer.
+	WantPFC, WantACFC   bool
+	AllowPFC, AllowACFC bool
+	// FCS selects the frame check sequence (default FCS32).
+	FCS FCSSize
+	// IPAddr is our IPv4 address for IPCP (zero requests assignment).
+	IPAddr [4]byte
+	// AssignPeer, when non-zero, is handed to a peer that requests an
+	// address.
+	AssignPeer [4]byte
+	// Rand supplies randomness for magic-number collisions (optional).
+	Rand func() uint32
+
+	// Reliable enables numbered-mode operation (RFC 1663): after LCP
+	// opens, the endpoints run SABM/UA and carry network-layer frames
+	// with modulo-8 sequence numbers, acknowledgements and go-back-N
+	// retransmission — the paper's noisy-wireless configuration.
+	Reliable bool
+	// ReliableWindow is the transmit window k (default 7).
+	ReliableWindow int
+	// ReliablePeriod is the T1 retransmit timer in virtual time units.
+	ReliablePeriod int64
+	// ReliableMaxRetries is N2, the retransmission limit before a link
+	// reset (default 10).
+	ReliableMaxRetries int
+
+	// WantVJ requests Van Jacobson TCP/IP header compression for our
+	// receive direction (RFC 1144 via IPCP, RFC 1332 §4); AllowVJ
+	// grants it to the peer.
+	WantVJ, AllowVJ bool
+
+	// Auth configures the authentication phase (PAP / CHAP).
+	Auth AuthConfig
+
+	// EchoPeriod, when non-zero, sends LCP Echo-Requests at this
+	// interval once Opened; EchoMisses consecutive unanswered echoes
+	// (default 3) bring the link down — dead-peer detection.
+	EchoPeriod int64
+	// EchoMisses is the unanswered-echo limit (default 3).
+	EchoMisses int
+
+	// LQMPeriod, when non-zero, enables RFC 1333 link quality
+	// monitoring with the given reporting period (virtual time units).
+	LQMPeriod int64
+	// LQMMaxLossPct is the loss threshold for a Bad verdict.
+	LQMMaxLossPct float64
+	// LQMGoodWindows is the recovery hysteresis.
+	LQMGoodWindows int
+}
+
+// Datagram is one received network-layer packet.
+type Datagram struct {
+	Protocol uint16
+	Payload  []byte
+}
+
+// Link is a complete software PPP endpoint: HDLC framing, LCP link
+// negotiation, IPCP address configuration, and network-layer transport,
+// all speaking the byte stream format the P5 hardware model puts on the
+// line. Wire a pair of Links together (directly or through the sonet
+// framer) and they will bring themselves up.
+//
+// Link is not safe for concurrent use; drive it from one goroutine.
+type Link struct {
+	cfg LinkConfig
+
+	lcpPol  *lcp.LCPPolicy
+	lcpA    *lcp.Automaton
+	ipcpPol *ipcp.Policy
+	ipcpA   *lcp.Automaton
+
+	out []byte // pending transmit bytes (wire format)
+	tk  hdlc.Tokenizer
+
+	rx []Datagram
+
+	station *reliable.Station
+	monitor *lqm.Monitor
+	vjTx    *vj.Compressor
+	vjRx    *vj.Decompressor
+	auth    *linkAuth
+
+	// networkUp latches entry into the network phase.
+	networkUp bool
+
+	protoRejID byte
+
+	echoNext    int64
+	echoPending int  // unanswered echoes
+	echoID      byte // id of the outstanding echo
+
+	// Stats.
+	RxFrames, RxErrors uint64
+	ProtocolRejects    uint64
+	AuthFailures       uint64
+	RxBadAuth          uint64
+	EchoTimeouts       uint64
+}
+
+// ErrLinkDown is returned when sending on a link whose LCP (or IPCP,
+// for IP traffic) has not reached Opened.
+var ErrLinkDown = errors.New("gigapos: link not opened")
+
+// NewLink creates an endpoint with the given configuration.
+func NewLink(cfg LinkConfig) *Link {
+	l := &Link{cfg: cfg}
+	l.lcpPol = lcp.NewLCPPolicy(cfg.Magic)
+	l.lcpPol.WantMRU = cfg.MRU
+	l.lcpPol.WantPFC = cfg.WantPFC
+	l.lcpPol.WantACFC = cfg.WantACFC
+	l.lcpPol.AllowPFC = cfg.AllowPFC
+	l.lcpPol.AllowACFC = cfg.AllowACFC
+	l.lcpPol.Rand = cfg.Rand
+
+	l.ipcpPol = ipcp.NewPolicy(ipcp.Addr(cfg.IPAddr))
+	l.ipcpPol.AssignPeer = ipcp.Addr(cfg.AssignPeer)
+	l.ipcpPol.WantVJ = cfg.WantVJ
+	l.ipcpPol.AllowVJ = cfg.AllowVJ
+	if cfg.WantVJ {
+		l.vjRx = vj.NewDecompressor(0)
+	}
+	if cfg.AllowVJ {
+		// The peer may still decline; the compressor is armed only
+		// once IPCP grants VJToPeer.
+		l.vjTx = vj.NewCompressor(0)
+	}
+
+	l.lcpA = lcp.NewAutomaton(
+		func(p *lcp.Packet) { l.sendControl(ppp.ProtoLCP, p) },
+		l.lcpPol,
+		lcp.Hooks{
+			Up: func() {
+				// Authentication phase (RFC 1661 §3.5), then the
+				// network phase: IPCP and numbered-mode setup.
+				if l.auth != nil {
+					l.startAuthPhase()
+					return
+				}
+				l.maybeEnterNetworkPhase()
+			},
+			Down: func() {
+				l.networkUp = false
+				l.ipcpA.Down()
+				if l.station != nil {
+					l.station.Disconnect()
+				}
+			},
+		},
+	)
+	l.ipcpA = lcp.NewAutomaton(
+		func(p *lcp.Packet) { l.sendControl(ppp.ProtoIPCP, p) },
+		l.ipcpPol,
+		lcp.Hooks{},
+	)
+	l.ipcpA.Open()
+	if cfg.Auth.Require != 0 || cfg.Auth.Identity != "" {
+		l.initAuth()
+	}
+	if cfg.Reliable {
+		l.initReliable()
+	}
+	if cfg.LQMPeriod > 0 {
+		l.initLQM()
+	}
+	return l
+}
+
+// lcpTxConfig is the framing config for control packets: LCP always
+// runs uncompressed with default framing.
+func (l *Link) lcpTxConfig() ppp.Config {
+	return ppp.Config{FCS: l.cfg.fcs(), ACCM: hdlc.ACCMAll}
+}
+
+func (c LinkConfig) fcs() FCSSize {
+	if c.FCS == 0 {
+		return FCS32
+	}
+	return c.FCS
+}
+
+// dataTxConfig is the framing config for network-layer frames after
+// negotiation.
+func (l *Link) dataTxConfig() ppp.Config {
+	cfg := l.lcpPol.TxConfig()
+	cfg.FCS = l.cfg.fcs()
+	return cfg
+}
+
+func (l *Link) rxConfig() ppp.Config {
+	cfg := l.lcpPol.RxConfig()
+	cfg.FCS = l.cfg.fcs()
+	cfg.MRU = 0 // control packets may exceed a tiny negotiated MRU
+	return cfg
+}
+
+func (l *Link) sendControl(proto uint16, p *lcp.Packet) {
+	f := &ppp.Frame{Protocol: proto, Payload: p.Marshal(nil)}
+	l.out = ppp.Encode(l.out, f, l.lcpTxConfig(), true)
+}
+
+// Open administratively opens the link (LCP Open event).
+func (l *Link) Open() { l.lcpA.Open() }
+
+// Up signals that the physical layer is available (LCP Up event).
+func (l *Link) Up() { l.lcpA.Up() }
+
+// Down signals loss of the physical layer.
+func (l *Link) Down() { l.lcpA.Down() }
+
+// Close administratively closes the link.
+func (l *Link) Close() { l.lcpA.Close() }
+
+// Advance moves the endpoint's virtual clock (restart timers, the
+// numbered-mode T1, and quality report cadence).
+func (l *Link) Advance(now int64) {
+	l.lcpA.Advance(now)
+	l.ipcpA.Advance(now)
+	if l.station != nil {
+		l.station.Advance(now)
+	}
+	if l.monitor != nil {
+		l.monitor.Advance(now)
+	}
+	l.serviceEcho(now)
+}
+
+// serviceEcho implements the keepalive: periodic Echo-Requests on an
+// opened link, teardown after EchoMisses silent periods.
+func (l *Link) serviceEcho(now int64) {
+	if l.cfg.EchoPeriod <= 0 || !l.Opened() {
+		l.echoNext = 0
+		l.echoPending = 0
+		return
+	}
+	if l.echoNext == 0 {
+		l.echoNext = now + l.cfg.EchoPeriod
+		return
+	}
+	if now < l.echoNext {
+		return
+	}
+	misses := l.cfg.EchoMisses
+	if misses <= 0 {
+		misses = 3
+	}
+	if l.echoPending >= misses {
+		// Dead peer: the link goes down (RFC 1661 §5.8 is the
+		// liveness tool; teardown policy is the implementation's).
+		l.EchoTimeouts++
+		l.echoPending = 0
+		l.lcpA.Down()
+		return
+	}
+	l.echoPending++
+	l.echoID++
+	var magic [4]byte
+	m := l.cfg.Magic
+	magic[0], magic[1], magic[2], magic[3] = byte(m>>24), byte(m>>16), byte(m>>8), byte(m)
+	pkt := lcpPacket(9 /* Echo-Request */, l.echoID, magic[:])
+	l.out = ppp.Encode(l.out, &ppp.Frame{Protocol: ppp.ProtoLCP, Payload: pkt},
+		l.lcpTxConfig(), true)
+	l.echoNext = now + l.cfg.EchoPeriod
+}
+
+// Opened reports whether LCP has reached the Opened state.
+func (l *Link) Opened() bool { return l.lcpA.State() == lcp.Opened }
+
+// IPReady reports whether IPCP has opened (IP traffic may flow).
+func (l *Link) IPReady() bool { return l.ipcpA.State() == lcp.Opened }
+
+// LocalIP returns the negotiated local IPv4 address.
+func (l *Link) LocalIP() [4]byte { return [4]byte(l.ipcpPol.LocalAddr) }
+
+// PeerIP returns the peer's negotiated IPv4 address.
+func (l *Link) PeerIP() [4]byte { return [4]byte(l.ipcpPol.PeerAddr) }
+
+// Send queues a network-layer payload for transmission.
+func (l *Link) Send(proto uint16, payload []byte) error {
+	if !l.Opened() {
+		return ErrLinkDown
+	}
+	if (proto == ppp.ProtoIPv4 || proto == ppp.ProtoVJC || proto == ppp.ProtoVJU) && !l.IPReady() {
+		return ErrLinkDown
+	}
+	if l.monitor != nil {
+		l.monitor.CountOutPacket(len(payload))
+	}
+	if l.station != nil {
+		if !l.station.Connected() {
+			return ErrLinkDown
+		}
+		info := append([]byte{byte(proto >> 8), byte(proto)}, payload...)
+		return l.station.Send(info)
+	}
+	f := &ppp.Frame{Protocol: proto, Payload: payload}
+	l.out = ppp.Encode(l.out, f, l.dataTxConfig(), true)
+	return nil
+}
+
+// SendIPv4 queues an IPv4 datagram, applying Van Jacobson header
+// compression when IPCP has negotiated it.
+func (l *Link) SendIPv4(datagram []byte) error {
+	if l.vjTx != nil && l.VJGranted() {
+		typ, out := l.vjTx.Compress(datagram)
+		switch typ {
+		case vj.TypeCompressed:
+			return l.Send(ppp.ProtoVJC, out)
+		case vj.TypeUncompressed:
+			return l.Send(ppp.ProtoVJU, out)
+		}
+		return l.Send(ppp.ProtoIPv4, out)
+	}
+	return l.Send(ppp.ProtoIPv4, datagram)
+}
+
+// VJGranted reports whether the peer agreed to receive VJ-compressed
+// packets from us.
+func (l *Link) VJGranted() bool { return l.ipcpPol.VJToPeer && l.IPReady() }
+
+// Output drains the pending transmit byte stream (wire format: flags,
+// stuffing, FCS). Feed it to the peer's Input or to a PHY.
+func (l *Link) Output() []byte {
+	o := l.out
+	l.out = nil
+	return o
+}
+
+// HasOutput reports whether transmit bytes are pending.
+func (l *Link) HasOutput() bool { return len(l.out) > 0 }
+
+// Input feeds received line bytes into the endpoint; complete frames
+// are decoded and dispatched (control packets drive the automatons,
+// network packets are queued for Received).
+func (l *Link) Input(stream []byte) {
+	toks := l.tk.Feed(nil, stream)
+	for _, tok := range toks {
+		if tok.Err != nil {
+			l.RxErrors++
+			continue
+		}
+		l.frame(tok.Body)
+	}
+}
+
+func (l *Link) frame(body []byte) {
+	// Numbered-mode frames carry an I/S/U control octet instead of UI;
+	// they belong to the station (0x03 itself is the UI encoding, so
+	// the dispatch is unambiguous).
+	if l.station != nil && len(body) >= 2 && body[0] == ppp.AddrAllStations && body[1] != ppp.CtrlUI {
+		if l.decodeNumbered(body) {
+			l.RxFrames++
+		} else {
+			l.RxErrors++
+		}
+		return
+	}
+	f, err := ppp.DecodeBody(body, l.rxConfig())
+	if err != nil {
+		l.RxErrors++
+		if l.monitor != nil {
+			l.monitor.CountInError()
+		}
+		return
+	}
+	l.RxFrames++
+	switch f.Protocol {
+	case ppp.ProtoLCP:
+		if p, err := lcp.ParsePacket(f.Payload); err == nil {
+			if p.Code == lcp.EchoReply && p.ID == l.echoID {
+				l.echoPending = 0
+			}
+			l.lcpA.Receive(p)
+		}
+	case ppp.ProtoIPCP:
+		// NCP packets are silently discarded until LCP is opened
+		// (RFC 1661 phase rules).
+		if l.Opened() {
+			if p, err := lcp.ParsePacket(f.Payload); err == nil {
+				l.ipcpA.Receive(p)
+			}
+		}
+	case 0xC023, 0xC223: // PAP / CHAP
+		l.authFrame(f)
+	case lqm.Proto:
+		if l.monitor != nil {
+			if q, ok := lqm.Parse(f.Payload); ok {
+				l.monitor.Receive(&q)
+			}
+		}
+	case ppp.ProtoIPv4, ppp.ProtoIPv6:
+		if l.monitor != nil {
+			l.monitor.CountInPacket(len(f.Payload))
+		}
+		l.rx = append(l.rx, Datagram{Protocol: f.Protocol, Payload: f.Payload})
+	case ppp.ProtoVJC, ppp.ProtoVJU:
+		if l.vjRx == nil {
+			l.protocolReject(f)
+			return
+		}
+		typ := vj.TypeCompressed
+		if f.Protocol == ppp.ProtoVJU {
+			typ = vj.TypeUncompressed
+		}
+		pkt, err := l.vjRx.Decompress(typ, f.Payload)
+		if err != nil {
+			l.RxErrors++
+			if l.monitor != nil {
+				l.monitor.CountInError()
+			}
+			return
+		}
+		if l.monitor != nil {
+			l.monitor.CountInPacket(len(pkt))
+		}
+		l.rx = append(l.rx, Datagram{Protocol: ppp.ProtoIPv4, Payload: pkt})
+	default:
+		// Unknown protocol: Protocol-Reject (RFC 1661 §5.7).
+		l.protocolReject(f)
+	}
+}
+
+// Received drains the queue of received network-layer datagrams.
+func (l *Link) Received() []Datagram {
+	r := l.rx
+	l.rx = nil
+	return r
+}
+
+// NegotiatedMRU returns the MRU granted to our transmit direction.
+func (l *Link) NegotiatedMRU() int { return l.lcpPol.Peer.MRU }

@@ -1,0 +1,330 @@
+package gigapos
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// pump shuttles bytes between two links until both go quiet.
+func pump(t *testing.T, a, b *Link, budget int) {
+	t.Helper()
+	for i := 0; i < budget; i++ {
+		moved := false
+		if out := a.Output(); len(out) > 0 {
+			b.Input(out)
+			moved = true
+		}
+		if out := b.Output(); len(out) > 0 {
+			a.Input(out)
+			moved = true
+		}
+		if !moved {
+			return
+		}
+	}
+	t.Fatal("links did not quiesce")
+}
+
+func bringUp(t *testing.T, a, b *Link) {
+	t.Helper()
+	a.Open()
+	b.Open()
+	a.Up()
+	b.Up()
+	pump(t, a, b, 1000)
+	if !a.Opened() || !b.Opened() {
+		t.Fatal("LCP did not open")
+	}
+	if !a.IPReady() || !b.IPReady() {
+		t.Fatal("IPCP did not open")
+	}
+}
+
+func TestLinkBringUp(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 0x1111, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 0x2222, IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUp(t, a, b)
+	if a.LocalIP() != [4]byte{10, 0, 0, 1} || a.PeerIP() != [4]byte{10, 0, 0, 2} {
+		t.Errorf("a addresses: local %v peer %v", a.LocalIP(), a.PeerIP())
+	}
+}
+
+func TestLinkDataTransfer(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUp(t, a, b)
+	payload := []byte{0x45, 0, 0, 20, 0x7E, 0x7D, 1, 2, 3}
+	if err := a.SendIPv4(payload); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, a, b, 100)
+	got := b.Received()
+	if len(got) != 1 || got[0].Protocol != ProtoIPv4 || !bytes.Equal(got[0].Payload, payload) {
+		t.Fatalf("received %+v", got)
+	}
+}
+
+func TestLinkSendBeforeOpenFails(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1})
+	if err := a.SendIPv4([]byte{1}); err != ErrLinkDown {
+		t.Errorf("err = %v, want ErrLinkDown", err)
+	}
+}
+
+func TestLinkHeaderCompressionNegotiation(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, WantPFC: true, WantACFC: true,
+		AllowPFC: true, AllowACFC: true, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, AllowPFC: true, AllowACFC: true,
+		IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUp(t, a, b)
+	// b grants PFC/ACFC to a's receive direction; b's transmit toward a
+	// is therefore compressed. Verify data still round trips both ways.
+	pay := bytes.Repeat([]byte{0xAA}, 40)
+	if err := b.SendIPv4(pay); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendIPv4(pay); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, a, b, 100)
+	if got := a.Received(); len(got) != 1 || !bytes.Equal(got[0].Payload, pay) {
+		t.Fatalf("a received %+v", got)
+	}
+	if got := b.Received(); len(got) != 1 || !bytes.Equal(got[0].Payload, pay) {
+		t.Fatalf("b received %+v", got)
+	}
+}
+
+func TestLinkFCS16(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, FCS: FCS16, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, FCS: FCS16, IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUp(t, a, b)
+	if err := a.SendIPv4([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, a, b, 100)
+	if got := b.Received(); len(got) != 1 {
+		t.Fatalf("received %+v", got)
+	}
+}
+
+func TestLinkDynamicAddressAssignment(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1}) // no address: request one
+	b := NewLink(LinkConfig{Magic: 2, IPAddr: [4]byte{192, 168, 0, 1},
+		AssignPeer: [4]byte{192, 168, 0, 42}})
+	bringUp(t, a, b)
+	if a.LocalIP() != [4]byte{192, 168, 0, 42} {
+		t.Errorf("assigned address = %v", a.LocalIP())
+	}
+}
+
+func TestLinkSameMagicStillConverges(t *testing.T) {
+	ra := rand.New(rand.NewSource(1))
+	rb := rand.New(rand.NewSource(2))
+	a := NewLink(LinkConfig{Magic: 0xDEAD, Rand: ra.Uint32, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 0xDEAD, Rand: rb.Uint32, IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUp(t, a, b)
+}
+
+func TestLinkCorruptedFramesCounted(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUp(t, a, b)
+	if err := a.SendIPv4([]byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	out := a.Output()
+	// Flip a payload bit (not a flag).
+	for i := 2; i < len(out); i++ {
+		if out[i] != 0x7E && out[i] != 0x7D && out[i]^0x04 != 0x7E && out[i]^0x04 != 0x7D {
+			out[i] ^= 0x04
+			break
+		}
+	}
+	b.Input(out)
+	if got := b.Received(); len(got) != 0 {
+		t.Fatalf("corrupt frame delivered: %+v", got)
+	}
+	if b.RxErrors == 0 {
+		t.Error("corruption not counted")
+	}
+}
+
+func TestLinkTerminate(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUp(t, a, b)
+	a.Close()
+	pump(t, a, b, 100)
+	if a.Opened() {
+		t.Error("a still opened after close")
+	}
+	if b.Opened() {
+		t.Error("b still opened after peer terminate")
+	}
+	if err := a.SendIPv4([]byte{1}); err != ErrLinkDown {
+		t.Error("send after close must fail")
+	}
+}
+
+func TestWidthHelpers(t *testing.T) {
+	if Width8.Octets() != 1 || Width8.Bits() != 8 {
+		t.Error("Width8")
+	}
+	if Width32.Octets() != 4 || Width32.Bits() != 32 {
+		t.Error("Width32")
+	}
+}
+
+func TestFacadeSystemSmoke(t *testing.T) {
+	sys := NewSystem(Width32)
+	sys.Send(TxJob{Protocol: ProtoIPv4, Payload: []byte{1, 2, 3, 4}})
+	if !sys.RunUntilIdle(100000) {
+		t.Fatal("system did not drain")
+	}
+	got := sys.Received()
+	if len(got) != 1 || got[0].Err != nil {
+		t.Fatalf("received %+v", got)
+	}
+}
+
+func TestFacadeSynthesize(t *testing.T) {
+	rows8 := Synthesize(Width8)
+	rows32 := Synthesize(Width32)
+	if len(rows8) != 2 || len(rows32) != 2 {
+		t.Fatal("row counts")
+	}
+	if rows32[0].LUTs <= rows8[0].LUTs {
+		t.Error("32-bit system must be larger")
+	}
+	if len(EscapeModuleTable()) != 2 {
+		t.Error("escape module table")
+	}
+	if r := AreaRatios(); r.EscapeGenLUT < 10 {
+		t.Errorf("ratios = %+v", r)
+	}
+}
+
+func TestLinkDownAndRecovery(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUp(t, a, b)
+	// Physical bounce.
+	a.Down()
+	b.Down()
+	if a.Opened() || a.IPReady() {
+		t.Fatal("link still up after Down")
+	}
+	a.Output() // discard stale traffic
+	b.Output()
+	a.Up()
+	b.Up()
+	pump(t, a, b, 1000)
+	if !a.IPReady() || !b.IPReady() {
+		t.Fatal("did not recover after bounce")
+	}
+}
+
+func TestLinkHasOutputAndMRU(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, MRU: 900, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, IPAddr: [4]byte{10, 0, 0, 2}})
+	if a.HasOutput() {
+		t.Error("fresh link has output")
+	}
+	a.Open()
+	if !a.HasOutput() {
+		// Output only appears after Up (scr fires on Up via Starting).
+		a.Up()
+	}
+	b.Open()
+	b.Up()
+	pump(t, a, b, 1000)
+	if !a.Opened() {
+		t.Fatal("bring-up failed")
+	}
+	// b's transmit direction is governed by a's requested MRU.
+	if got := b.NegotiatedMRU(); got != 900 {
+		t.Errorf("b NegotiatedMRU = %d, want 900", got)
+	}
+	a.SendIPv4([]byte{1})
+	if !a.HasOutput() {
+		t.Error("no output after send")
+	}
+}
+
+func TestReliableStatsWithoutStation(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1})
+	if tx, rx, re, rj := a.ReliableStats(); tx+rx+re+rj != 0 {
+		t.Error("stats on non-reliable link")
+	}
+	if a.Reliable() {
+		t.Error("Reliable() on plain link")
+	}
+}
+
+func TestAuthNameDefaultsToIdentity(t *testing.T) {
+	c := AuthConfig{Identity: "zoe"}
+	if c.name() != "zoe" {
+		t.Errorf("name = %q", c.name())
+	}
+	c.Name = "gw"
+	if c.name() != "gw" {
+		t.Errorf("name = %q", c.name())
+	}
+}
+
+func TestAuthenticatedPeerPAP(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, IPAddr: [4]byte{10, 0, 0, 1},
+		Auth: AuthConfig{Require: AuthPAP, Secrets: map[string]string{"u": "p"}}})
+	b := NewLink(LinkConfig{Magic: 2, IPAddr: [4]byte{10, 0, 0, 2},
+		Auth: AuthConfig{Identity: "u", Secret: "p"}})
+	a.Open()
+	b.Open()
+	a.Up()
+	b.Up()
+	pump(t, a, b, 1000)
+	if a.AuthenticatedPeer() != "u" {
+		t.Errorf("peer = %q", a.AuthenticatedPeer())
+	}
+	if b.AuthenticatedPeer() != "" {
+		t.Errorf("non-authenticator peer = %q", b.AuthenticatedPeer())
+	}
+}
+
+func TestEchoKeepaliveSustainsLink(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, EchoPeriod: 10, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUp(t, a, b)
+	now := int64(0)
+	for i := 0; i < 10; i++ {
+		now += 10
+		a.Advance(now)
+		pump(t, a, b, 100) // echoes answered promptly
+	}
+	if !a.Opened() {
+		t.Fatal("healthy link went down")
+	}
+	if a.EchoTimeouts != 0 {
+		t.Errorf("EchoTimeouts = %d", a.EchoTimeouts)
+	}
+}
+
+func TestEchoKeepaliveDetectsDeadPeer(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, EchoPeriod: 10, EchoMisses: 3, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUp(t, a, b)
+	// Peer goes silent: discard everything a sends.
+	now := int64(0)
+	for i := 0; i < 8 && a.Opened(); i++ {
+		now += 10
+		a.Advance(now)
+		a.Output() // into the void
+	}
+	if a.Opened() {
+		t.Fatal("dead peer not detected")
+	}
+	if a.EchoTimeouts != 1 {
+		t.Errorf("EchoTimeouts = %d", a.EchoTimeouts)
+	}
+}

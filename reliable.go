@@ -1,0 +1,130 @@
+package gigapos
+
+import (
+	"repro/internal/crc"
+	"repro/internal/hdlc"
+	"repro/internal/lqm"
+	"repro/internal/ppp"
+	"repro/internal/reliable"
+)
+
+// This file holds the Link extensions beyond basic RFC 1661 operation:
+// numbered mode (RFC 1663 reliable transmission), link quality
+// monitoring (RFC 1333), and Protocol-Reject generation — the optional
+// capabilities the paper attributes to the programmable control field
+// and the Protocol OAM.
+
+// initReliable wires a numbered-mode station into the link.
+func (l *Link) initReliable() {
+	l.station = &reliable.Station{
+		Window:           l.cfg.ReliableWindow,
+		RetransmitPeriod: l.cfg.ReliablePeriod,
+		MaxRetries:       l.cfg.ReliableMaxRetries,
+		Out: func(f reliable.Frame) {
+			l.out = l.encodeNumbered(l.out, f)
+		},
+		Deliver: func(info []byte) {
+			if len(info) < 2 {
+				return
+			}
+			proto := uint16(info[0])<<8 | uint16(info[1])
+			l.rx = append(l.rx, Datagram{Protocol: proto, Payload: info[2:]})
+		},
+	}
+}
+
+// initLQM wires a quality monitor into the link.
+func (l *Link) initLQM() {
+	l.monitor = &lqm.Monitor{
+		Magic:       l.cfg.Magic,
+		Period:      l.cfg.LQMPeriod,
+		MaxLossPct:  l.cfg.LQMMaxLossPct,
+		GoodWindows: l.cfg.LQMGoodWindows,
+		Send: func(q *lqm.LQR) {
+			f := &ppp.Frame{Protocol: lqm.Proto, Payload: q.Marshal(nil)}
+			l.out = ppp.Encode(l.out, f, l.lcpTxConfig(), true)
+		},
+	}
+}
+
+// Reliable reports whether the numbered-mode station has completed
+// SABM/UA setup.
+func (l *Link) Reliable() bool {
+	return l.station != nil && l.station.Connected()
+}
+
+// ReliableStats exposes the numbered-mode counters (retransmits,
+// rejects, resets) for diagnostics.
+func (l *Link) ReliableStats() (txI, rxI, retransmits, rejects uint64) {
+	if l.station == nil {
+		return
+	}
+	return l.station.TxI, l.station.RxI, l.station.Retransmits, l.station.RxREJ
+}
+
+// LinkQuality returns the RFC 1333 verdict (lqm.Unknown when monitoring
+// is disabled) and the last measured inbound loss percentage.
+func (l *Link) LinkQuality() (lqm.Quality, float64) {
+	if l.monitor == nil {
+		return lqm.Unknown, 0
+	}
+	return l.monitor.Quality(), l.monitor.LastInboundLossPct
+}
+
+// encodeNumbered puts a numbered-mode frame on the wire: address, the
+// I/S/U control octet, the information field, FCS — stuffed and flagged
+// like every other frame.
+func (l *Link) encodeNumbered(dst []byte, f reliable.Frame) []byte {
+	body := []byte{ppp.AddrAllStations, f.Ctrl}
+	body = append(body, f.Payload...)
+	if l.cfg.fcs() == FCS16 {
+		v := crc.FCS16(body)
+		body = append(body, byte(v), byte(v>>8))
+	} else {
+		v := crc.FCS32(body)
+		body = append(body, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return hdlc.Encode(dst, body, hdlc.ACCMAll, true)
+}
+
+// decodeNumbered handles a frame whose control octet is not UI: it
+// belongs to the numbered-mode station. Returns false if the frame is
+// not a valid numbered frame (caller counts the error).
+func (l *Link) decodeNumbered(body []byte) bool {
+	if l.station == nil {
+		return false
+	}
+	fcsN := l.cfg.fcs().Bytes()
+	if len(body) < 2+fcsN || !l.cfg.fcs().Check(body) {
+		return false
+	}
+	if body[0] != ppp.AddrAllStations {
+		return false
+	}
+	ctrl := body[1]
+	info := body[2 : len(body)-fcsN]
+	l.station.Receive(reliable.Frame{Ctrl: ctrl, Payload: info})
+	return true
+}
+
+// protocolReject answers an unknown protocol with an LCP
+// Protocol-Reject (RFC 1661 §5.7): the rejected protocol number
+// followed by a copy of the offending information field.
+func (l *Link) protocolReject(f *ppp.Frame) {
+	if !l.Opened() {
+		return
+	}
+	l.protoRejID++
+	data := []byte{byte(f.Protocol >> 8), byte(f.Protocol)}
+	data = append(data, f.Payload...)
+	pkt := lcpPacket(8 /* Protocol-Reject */, l.protoRejID, data)
+	l.out = ppp.Encode(l.out, &ppp.Frame{Protocol: ppp.ProtoLCP, Payload: pkt},
+		l.lcpTxConfig(), true)
+	l.ProtocolRejects++
+}
+
+func lcpPacket(code, id byte, data []byte) []byte {
+	n := 4 + len(data)
+	out := []byte{code, id, byte(n >> 8), byte(n)}
+	return append(out, data...)
+}

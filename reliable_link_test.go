@@ -1,0 +1,240 @@
+package gigapos
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/hdlc"
+
+	"repro/internal/lqm"
+)
+
+func bringUpReliable(t *testing.T, a, b *Link) {
+	t.Helper()
+	a.Open()
+	b.Open()
+	a.Up()
+	b.Up()
+	pump(t, a, b, 1000)
+	if !a.Opened() || !b.Opened() {
+		t.Fatal("LCP did not open")
+	}
+	if !a.Reliable() || !b.Reliable() {
+		t.Fatal("numbered mode did not connect")
+	}
+}
+
+func TestReliableLinkBringUp(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, Reliable: true, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, Reliable: true, IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUpReliable(t, a, b)
+}
+
+func TestReliableLinkDataTransfer(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, Reliable: true, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, Reliable: true, IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUpReliable(t, a, b)
+	for i := 0; i < 10; i++ {
+		if err := a.SendIPv4([]byte{byte(i), 0x7E, 0x7D}); err != nil {
+			t.Fatal(err)
+		}
+		pump(t, a, b, 100)
+	}
+	got := b.Received()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d, want 10", len(got))
+	}
+	for i, d := range got {
+		if d.Protocol != ProtoIPv4 || d.Payload[0] != byte(i) {
+			t.Fatalf("datagram %d = %+v", i, d)
+		}
+	}
+	txI, rxI, _, _ := a.ReliableStats()
+	if txI != 10 {
+		t.Errorf("TxI = %d", txI)
+	}
+	_, rxI, _, _ = b.ReliableStats()
+	if rxI != 10 {
+		t.Errorf("b RxI = %d", rxI)
+	}
+}
+
+// lossyPump shuttles bytes with random whole-frame corruption, servicing
+// the virtual clocks — the noisy wireless channel of RFC 1663.
+func lossyPump(a, b *Link, rng *rand.Rand, rounds int, loss float64) {
+	now := int64(0)
+	for i := 0; i < rounds; i++ {
+		if out := a.Output(); len(out) > 0 {
+			if rng.Float64() < loss {
+				// Corrupt one octet mid-stream: FCS rejects the frame.
+				out[len(out)/2] ^= 0x04
+			}
+			b.Input(out)
+		}
+		if out := b.Output(); len(out) > 0 {
+			if rng.Float64() < loss {
+				out[len(out)/2] ^= 0x04
+			}
+			a.Input(out)
+		}
+		now += 2
+		a.Advance(now)
+		b.Advance(now)
+	}
+}
+
+func TestReliableLinkSurvivesNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewLink(LinkConfig{Magic: 1, Reliable: true, ReliablePeriod: 4, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, Reliable: true, ReliablePeriod: 4, IPAddr: [4]byte{10, 0, 0, 2}})
+	a.Open()
+	b.Open()
+	a.Up()
+	b.Up()
+	lossyPump(a, b, rng, 200, 0) // clean bring-up
+	if !a.Reliable() || !b.Reliable() {
+		t.Fatal("bring-up failed")
+	}
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := a.SendIPv4([]byte{byte(i), 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		lossyPump(a, b, rng, 30, 0.15)
+	}
+	lossyPump(a, b, rng, 400, 0) // drain retransmissions
+	got := b.Received()
+	if len(got) != n {
+		t.Fatalf("delivered %d/%d under noise", len(got), n)
+	}
+	for i, d := range got {
+		if d.Payload[0] != byte(i) {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+	_, _, retr, _ := a.ReliableStats()
+	if retr == 0 {
+		t.Error("noise should have forced retransmissions")
+	}
+}
+
+func TestUnreliableLinkDropsUnderSameNoise(t *testing.T) {
+	// The control: without numbered mode the same channel loses frames.
+	rng := rand.New(rand.NewSource(5))
+	a := NewLink(LinkConfig{Magic: 1, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, IPAddr: [4]byte{10, 0, 0, 2}})
+	a.Open()
+	b.Open()
+	a.Up()
+	b.Up()
+	lossyPump(a, b, rng, 200, 0)
+	const n = 30
+	for i := 0; i < n; i++ {
+		a.SendIPv4([]byte{byte(i), 1, 2, 3})
+		lossyPump(a, b, rng, 30, 0.15)
+	}
+	got := b.Received()
+	if len(got) == n {
+		t.Skip("lucky run: no frame hit by noise")
+	}
+	if len(got) >= n {
+		t.Errorf("delivered %d, expected losses", len(got))
+	}
+}
+
+func TestLQMOverLink(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, LQMPeriod: 10, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, LQMPeriod: 10, IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUp(t, a, b)
+	now := int64(0)
+	// Several clean reporting windows with traffic.
+	for w := 0; w < 6; w++ {
+		for i := 0; i < 20; i++ {
+			if err := a.SendIPv4([]byte{1, 2, 3}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pump(t, a, b, 200)
+		now += 10
+		a.Advance(now)
+		b.Advance(now)
+		pump(t, a, b, 200)
+	}
+	q, loss := b.LinkQuality()
+	if q != lqm.Good {
+		t.Errorf("quality = %v, want good", q)
+	}
+	if loss != 0 {
+		t.Errorf("loss = %v", loss)
+	}
+	// Now lose most traffic: b must call the link bad.
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 20; i++ {
+			a.SendIPv4([]byte{1, 2, 3})
+		}
+		a.Output() // discard: 100% data loss (LQRs still flow below)
+		now += 10
+		a.Advance(now)
+		b.Advance(now)
+		pump(t, a, b, 200)
+	}
+	q, loss = b.LinkQuality()
+	if q != lqm.Bad {
+		t.Errorf("quality = %v after starvation, want bad (loss %.0f%%)", q, loss)
+	}
+}
+
+func TestProtocolRejectForUnknownProtocol(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUp(t, a, b)
+	// Hand-craft a frame with an unimplemented protocol (AppleTalk,
+	// 0x0029) from a to b.
+	if err := a.Send(0x0029, []byte{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, a, b, 100)
+	if b.ProtocolRejects != 1 {
+		t.Errorf("ProtocolRejects = %d", b.ProtocolRejects)
+	}
+	if got := b.Received(); len(got) != 0 {
+		t.Errorf("unknown protocol delivered: %+v", got)
+	}
+}
+
+func TestLQMQualityUnknownWhenDisabled(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1})
+	if q, _ := a.LinkQuality(); q != lqm.Unknown {
+		t.Errorf("quality = %v", q)
+	}
+}
+
+func TestNumberedFrameWireFormat(t *testing.T) {
+	// A numbered I-frame must round trip through the generic tokenizer
+	// with a valid FCS — i.e. it is a legal HDLC frame on the wire.
+	a := NewLink(LinkConfig{Magic: 1, Reliable: true, IPAddr: [4]byte{10, 0, 0, 1}})
+	b := NewLink(LinkConfig{Magic: 2, Reliable: true, IPAddr: [4]byte{10, 0, 0, 2}})
+	bringUpReliable(t, a, b)
+	a.SendIPv4([]byte{0xAA, 0xBB})
+	wire := a.Output()
+	if len(wire) == 0 {
+		t.Fatal("no output")
+	}
+	// The frame must tokenize as legal HDLC; its control octet (after
+	// destuffing) is an I frame: bit 0 clear.
+	var tk hdlc.Tokenizer
+	toks := tk.Feed(nil, wire)
+	if len(toks) != 1 || toks[0].Err != nil {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	body := toks[0].Body
+	if body[0] != 0xFF || body[1]&1 != 0 {
+		t.Errorf("not an I frame: % x", body[:4])
+	}
+	b.Input(wire)
+	got := b.Received()
+	if len(got) != 1 || !bytes.Equal(got[0].Payload, []byte{0xAA, 0xBB}) {
+		t.Fatalf("received %+v", got)
+	}
+}

@@ -1,0 +1,116 @@
+package gigapos
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/p5"
+	"repro/internal/ppp"
+	"repro/internal/rtl"
+)
+
+// TestSoakSystemWithRandomErrors is a long deterministic soak of the
+// full cycle-accurate system under random line errors: every sent frame
+// must be accounted for — delivered intact or rejected with an error —
+// and the OAM counters must reconcile exactly. No frame may be
+// delivered with a corrupted payload (undetected error).
+func TestSoakSystemWithRandomErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, w := range []int{1, 4} {
+		for _, errRate := range []float64{0, 0.001, 0.01} {
+			w, errRate := w, errRate
+			sys := p5.NewSystem(w)
+			rng := netsim.NewRand(uint64(w)*1000 + uint64(errRate*10000))
+			if errRate > 0 {
+				sys.Line.Corrupt = func(f rtl.Flit, cycle int64) rtl.Flit {
+					if rng.Float64() < errRate {
+						lane := rng.Intn(f.N)
+						f.SetByte(lane, f.Byte(lane)^byte(1<<uint(rng.Intn(8))))
+					}
+					return f
+				}
+			}
+			gen := netsim.NewGen(99, netsim.IMIX{}, 0.05)
+			const nFrames = 120
+			var want [][]byte
+			for i := 0; i < nFrames; i++ {
+				d := gen.Next()
+				want = append(want, d)
+				sys.Send(p5.TxJob{Protocol: ppp.ProtoIPv4, Payload: d})
+			}
+			if !sys.RunUntilIdle(100_000_000) {
+				t.Fatalf("w=%d err=%v: system wedged", w, errRate)
+			}
+			got := sys.Received()
+			// Errors can merge or split frames (a corrupted flag joins
+			// two frames; a flag-valued corruption splits one), so the
+			// count may differ — but good frames must match a sent
+			// payload exactly, in order.
+			goodIdx := 0
+			var good, bad int
+			for _, f := range got {
+				if f.Err != nil {
+					bad++
+					continue
+				}
+				good++
+				// Find this payload at or after goodIdx.
+				found := false
+				for j := goodIdx; j < len(want); j++ {
+					if string(f.Frame.Payload) == string(want[j]) {
+						goodIdx = j + 1
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("w=%d err=%v: delivered frame matches no sent payload (undetected corruption?)", w, errRate)
+				}
+			}
+			if errRate == 0 {
+				if good != nFrames || bad != 0 {
+					t.Fatalf("w=%d clean line: good=%d bad=%d", w, good, bad)
+				}
+			} else if good == 0 {
+				t.Fatalf("w=%d err=%v: nothing survived", w, errRate)
+			}
+			// OAM reconciliation.
+			if uint64(good) != uint64(sys.OAM.Read(p5.RegRxGood)) {
+				t.Errorf("w=%d err=%v: RxGood=%d counted %d", w, errRate, sys.OAM.Read(p5.RegRxGood), good)
+			}
+			if uint64(bad) != uint64(sys.OAM.Read(p5.RegRxBad)) {
+				t.Errorf("w=%d err=%v: RxBad=%d counted %d", w, errRate, sys.OAM.Read(p5.RegRxBad), bad)
+			}
+		}
+	}
+}
+
+// TestSoakBufferInvariants drives dense escape traffic through both
+// widths and asserts the resynchronisation buffers never exceed their
+// configured capacity — the paper's low-memory claim as an invariant.
+func TestSoakBufferInvariants(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		sys := p5.NewSystem(w)
+		gen := netsim.NewGen(3, netsim.Uniform{Min: 40, Max: 600}, 0.5)
+		for i := 0; i < 60; i++ {
+			sys.Send(p5.TxJob{Protocol: ppp.ProtoIPv4, Payload: gen.Next()})
+		}
+		if !sys.RunUntilIdle(100_000_000) {
+			t.Fatalf("w=%d: wedged", w)
+		}
+		if hw := sys.Tx.Escape.HighWater(); hw > 4*w {
+			t.Errorf("w=%d: tx resync high water %d exceeds %d", w, hw, 4*w)
+		}
+		if hw := sys.Rx.Escape.HighWater(); hw > 4*w+1 {
+			// +1: the in-band end-of-frame marker entry.
+			t.Errorf("w=%d: rx resync high water %d exceeds %d", w, hw, 4*w+1)
+		}
+		for _, f := range sys.Received() {
+			if f.Err != nil {
+				t.Fatalf("w=%d: %v", w, f.Err)
+			}
+		}
+	}
+}
