@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet fuzz-smoke verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz pass over every Fuzz* target (FUZZTIME=5s by default).
+fuzz-smoke:
+	FUZZTIME=$(or $(FUZZTIME),5s) ./scripts/verify.sh
+
+# The full gate: vet + build + race tests + fuzz smoke.
+verify:
+	./scripts/verify.sh
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

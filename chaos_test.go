@@ -1,0 +1,208 @@
+package gigapos
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/fault"
+	"repro/internal/netsim"
+	"repro/internal/p5"
+	"repro/internal/sonet"
+)
+
+// TestChaosSoakLinkSelfHealing is the deterministic chaos soak of the
+// self-healing stack: two supervised PPP endpoints ride an STM-1
+// section whose a→b direction suffers a scripted fault scenario — byte
+// slips, a frame truncation, a duplication, two timed LOS line cuts —
+// with mild Gilbert-Elliott burst noise layered on top. The link must
+// return to Opened after every outage within bounded virtual time, the
+// supervisor's exponential backoff must be visible in its retry
+// timestamps, and the OAM defect counters must reconcile exactly
+// against the injected script.
+func TestChaosSoakLinkSelfHealing(t *testing.T) {
+	const fb = 2430 // STM-1 frame bytes; one frame per direction per tick
+
+	cfg := LinkConfig{
+		EchoPeriod: 8, EchoMisses: 2,
+		Supervise: true, RetryMin: 8, RetryMax: 128,
+	}
+	cfg.Magic, cfg.IPAddr = 0xAAAA, [4]byte{10, 0, 0, 1}
+	a := NewLink(cfg)
+	cfg.Magic, cfg.IPAddr = 0xBBBB, [4]byte{10, 0, 0, 2}
+	b := NewLink(cfg)
+
+	// SONET carry a→b with the fault injector in the middle.
+	var aQueue, bQueue []byte
+	fa := sonet.NewFramer(sonet.STM1, func() (byte, bool) {
+		if len(aQueue) == 0 {
+			return 0, false
+		}
+		by := aQueue[0]
+		aQueue = aQueue[1:]
+		return by, true
+	})
+	dfB := sonet.NewDeframer(sonet.STM1, func(by byte) { bQueue = append(bQueue, by) })
+
+	// Physical-layer supervision: defect transitions drive both the P5
+	// OAM alarm register and the PPP supervisor.
+	dfB.Defects.OnEvent = func(sonet.DefectEvent) {
+		b.NotifyDefects(uint32(dfB.Defects.Active()))
+	}
+	oam := &p5.OAM{Regs: p5.NewRegs()}
+	oam.AttachSection(dfB)
+
+	// The fault scenario, pinned to absolute line-octet offsets.
+	var script fault.Script
+	script.Insert(40*fb+1000, 0x55)      // byte slip (late)
+	script.Delete(70*fb+500, 1)          // byte slip (early)
+	script.Truncate(100*fb+1200, fb)     // frame truncation
+	script.Duplicate(130*fb+17, 16)      // duplication
+	script.LOS(170*fb, 150*fb)           // line cut #1: 150 frames
+	script.Insert(360*fb+99, 0xAA, 0x55) // double slip mid-recovery era
+	script.LOS(520*fb, 60*fb)            // line cut #2: 60 frames
+	script.Corrupt(640*fb+300, 32, 0x0F) // a scorched run of octets
+	inj := fault.NewInjector(script)
+	inj.Model = &channel.GilbertElliott{
+		PGoodToBad: 2e-6, PBadToGood: 0.1,
+		BERGood: 0, BERBad: 0.05,
+		Rand: netsim.NewRand(0xC0FFEE),
+	}
+
+	now := int64(0)
+	tickOnce := func(impair bool) {
+		now++
+		a.Advance(now)
+		b.Advance(now)
+		aQueue = append(aQueue, a.Output()...)
+		frame := fa.NextFrame()
+		if impair {
+			frame = inj.Apply(frame)
+		}
+		dfB.Feed(frame)
+		if len(bQueue) > 0 {
+			b.Input(bQueue)
+			bQueue = nil
+		}
+		// b→a is a clean direct line.
+		if out := b.Output(); len(out) > 0 {
+			a.Input(out)
+		}
+	}
+
+	a.Open()
+	b.Open()
+	a.Up()
+	b.Up()
+	for i := 0; i < 30; i++ {
+		tickOnce(false)
+	}
+	if !a.Opened() || !b.Opened() || !a.IPReady() || !b.IPReady() {
+		t.Fatal("links did not open on the clean line")
+	}
+
+	// The soak: run the scripted scenario, then verify bounded-time
+	// recovery after it ends.
+	sawOutage := false
+	for i := 0; i < 720; i++ {
+		tickOnce(true)
+		if !b.Opened() {
+			sawOutage = true
+		}
+	}
+	if !inj.Done() {
+		t.Fatalf("script not fully fired: %d ops left at pos %d", len(script.Ops)-inj.Stats.OpsFired, inj.Pos())
+	}
+	if !sawOutage {
+		t.Fatal("two LOS windows produced no outage — scenario did not bite")
+	}
+	healBudget := 0
+	for !(a.Opened() && b.Opened() && a.IPReady() && b.IPReady()) {
+		tickOnce(false)
+		healBudget++
+		if healBudget > 400 {
+			t.Fatalf("links did not heal within budget: a=%v b=%v alarms=%v",
+				a.lcpA.State(), b.lcpA.State(), oam.Alarms())
+		}
+	}
+
+	// Every outage recovered: two service-affecting windows were
+	// reported and the supervisor logged a recovery for each loss of
+	// Opened it saw.
+	supB := b.Supervisor()
+	if supB.DefectOutages != 2 {
+		t.Errorf("b saw %d defect outages, want 2 (one per LOS window)", supB.DefectOutages)
+	}
+	if supB.Recoveries < 2 {
+		t.Errorf("b recovered %d times, want >= 2", supB.Recoveries)
+	}
+	supA := a.Supervisor()
+	if supA.Recoveries < 1 {
+		t.Errorf("a recovered %d times, want >= 1", supA.Recoveries)
+	}
+
+	// Exponential backoff visible in the retry timestamps: a is blind
+	// to the far-end defects (its receive line is clean), so during the
+	// long line cut its attempts must space out.
+	if len(supA.RetryTimes) < 2 {
+		t.Fatalf("a retried %d times; backoff not observable", len(supA.RetryTimes))
+	}
+	grew := false
+	for i := 2; i < len(supA.RetryTimes); i++ {
+		if supA.RetryTimes[i]-supA.RetryTimes[i-1] > supA.RetryTimes[i-1]-supA.RetryTimes[i-2] {
+			grew = true
+		}
+	}
+	if len(supA.RetryTimes) > 2 && !grew {
+		t.Errorf("retry gaps never grew: %v", supA.RetryTimes)
+	}
+
+	// OAM/defect reconciliation against the injected script.
+	mon := dfB.Defects
+	if got := mon.Raises(sonet.DefLOS); got != 2 {
+		t.Errorf("LOS raises = %d, want exactly 2 (the scripted line cuts)", got)
+	}
+	if got := mon.Clears(sonet.DefLOS); got != 2 {
+		t.Errorf("LOS clears = %d, want 2", got)
+	}
+	if inj.Stats.LOSWindows != 2 || inj.Stats.LOSOctets != 210*fb {
+		t.Errorf("injector LOS stats %d/%d, want 2 windows, %d octets",
+			inj.Stats.LOSWindows, inj.Stats.LOSOctets, 210*fb)
+	}
+	if inj.Stats.Inserted != 3 || inj.Stats.Deleted != uint64(1+fb-1200) || inj.Stats.Duplicated != 16 {
+		t.Errorf("injector slip stats: ins=%d del=%d dup=%d", inj.Stats.Inserted, inj.Stats.Deleted, inj.Stats.Duplicated)
+	}
+	raises, clears := mon.Transitions()
+	if got := uint64(oam.Read(p5.RegDefectRaise)); got != raises {
+		t.Errorf("OAM raise counter %d != monitor %d", got, raises)
+	}
+	if got := uint64(oam.Read(p5.RegDefectClear)); got != clears {
+		t.Errorf("OAM clear counter %d != monitor %d", got, clears)
+	}
+	if got := uint64(oam.Read(p5.RegResyncs)); got != dfB.ResyncCount {
+		t.Errorf("OAM resync counter %d != deframer %d", got, dfB.ResyncCount)
+	}
+	if alarms := oam.Alarms(); alarms != 0 {
+		t.Errorf("alarm register %v after full recovery", alarms)
+	}
+
+	// The healed link carries traffic end to end.
+	payload := []byte{0x45, 0, 0, 20, 1, 2, 3, 4}
+	if err := a.SendIPv4(payload); err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	for i := 0; i < 40 && !delivered; i++ {
+		tickOnce(false)
+		for _, d := range b.Received() {
+			if string(d.Payload) == string(payload) {
+				delivered = true
+			}
+		}
+	}
+	if !delivered {
+		t.Fatal("healed link did not deliver traffic")
+	}
+	t.Logf("scenario %q: b outages=%d recoveries=%d; a retries at %v; OAM raises=%d clears=%d resyncs=%d",
+		script.String(), supB.DefectOutages, supB.Recoveries, supA.RetryTimes,
+		oam.Read(p5.RegDefectRaise), oam.Read(p5.RegDefectClear), oam.Read(p5.RegResyncs))
+}

@@ -1,10 +1,15 @@
-// Command p5sim runs the cycle-accurate P5 loopback system over a
-// synthetic IP workload and reports the measured line performance —
-// the simulation counterpart of the paper's 2.5 Gb/s headline.
+// Command p5sim runs the cycle-accurate P5 over a synthetic IP workload
+// and reports the measured line performance — the simulation
+// counterpart of the paper's 2.5 Gb/s headline. With -sonet the line
+// octets ride an STM-1 SDH section through a scripted fault injector
+// (byte slips, duplications, timed LOS line cuts), and the OAM status
+// dump includes the live SONET alarm state and latched interrupt
+// causes.
 //
 // Usage:
 //
 //	p5sim [-width 8|32] [-frames N] [-size imix|N] [-density F] [-errors F] [-v]
+//	      [-sonet] [-slip-every N] [-los-windows N] [-los-frames N] [-dup-every N]
 package main
 
 import (
@@ -13,10 +18,12 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/fault"
 	"repro/internal/netsim"
 	"repro/internal/p5"
 	"repro/internal/ppp"
 	"repro/internal/rtl"
+	"repro/internal/sonet"
 	"repro/internal/synth"
 )
 
@@ -28,7 +35,23 @@ func main() {
 	errRate := flag.Float64("errors", 0, "per-word probability of a line bit error")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	verbose := flag.Bool("v", false, "print per-frame dispositions")
+	sonetMode := flag.Bool("sonet", false, "carry the line over an STM-1 section with fault injection")
+	slipEvery := flag.Int("slip-every", 0, "sonet: mean octets between byte slips (0 = none)")
+	losWindows := flag.Int("los-windows", 0, "sonet: number of timed line cuts")
+	losFrames := flag.Int("los-frames", 30, "sonet: length of each line cut in STM-1 frames")
+	dupEvery := flag.Int("dup-every", 0, "sonet: mean octets between 16-octet duplications (0 = none)")
 	flag.Parse()
+
+	if *sonetMode {
+		runSONET(*width, *frames, *sizeArg, *density, *seed, *verbose,
+			fault.RandomConfig{
+				SlipEvery:  *slipEvery,
+				LOSWindows: *losWindows,
+				LOSLen:     *losFrames * sonet.STM1.FrameBytes(),
+				DupEvery:   *dupEvery,
+			})
+		return
+	}
 
 	w := *width / 8
 	if w != 1 && w != 4 {
@@ -105,4 +128,143 @@ func main() {
 		sys.OAM.Read(p5.RegRxGood), sys.OAM.Read(p5.RegRxBad),
 		sys.OAM.Read(p5.RegRxFCSErr), sys.OAM.Read(p5.RegRxAborts),
 		sys.OAM.Read(p5.RegRxRunts))
+	fmt.Printf("  OAM interrupts   : stat=%#x causes=[%s]\n",
+		sys.OAM.Read(p5.RegIntStat), causeNames(sys.OAM.Read(p5.RegIntStat)))
+}
+
+// causeNames decodes an interrupt status word into its mnemonics.
+func causeNames(stat uint32) string {
+	s := ""
+	for _, c := range p5.IntCauseNames {
+		if stat&c.Bit != 0 {
+			if s != "" {
+				s += " "
+			}
+			s += c.Name
+		}
+	}
+	return s
+}
+
+// runSONET is the -sonet pipeline: P5 transmitter → STM-1 section with
+// a scripted fault injector → P5 receiver, with the deframer's defect
+// monitor wired into the OAM alarm register.
+func runSONET(width, frames int, sizeArg string, density float64, seed uint64,
+	verbose bool, faults fault.RandomConfig) {
+	w := width / 8
+	if w != 1 && w != 4 {
+		fmt.Fprintln(os.Stderr, "p5sim: -width must be 8 or 32")
+		os.Exit(2)
+	}
+	var dist netsim.SizeDist = netsim.IMIX{}
+	if sizeArg != "imix" {
+		n, err := strconv.Atoi(sizeArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p5sim: bad -size:", err)
+			os.Exit(2)
+		}
+		dist = netsim.Fixed(n)
+	}
+	gen := netsim.NewGen(seed, dist, density)
+
+	regs := p5.NewRegs()
+
+	// Transmit: run the P5 transmitter to completion, collecting its
+	// line octets.
+	txSim := &rtl.Sim{}
+	tx := p5.NewTransmitter(txSim, w, regs)
+	sink := rtl.NewSink(tx.Out)
+	txSim.Add(sink)
+	var payloadBits int64
+	for i := 0; i < frames; i++ {
+		d := gen.Next()
+		payloadBits += int64(len(d)) * 8
+		tx.Framer.Enqueue(p5.TxJob{Protocol: ppp.ProtoIPv4, Payload: d})
+	}
+	if !txSim.RunUntil(func() bool { return !tx.Busy() && txSim.Drained() }, 200_000_000) {
+		fmt.Fprintln(os.Stderr, "p5sim: transmitter did not drain")
+		os.Exit(1)
+	}
+
+	// Section: map into STM-1 transport frames, pass each frame through
+	// the deterministic fault injector, demap.
+	line := sink.Data
+	pos := 0
+	fr := sonet.NewFramer(sonet.STM1, func() (byte, bool) {
+		if pos < len(line) {
+			pos++
+			return line[pos-1], true
+		}
+		return 0, false
+	})
+	var recovered []byte
+	df := sonet.NewDeframer(sonet.STM1, func(b byte) { recovered = append(recovered, b) })
+
+	rxSim := &rtl.Sim{}
+	src := &rtl.Source{}
+	rx := p5.NewReceiver(rxSim, w, regs)
+	src.Out = rx.In
+	rxSim.Add(src)
+	oam := p5.NewOAM(regs, tx, rx)
+	oam.AttachSection(df)
+	oam.Write(p5.RegIntMask, p5.IntOOF|p5.IntLOF|p5.IntLOS|p5.IntSDeg|p5.IntSFail)
+
+	nFrames := (len(line)+sonet.STM1.PayloadBytes()-1)/sonet.STM1.PayloadBytes() + 2
+	script := fault.Random(netsim.NewRand(seed^0xFA17), int64(nFrames*sonet.STM1.FrameBytes()), faults)
+	inj := fault.NewInjector(script)
+	for i := 0; i < nFrames; i++ {
+		df.Feed(inj.Apply(fr.NextFrame()))
+	}
+	// Recovery tail: enough clean frame times for any line cut still in
+	// progress to end and the defect hysteresis to integrate back in.
+	tail := faults.LOSLen/sonet.STM1.FrameBytes() + 40
+	for i := 0; i < tail; i++ {
+		df.Feed(inj.Apply(fr.NextFrame()))
+	}
+
+	// Receive: feed the demapped octet stream to the P5 receiver.
+	src.FeedBytes(recovered, w)
+	if !rxSim.RunUntil(func() bool {
+		return src.Pending() == 0 && !rx.Busy() && rxSim.Drained()
+	}, 200_000_000) {
+		fmt.Fprintln(os.Stderr, "p5sim: receiver did not drain")
+		os.Exit(1)
+	}
+
+	good, bad := 0, 0
+	for i, f := range rx.Control.Queue {
+		if f.Err != nil {
+			bad++
+			if verbose {
+				fmt.Printf("frame %4d: %v\n", i, f.Err)
+			}
+			continue
+		}
+		good++
+		if verbose {
+			fmt.Printf("frame %4d: %v\n", i, f.Frame)
+		}
+	}
+
+	fmt.Printf("P5 %d-bit over STM-1 SDH section\n", width)
+	fmt.Printf("  datagrams        : %d sent, %d delivered, %d rejected\n", frames, good, bad)
+	if len(script.Ops) > 0 {
+		fmt.Printf("  fault script     : %s\n", script.String())
+	} else {
+		fmt.Printf("  fault script     : (clean line)\n")
+	}
+	fmt.Printf("  injector         : slips +%d/-%d dup=%d los-octets=%d bit-errors=%d\n",
+		inj.Stats.Inserted, inj.Stats.Deleted, inj.Stats.Duplicated,
+		inj.Stats.LOSOctets, inj.Stats.BitErrors)
+	fmt.Printf("  section          : frames ok=%d errored=%d resyncs=%d b1=%d b3=%d\n",
+		df.FramesOK, df.FramesErrored,
+		oam.Read(p5.RegResyncs), oam.Read(p5.RegB1Errors), oam.Read(p5.RegB3Errors))
+	fmt.Printf("  alarms           : reg=%#x active=[%v] raises=%d clears=%d\n",
+		oam.Read(p5.RegAlarm), oam.Alarms(),
+		oam.Read(p5.RegDefectRaise), oam.Read(p5.RegDefectClear))
+	fmt.Printf("  OAM status       : rx-good=%d rx-bad=%d fcs-err=%d aborts=%d runts=%d\n",
+		oam.Read(p5.RegRxGood), oam.Read(p5.RegRxBad),
+		oam.Read(p5.RegRxFCSErr), oam.Read(p5.RegRxAborts), oam.Read(p5.RegRxRunts))
+	fmt.Printf("  OAM interrupts   : stat=%#x irq=%v causes=[%s]\n",
+		oam.Read(p5.RegIntStat), regs.IRQ(), causeNames(oam.Read(p5.RegIntStat)))
 }

@@ -1,6 +1,7 @@
 package channel
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/crc"
@@ -24,6 +25,87 @@ func TestBERRate(t *testing.T) {
 	}
 	if set != flips {
 		t.Errorf("buffer bits %d != reported %d", set, flips)
+	}
+}
+
+func TestBEREdgeRates(t *testing.T) {
+	m := &BER{Rate: 0, Rand: netsim.NewRand(1)}
+	p := make([]byte, 1000)
+	if f := m.Apply(p); f != 0 {
+		t.Errorf("rate 0 flipped %d bits", f)
+	}
+	m = &BER{Rate: 1, Rand: netsim.NewRand(1)}
+	if f := m.Apply(p); f != 8000 {
+		t.Errorf("rate 1 flipped %d bits, want all", f)
+	}
+	// Very low rate over a short buffer: almost always zero flips, and
+	// the skip must carry across calls without overflow.
+	m = &BER{Rate: 1e-12, Rand: netsim.NewRand(2)}
+	for i := 0; i < 100; i++ {
+		m.Apply(p[:8])
+	}
+}
+
+// TestBERChunkingInvariant: the geometric skip state carries across
+// Apply calls, so the same stream split differently sees the same error
+// positions.
+func TestBERChunkingInvariant(t *testing.T) {
+	whole := &BER{Rate: 1e-3, Rand: netsim.NewRand(9)}
+	a := make([]byte, 65536)
+	whole.Apply(a)
+
+	split := &BER{Rate: 1e-3, Rand: netsim.NewRand(9)}
+	b := make([]byte, 65536)
+	for off := 0; off < len(b); off += 777 {
+		end := off + 777
+		if end > len(b) {
+			end = len(b)
+		}
+		split.Apply(b[off:end])
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunking changed error positions at byte %d", i)
+		}
+	}
+}
+
+// TestBERGeometricMatchesNaiveStatistics: both samplers realise the
+// same binomial error process.
+func TestBERGeometricMatchesNaiveStatistics(t *testing.T) {
+	const n = 1 << 20 // bits
+	geo := &BER{Rate: 5e-4, Rand: netsim.NewRand(4)}
+	fg := geo.Apply(make([]byte, n/8))
+	nai := &BER{Rate: 5e-4, Rand: netsim.NewRand(5)}
+	fn := nai.applyNaive(make([]byte, n/8))
+	want := 5e-4 * n // ≈ 524
+	for _, f := range []int{fg, fn} {
+		if float64(f) < want*0.8 || float64(f) > want*1.2 {
+			t.Errorf("flips = %d, want ≈%.0f", f, want)
+		}
+	}
+}
+
+// BenchmarkBERApply shows the geometric sampler's win at realistic
+// optical error rates: naive work is constant per bit; geometric work
+// scales with the number of errors.
+func BenchmarkBERApply(b *testing.B) {
+	buf := make([]byte, 1<<16)
+	for _, rate := range []float64{1e-4, 1e-6, 1e-9} {
+		b.Run(fmt.Sprintf("geometric/ber=%g", rate), func(b *testing.B) {
+			m := &BER{Rate: rate, Rand: netsim.NewRand(1)}
+			b.SetBytes(int64(len(buf)))
+			for i := 0; i < b.N; i++ {
+				m.Apply(buf)
+			}
+		})
+		b.Run(fmt.Sprintf("naive/ber=%g", rate), func(b *testing.B) {
+			m := &BER{Rate: rate, Rand: netsim.NewRand(1)}
+			b.SetBytes(int64(len(buf)))
+			for i := 0; i < b.N; i++ {
+				m.applyNaive(buf)
+			}
+		})
 	}
 }
 

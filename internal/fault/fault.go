@@ -1,0 +1,309 @@
+// Package fault is a deterministic, scriptable fault injector for byte
+// streams: the impairment layer the robustness tests drive the SONET
+// section and PPP stack with. Where package channel models *analog*
+// noise (independent and bursty bit errors), fault models the *digital*
+// failures a real OC-48 line sees — byte insert/delete slips that break
+// frame alignment, frame truncation, duplication, and timed line-cut
+// (LOS) windows during which the receiver sees a dead (all-zeros) line.
+//
+// Every impairment is an Op pinned to an absolute input-stream octet
+// offset, so a scenario is exactly reproducible: build a Script by hand
+// or from a seeded netsim.Rand, wrap it in an Injector, and pass the
+// line stream through Apply. An optional channel.Model composes analog
+// bit errors on top of the scripted events (bit noise is suppressed
+// inside LOS windows — a cut fibre carries no light, and therefore no
+// noise).
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/channel"
+	"repro/internal/netsim"
+)
+
+// Kind identifies an impairment type.
+type Kind int
+
+// The impairment kinds.
+const (
+	// KindInsert inserts Data octets into the stream at At (a positive
+	// byte slip: downstream alignment shifts late).
+	KindInsert Kind = iota
+	// KindDelete removes N octets starting at At (a negative byte slip
+	// or, spanning to a frame boundary, a frame truncation).
+	KindDelete
+	// KindDuplicate re-emits the last N delivered octets at At.
+	KindDuplicate
+	// KindCorrupt XORs Mask over N octets starting at At.
+	KindCorrupt
+	// KindLOS replaces N octets starting at At with zeros — a timed
+	// line cut, the all-zeros dead line of a loss-of-signal window.
+	KindLOS
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInsert:
+		return "insert"
+	case KindDelete:
+		return "delete"
+	case KindDuplicate:
+		return "duplicate"
+	case KindCorrupt:
+		return "corrupt"
+	case KindLOS:
+		return "los"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Op is one scripted impairment, fired when the injector's input
+// position reaches At.
+type Op struct {
+	At   int64  // input-stream octet offset
+	Kind Kind   //
+	N    int    // span in octets (Delete/Duplicate/Corrupt/LOS)
+	Data []byte // octets to insert (Insert)
+	Mask byte   // XOR mask (Corrupt); 0 defaults to 0xFF
+}
+
+// Script is an ordered fault scenario.
+type Script struct {
+	Ops []Op
+}
+
+// Insert schedules a byte-slip insertion of data at offset at.
+func (s *Script) Insert(at int64, data ...byte) *Script {
+	s.Ops = append(s.Ops, Op{At: at, Kind: KindInsert, Data: data})
+	return s
+}
+
+// Delete schedules removal of n octets at offset at.
+func (s *Script) Delete(at int64, n int) *Script {
+	s.Ops = append(s.Ops, Op{At: at, Kind: KindDelete, N: n})
+	return s
+}
+
+// Truncate schedules a frame truncation: everything from at to the next
+// multiple of frameBytes is dropped.
+func (s *Script) Truncate(at int64, frameBytes int) *Script {
+	n := frameBytes - int(at%int64(frameBytes))
+	return s.Delete(at, n)
+}
+
+// Duplicate schedules re-emission of the n octets delivered before at.
+func (s *Script) Duplicate(at int64, n int) *Script {
+	s.Ops = append(s.Ops, Op{At: at, Kind: KindDuplicate, N: n})
+	return s
+}
+
+// Corrupt schedules an XOR of mask over n octets at offset at.
+func (s *Script) Corrupt(at int64, n int, mask byte) *Script {
+	s.Ops = append(s.Ops, Op{At: at, Kind: KindCorrupt, N: n, Mask: mask})
+	return s
+}
+
+// LOS schedules a line cut: n octets of dead (zero) line from at.
+func (s *Script) LOS(at int64, n int) *Script {
+	s.Ops = append(s.Ops, Op{At: at, Kind: KindLOS, N: n})
+	return s
+}
+
+// String renders the scenario for logs and OAM dumps.
+func (s *Script) String() string {
+	var b strings.Builder
+	for i, op := range s.Ops {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch op.Kind {
+		case KindInsert:
+			fmt.Fprintf(&b, "insert@%d+%d", op.At, len(op.Data))
+		default:
+			fmt.Fprintf(&b, "%v@%d:%d", op.Kind, op.At, op.N)
+		}
+	}
+	return b.String()
+}
+
+// RandomConfig parameterises a generated scenario.
+type RandomConfig struct {
+	// SlipEvery is the mean octet distance between byte slips
+	// (alternating single-octet inserts and deletes); 0 disables slips.
+	SlipEvery int
+	// LOSWindows line cuts of LOSLen octets each are spread uniformly
+	// over the stream.
+	LOSWindows int
+	LOSLen     int
+	// DupEvery is the mean distance between 16-octet duplications;
+	// 0 disables duplication.
+	DupEvery int
+}
+
+// Random builds a reproducible scenario over a stream of total octets.
+// The same rng seed always yields the same script.
+func Random(rng *netsim.Rand, total int64, cfg RandomConfig) Script {
+	var s Script
+	if cfg.SlipEvery > 0 {
+		del := false
+		for at := int64(rng.Intn(cfg.SlipEvery)) + 1; at < total; at += int64(rng.Intn(2*cfg.SlipEvery) + 1) {
+			if del {
+				s.Delete(at, 1)
+			} else {
+				s.Insert(at, rng.Byte())
+			}
+			del = !del
+		}
+	}
+	for i := 0; i < cfg.LOSWindows; i++ {
+		at := total * int64(i+1) / int64(cfg.LOSWindows+1)
+		at += int64(rng.Intn(1000))
+		s.LOS(at, cfg.LOSLen)
+	}
+	if cfg.DupEvery > 0 {
+		for at := int64(rng.Intn(cfg.DupEvery)) + 1; at < total; at += int64(rng.Intn(2*cfg.DupEvery) + 1) {
+			s.Duplicate(at, 16)
+		}
+	}
+	sort.SliceStable(s.Ops, func(i, j int) bool { return s.Ops[i].At < s.Ops[j].At })
+	return s
+}
+
+// Stats counts what the injector actually did, for reconciling a run
+// against its script.
+type Stats struct {
+	In, Out    uint64 // octets consumed / delivered
+	Inserted   uint64 // octets added by Insert ops
+	Deleted    uint64 // octets removed by Delete ops
+	Duplicated uint64 // octets re-emitted by Duplicate ops
+	Corrupted  uint64 // octets XORed by Corrupt ops
+	LOSWindows uint64 // LOS ops fired
+	LOSOctets  uint64 // octets zeroed inside LOS windows
+	BitErrors  uint64 // bits flipped by the analog Model
+	OpsFired   int    // scripted ops consumed
+}
+
+// histMax bounds the delivered-octet history kept for Duplicate ops.
+const histMax = 8192
+
+// Injector applies a Script (and optionally an analog channel.Model) to
+// a byte stream fed through Apply in arbitrary chunks. It is
+// deterministic: the same script, model state and input always produce
+// the same output.
+type Injector struct {
+	// Model, when set, adds analog bit errors to the delivered stream
+	// (outside LOS windows).
+	Model channel.Model
+	// Stats tallies applied impairments.
+	Stats Stats
+
+	ops     []Op // remaining, sorted by At
+	pos     int64
+	delEnd  int64 // input offset until which octets are dropped
+	losEnd  int64 // input offset until which the line is dead
+	corEnd  int64 // input offset until which octets are XORed
+	corMask byte
+	hist    []byte // recent delivered octets, for Duplicate
+}
+
+// NewInjector returns an injector for the given scenario.
+func NewInjector(script Script) *Injector {
+	ops := append([]Op(nil), script.Ops...)
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].At < ops[j].At })
+	return &Injector{ops: ops}
+}
+
+// Pos returns the current input-stream offset.
+func (in *Injector) Pos() int64 { return in.pos }
+
+// Apply passes one chunk of the stream through the injector and returns
+// the impaired chunk (which may be shorter or longer than the input).
+func (in *Injector) Apply(p []byte) []byte {
+	out := make([]byte, 0, len(p)+8)
+	seg := 0 // start of the current analog segment within out
+	flush := func() {
+		if in.Model != nil && len(out) > seg {
+			in.Stats.BitErrors += uint64(in.Model.Apply(out[seg:]))
+		}
+		seg = len(out)
+	}
+	for _, b := range p {
+		for len(in.ops) > 0 && in.ops[0].At <= in.pos {
+			op := in.ops[0]
+			in.ops = in.ops[1:]
+			in.Stats.OpsFired++
+			switch op.Kind {
+			case KindInsert:
+				out = append(out, op.Data...)
+				in.Stats.Inserted += uint64(len(op.Data))
+			case KindDelete:
+				in.delEnd = maxI64(in.delEnd, in.pos+int64(op.N))
+			case KindDuplicate:
+				// Replay the most recently delivered octets: the tail of
+				// this chunk's output first, then saved history.
+				n := op.N
+				var dup []byte
+				if n <= len(out) {
+					dup = out[len(out)-n:]
+				} else {
+					m := n - len(out)
+					if m > len(in.hist) {
+						m = len(in.hist)
+					}
+					dup = append(append([]byte{}, in.hist[len(in.hist)-m:]...), out...)
+				}
+				out = append(out, dup...)
+				in.Stats.Duplicated += uint64(len(dup))
+			case KindCorrupt:
+				in.corEnd = maxI64(in.corEnd, in.pos+int64(op.N))
+				in.corMask = op.Mask
+				if in.corMask == 0 {
+					in.corMask = 0xFF
+				}
+			case KindLOS:
+				in.losEnd = maxI64(in.losEnd, in.pos+int64(op.N))
+				in.Stats.LOSWindows++
+			}
+		}
+		switch {
+		case in.pos < in.delEnd:
+			in.Stats.Deleted++
+		case in.pos < in.losEnd:
+			// Dead line: no noise model inside the cut.
+			flush()
+			out = append(out, 0)
+			seg = len(out)
+			in.Stats.LOSOctets++
+		default:
+			if in.pos < in.corEnd {
+				b ^= in.corMask
+				in.Stats.Corrupted++
+			}
+			out = append(out, b)
+		}
+		in.pos++
+	}
+	flush()
+	in.Stats.In += uint64(len(p))
+	in.Stats.Out += uint64(len(out))
+	if n := len(out); n > 0 {
+		in.hist = append(in.hist, out...)
+		if len(in.hist) > histMax {
+			in.hist = in.hist[len(in.hist)-histMax:]
+		}
+	}
+	return out
+}
+
+// Done reports whether every scripted op has fired.
+func (in *Injector) Done() bool { return len(in.ops) == 0 }
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

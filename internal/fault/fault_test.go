@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/netsim"
+)
+
+func feed(in *Injector, p []byte, chunk int) []byte {
+	var out []byte
+	for len(p) > 0 {
+		n := chunk
+		if n > len(p) {
+			n = len(p)
+		}
+		out = append(out, in.Apply(p[:n])...)
+		p = p[n:]
+	}
+	return out
+}
+
+func seq(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i + 1) // never zero, so LOS zeros are distinguishable
+	}
+	return p
+}
+
+func TestInsertAndDeleteSlips(t *testing.T) {
+	var s Script
+	s.Insert(5, 0xAA, 0xBB)
+	s.Delete(10, 3)
+	in := NewInjector(s)
+	got := feed(in, seq(20), 7)
+	want := append([]byte{}, seq(20)[:5]...)
+	want = append(want, 0xAA, 0xBB)
+	want = append(want, seq(20)[5:10]...)
+	want = append(want, seq(20)[13:]...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got % x\nwant % x", got, want)
+	}
+	if in.Stats.Inserted != 2 || in.Stats.Deleted != 3 {
+		t.Errorf("stats = %+v", in.Stats)
+	}
+}
+
+func TestLOSWindowZerosTheLine(t *testing.T) {
+	var s Script
+	s.LOS(4, 6)
+	in := NewInjector(s)
+	got := feed(in, seq(16), 3)
+	if len(got) != 16 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, b := range got {
+		dead := i >= 4 && i < 10
+		if dead && b != 0 {
+			t.Errorf("octet %d = %#x inside LOS window", i, b)
+		}
+		if !dead && b == 0 {
+			t.Errorf("octet %d zeroed outside LOS window", i)
+		}
+	}
+	if in.Stats.LOSWindows != 1 || in.Stats.LOSOctets != 6 {
+		t.Errorf("stats = %+v", in.Stats)
+	}
+}
+
+func TestDuplicateReplaysHistory(t *testing.T) {
+	var s Script
+	s.Duplicate(8, 4)
+	in := NewInjector(s)
+	got := feed(in, seq(12), 5)
+	want := append([]byte{}, seq(12)[:8]...)
+	want = append(want, seq(12)[4:8]...) // replay of the last 4 delivered
+	want = append(want, seq(12)[8:]...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got % x\nwant % x", got, want)
+	}
+	if in.Stats.Duplicated != 4 {
+		t.Errorf("stats = %+v", in.Stats)
+	}
+}
+
+func TestCorruptAndTruncate(t *testing.T) {
+	var s Script
+	s.Corrupt(2, 2, 0x0F)
+	s.Truncate(9, 4) // drop 9..11: up to the next 4-octet boundary
+	in := NewInjector(s)
+	got := feed(in, seq(12), 12)
+	src := seq(12)
+	want := []byte{src[0], src[1], src[2] ^ 0x0F, src[3] ^ 0x0F}
+	want = append(want, src[4:9]...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got % x\nwant % x", got, want)
+	}
+}
+
+func TestDeterminismAcrossChunkings(t *testing.T) {
+	src := seq(4096)
+	script := Random(netsim.NewRand(42), int64(len(src)), RandomConfig{
+		SlipEvery: 500, LOSWindows: 2, LOSLen: 100, DupEvery: 1000,
+	})
+	var outs [][]byte
+	for _, chunk := range []int{1, 7, 64, 4096} {
+		in := NewInjector(script)
+		in.Model = &channel.GilbertElliott{
+			PGoodToBad: 1e-4, PBadToGood: 0.05, BERBad: 0.3,
+			Rand: netsim.NewRand(7),
+		}
+		outs = append(outs, feed(in, src, chunk))
+	}
+	for i := 1; i < len(outs); i++ {
+		if !bytes.Equal(outs[0], outs[i]) {
+			t.Fatalf("chunking %d changed the output", i)
+		}
+	}
+}
+
+func TestRandomScriptReproducible(t *testing.T) {
+	cfg := RandomConfig{SlipEvery: 300, LOSWindows: 3, LOSLen: 50}
+	a := Random(netsim.NewRand(9), 10000, cfg)
+	b := Random(netsim.NewRand(9), 10000, cfg)
+	if len(a.Ops) == 0 || len(a.Ops) != len(b.Ops) {
+		t.Fatalf("ops: %d vs %d", len(a.Ops), len(b.Ops))
+	}
+	for i := range a.Ops {
+		if a.Ops[i].At != b.Ops[i].At || a.Ops[i].Kind != b.Ops[i].Kind {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a.Ops[i], b.Ops[i])
+		}
+	}
+	los := 0
+	for _, op := range a.Ops {
+		if op.Kind == KindLOS {
+			los++
+		}
+	}
+	if los != 3 {
+		t.Errorf("LOS ops = %d, want 3", los)
+	}
+}
+
+func TestModelSuppressedInsideLOS(t *testing.T) {
+	var s Script
+	s.LOS(0, 1000)
+	in := NewInjector(s)
+	in.Model = &channel.BER{Rate: 0.5, Rand: netsim.NewRand(3)}
+	got := in.Apply(seq(1000))
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("octet %d = %#x: noise inside a dead line", i, b)
+		}
+	}
+	if in.Stats.BitErrors != 0 {
+		t.Errorf("BitErrors = %d inside LOS", in.Stats.BitErrors)
+	}
+}

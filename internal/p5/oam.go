@@ -6,6 +6,7 @@ import (
 	"repro/internal/crc"
 	"repro/internal/hdlc"
 	"repro/internal/ppp"
+	"repro/internal/sonet"
 )
 
 // Register addresses of the Protocol OAM block — the microprocessor
@@ -21,6 +22,7 @@ const (
 
 	RegIntStat = 0x20 // interrupt status (write 1 to clear)
 	RegIntMask = 0x24 // interrupt enable mask
+	RegAlarm   = 0x28 // live SONET section/path defect bits (RO)
 
 	RegTxFrames   = 0x40 // frames transmitted (RO)
 	RegTxEscaped  = 0x44 // octets escaped on transmit (RO)
@@ -31,6 +33,21 @@ const (
 	RegRxAborts   = 0x58 // aborted frames (RO)
 	RegRxOverruns = 0x5C // line overrun octets (RO)
 	RegRxRunts    = 0x60 // runt frames (RO)
+
+	RegDefectRaise = 0x64 // total defect raise transitions (RO)
+	RegDefectClear = 0x68 // total defect clear transitions (RO)
+	RegB1Errors    = 0x6C // section BIP-8 errors (RO, needs section)
+	RegB3Errors    = 0x70 // path BIP-8 errors (RO, needs section)
+	RegResyncs     = 0x74 // frame-alignment reacquisitions (RO)
+)
+
+// RegAlarm bit assignments mirror the sonet.Defect bit set.
+const (
+	AlarmOOF = uint32(sonet.DefOOF)
+	AlarmLOF = uint32(sonet.DefLOF)
+	AlarmLOS = uint32(sonet.DefLOS)
+	AlarmSD  = uint32(sonet.DefSD)
+	AlarmSF  = uint32(sonet.DefSF)
 )
 
 // RegCtrl bits.
@@ -48,7 +65,25 @@ const (
 	IntRxFrame = 1 << 0 // a frame reached the receive queue
 	IntRxError = 1 << 1 // a damaged frame was disposed of
 	IntTxDone  = 1 << 2 // transmit queue drained
+
+	// SONET section/path defect interrupt causes (AttachSection).
+	IntOOF         = 1 << 3 // out-of-frame declared
+	IntLOF         = 1 << 4 // loss-of-frame declared
+	IntLOS         = 1 << 5 // loss-of-signal declared
+	IntSDeg        = 1 << 6 // signal degrade threshold crossed
+	IntSFail       = 1 << 7 // signal fail threshold crossed
+	IntDefectClear = 1 << 8 // any defect cleared (alarm register updated)
 )
+
+// IntCauseNames maps interrupt bits to their mnemonic, for status dumps.
+var IntCauseNames = []struct {
+	Bit  uint32
+	Name string
+}{
+	{IntRxFrame, "rx-frame"}, {IntRxError, "rx-error"}, {IntTxDone, "tx-done"},
+	{IntOOF, "oof"}, {IntLOF, "lof"}, {IntLOS, "los"},
+	{IntSDeg, "sdeg"}, {IntSFail, "sfail"}, {IntDefectClear, "defect-clear"},
+}
 
 // Regs is the OAM configuration register file. Datapath modules read it
 // every cycle, so a host write takes effect on the next clock — the
@@ -65,6 +100,11 @@ type Regs struct {
 
 	intStat uint32
 	intMask uint32
+
+	// SONET section alarm state (AttachSection).
+	alarm        uint32
+	defectRaises uint32
+	defectClears uint32
 }
 
 // NewRegs returns the power-on register file: Tx/Rx enabled, address
@@ -165,6 +205,69 @@ type OAM struct {
 	// Counter taps, wired by the System assembly.
 	tx *Transmitter
 	rx *Receiver
+
+	// section, when attached, supplies the SONET defect/parity status
+	// registers.
+	section *sonet.Deframer
+}
+
+// NewOAM assembles an OAM block over separately constructed datapath
+// halves — for deployments that wire their own transmitter/receiver
+// pair (either tap may be nil; its status registers then read zero).
+func NewOAM(regs *Regs, tx *Transmitter, rx *Receiver) *OAM {
+	return &OAM{Regs: regs, tx: tx, rx: rx}
+}
+
+// defectIntBit maps a defect raise to its interrupt cause.
+func defectIntBit(d sonet.Defect) uint32 {
+	switch d {
+	case sonet.DefOOF:
+		return IntOOF
+	case sonet.DefLOF:
+		return IntLOF
+	case sonet.DefLOS:
+		return IntLOS
+	case sonet.DefSD:
+		return IntSDeg
+	case sonet.DefSF:
+		return IntSFail
+	}
+	return 0
+}
+
+// AttachSection wires a SONET deframer into the OAM block: its defect
+// transitions drive the alarm register and raise per-defect interrupt
+// causes, and its parity/resync counters appear in the status block.
+// Pass the deframer whose Emit feeds this P5's receive path.
+func (o *OAM) AttachSection(df *sonet.Deframer) {
+	o.section = df
+	if df == nil || df.Defects == nil {
+		return
+	}
+	prev := df.Defects.OnEvent
+	df.Defects.OnEvent = func(e sonet.DefectEvent) {
+		r := o.Regs
+		r.mu.Lock()
+		r.alarm = uint32(df.Defects.Active())
+		if e.Raised {
+			r.defectRaises++
+			r.intStat |= defectIntBit(e.Defect)
+		} else {
+			r.defectClears++
+			r.intStat |= IntDefectClear
+		}
+		r.mu.Unlock()
+		if prev != nil {
+			prev(e)
+		}
+	}
+}
+
+// Alarms returns the live alarm register as a defect set.
+func (o *OAM) Alarms() sonet.Defect {
+	o.Regs.mu.RLock()
+	defer o.Regs.mu.RUnlock()
+	return sonet.Defect(o.Regs.alarm)
 }
 
 // Write stores a host write to a configuration register. Writes to
@@ -220,6 +323,22 @@ func (o *OAM) Read(addr uint32) uint32 {
 		return r.intStat
 	case RegIntMask:
 		return r.intMask
+	case RegAlarm:
+		return r.alarm
+	case RegDefectRaise:
+		return r.defectRaises
+	case RegDefectClear:
+		return r.defectClears
+	}
+	if o.section != nil {
+		switch addr {
+		case RegB1Errors:
+			return uint32(o.section.B1Errors)
+		case RegB3Errors:
+			return uint32(o.section.B3Errors)
+		case RegResyncs:
+			return uint32(o.section.ResyncCount)
+		}
 	}
 	if o.tx != nil {
 		switch addr {

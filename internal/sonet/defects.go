@@ -1,0 +1,332 @@
+package sonet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file adds GR-253-style defect supervision to the SONET section:
+// instead of a stateless hunt that drops alignment on the first errored
+// A1/A2 pattern, the deframer drives a DefectMonitor that models sync
+// acquisition and loss as a state machine with integration timers —
+// out-of-frame after consecutive errored framing patterns, loss-of-frame
+// after a persistence timer, loss-of-signal on a dead line, and
+// signal-degrade/fail alarms from B1/B3 parity rates. A supervisor (the
+// host behind the P5 OAM block, or a software Link) consumes the
+// resulting transitions.
+
+// Defect is a bit set of active section/path defects.
+type Defect uint32
+
+// The modelled defects.
+const (
+	// DefOOF: out of frame — OOFBadFrames consecutive errored A1/A2
+	// patterns. The deframer re-hunts while OOF is active.
+	DefOOF Defect = 1 << iota
+	// DefLOF: loss of frame — OOF persisted LOFFrames frame times.
+	DefLOF
+	// DefLOS: loss of signal — LOSOctets consecutive zero octets (a
+	// dead line; scrambling guarantees a live line is never all-zeros).
+	DefLOS
+	// DefSD: signal degrade — B1/B3 errored-frame rate over a window
+	// crossed the degrade threshold.
+	DefSD
+	// DefSF: signal fail — errored-frame rate crossed the fail
+	// threshold.
+	DefSF
+)
+
+var defectNames = []struct {
+	bit  Defect
+	name string
+}{
+	{DefLOS, "LOS"}, {DefLOF, "LOF"}, {DefOOF, "OOF"},
+	{DefSF, "SF"}, {DefSD, "SD"},
+}
+
+func (d Defect) String() string {
+	if d == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, n := range defectNames {
+		if d&n.bit != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	if rest := d &^ (DefOOF | DefLOF | DefLOS | DefSD | DefSF); rest != 0 {
+		parts = append(parts, fmt.Sprintf("%#x", uint32(rest)))
+	}
+	return strings.Join(parts, "+")
+}
+
+// ServiceAffecting is the defect set that makes the line unusable: a
+// supervisor should treat these as loss of the physical layer.
+const ServiceAffecting = DefLOS | DefLOF | DefSF
+
+// DefectEvent is one alarm transition.
+type DefectEvent struct {
+	Octet  int64 // line octet index at the transition
+	Defect Defect
+	Raised bool // true = raise, false = clear
+}
+
+func (e DefectEvent) String() string {
+	verb := "clear"
+	if e.Raised {
+		verb = "raise"
+	}
+	return fmt.Sprintf("%s %v @%d", verb, e.Defect, e.Octet)
+}
+
+// DefectConfig sets the integration thresholds. Zero values take the
+// GR-253-flavoured defaults scaled to the monitor's Level.
+type DefectConfig struct {
+	// OOFBadFrames consecutive errored A1/A2 patterns declare OOF
+	// (default 4); OOFGoodFrames consecutive clean patterns re-enter
+	// the in-frame state (default 2).
+	OOFBadFrames, OOFGoodFrames int
+	// LOFFrames frame times spent in OOF declare LOF; the same span
+	// in-frame clears it (default 24 ≈ 3 ms).
+	LOFFrames int
+	// LOSOctets consecutive zero octets declare LOS (default one
+	// eighth of a transport frame ≈ 15 µs); any nonzero octet clears.
+	LOSOctets int
+	// WindowFrames is the parity evaluation window (default 16 = 2 ms);
+	// SDFrames / SFFrames errored frames within it raise signal
+	// degrade / fail (defaults 4 and 12). A window below threshold
+	// clears.
+	WindowFrames, SDFrames, SFFrames int
+}
+
+// DefectMonitor integrates framing, parity and signal observations into
+// alarm state. The Deframer drives it; hosts read Active and Events or
+// subscribe via OnEvent.
+type DefectMonitor struct {
+	Level Level
+	Cfg   DefectConfig
+	// OnEvent, when set, observes every transition as it happens.
+	OnEvent func(DefectEvent)
+	// Events is the transition log (capped at eventCap entries).
+	Events []DefectEvent
+
+	active Defect
+
+	octet     int64
+	zeroRun   int
+	badRun    int
+	goodRun   int
+	oofOct    int64 // octets spent in OOF (LOF integration)
+	inOct     int64 // octets spent in-frame (LOF clearing)
+	lofThresh int64 // cached LOF integration span in octets
+	winFrm    int
+	winErr    int
+	raises    [5]uint64
+	clears    [5]uint64
+	dropped   uint64 // events not logged because of the cap
+}
+
+// eventCap bounds the transition log so a long soak cannot grow it
+// unboundedly; counters keep exact totals regardless.
+const eventCap = 4096
+
+// NewDefectMonitor returns a monitor with default thresholds for level.
+func NewDefectMonitor(level Level) *DefectMonitor {
+	return &DefectMonitor{Level: level}
+}
+
+func (m *DefectMonitor) oofBad() int {
+	if m.Cfg.OOFBadFrames > 0 {
+		return m.Cfg.OOFBadFrames
+	}
+	return 4
+}
+
+func (m *DefectMonitor) oofGood() int {
+	if m.Cfg.OOFGoodFrames > 0 {
+		return m.Cfg.OOFGoodFrames
+	}
+	return 2
+}
+
+func (m *DefectMonitor) lofFrames() int {
+	if m.Cfg.LOFFrames > 0 {
+		return m.Cfg.LOFFrames
+	}
+	return 24
+}
+
+func (m *DefectMonitor) losOctets() int {
+	if m.Cfg.LOSOctets > 0 {
+		return m.Cfg.LOSOctets
+	}
+	n := m.Level.FrameBytes() / 8
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+func (m *DefectMonitor) windowFrames() int {
+	if m.Cfg.WindowFrames > 0 {
+		return m.Cfg.WindowFrames
+	}
+	return 16
+}
+
+func (m *DefectMonitor) sdFrames() int {
+	if m.Cfg.SDFrames > 0 {
+		return m.Cfg.SDFrames
+	}
+	return 4
+}
+
+func (m *DefectMonitor) sfFrames() int {
+	if m.Cfg.SFFrames > 0 {
+		return m.Cfg.SFFrames
+	}
+	return 12
+}
+
+// Active returns the current defect set.
+func (m *DefectMonitor) Active() Defect { return m.active }
+
+// Has reports whether defect d is currently active.
+func (m *DefectMonitor) Has(d Defect) bool { return m.active&d != 0 }
+
+// Raises returns how many times defect d has been raised.
+func (m *DefectMonitor) Raises(d Defect) uint64 { return m.raises[bitIndex(d)] }
+
+// Clears returns how many times defect d has been cleared.
+func (m *DefectMonitor) Clears(d Defect) uint64 { return m.clears[bitIndex(d)] }
+
+// Transitions returns the total raise+clear transition count.
+func (m *DefectMonitor) Transitions() (raises, clears uint64) {
+	for i := range m.raises {
+		raises += m.raises[i]
+		clears += m.clears[i]
+	}
+	return
+}
+
+func bitIndex(d Defect) int {
+	for i := 0; i < 5; i++ {
+		if d&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+func (m *DefectMonitor) raise(d Defect) {
+	if m.active&d != 0 {
+		return
+	}
+	m.active |= d
+	m.raises[bitIndex(d)]++
+	m.event(DefectEvent{Octet: m.octet, Defect: d, Raised: true})
+}
+
+func (m *DefectMonitor) clearDef(d Defect) {
+	if m.active&d == 0 {
+		return
+	}
+	m.active &^= d
+	m.clears[bitIndex(d)]++
+	m.event(DefectEvent{Octet: m.octet, Defect: d, Raised: false})
+}
+
+func (m *DefectMonitor) event(e DefectEvent) {
+	if len(m.Events) < eventCap {
+		m.Events = append(m.Events, e)
+	} else {
+		m.dropped++
+	}
+	if m.OnEvent != nil {
+		m.OnEvent(e)
+	}
+}
+
+// Octets observes raw line octets: the LOS zero-run detector and the
+// LOF integration timers run at line rate.
+func (m *DefectMonitor) Octets(p []byte) {
+	for _, b := range p {
+		m.OctetIn(b)
+	}
+}
+
+// OctetIn observes a single line octet. The Deframer calls this for
+// every received octet, interleaved with FrameResult at frame
+// boundaries, so the LOF persistence timer integrates correctly even
+// when a whole outage arrives in one chunk.
+func (m *DefectMonitor) OctetIn(b byte) {
+	m.octet++
+	if b == 0 {
+		m.zeroRun++
+		if m.zeroRun == m.losOctets() {
+			m.raise(DefLOS)
+		}
+	} else {
+		if m.Has(DefLOS) {
+			m.clearDef(DefLOS)
+		}
+		m.zeroRun = 0
+	}
+	if m.lofThresh == 0 {
+		m.lofThresh = int64(m.lofFrames()) * int64(m.Level.FrameBytes())
+	}
+	if m.Has(DefOOF) {
+		m.oofOct++
+		if !m.Has(DefLOF) && m.oofOct >= m.lofThresh {
+			m.raise(DefLOF)
+		}
+	} else {
+		m.inOct++
+		if m.Has(DefLOF) && m.inOct >= m.lofThresh {
+			m.clearDef(DefLOF)
+		}
+	}
+}
+
+// FrameResult observes one frame-time's framing and parity verdicts and
+// returns whether the deframer should keep frame sync: false means OOF
+// is active and this frame's alignment was errored — fall back to the
+// hunt. A single errored pattern inside an otherwise good run keeps
+// sync (the in-frame hysteresis), so its payload is still delivered.
+func (m *DefectMonitor) FrameResult(alignOK, parityErr bool) (inFrame bool) {
+	if alignOK {
+		m.goodRun++
+		m.badRun = 0
+		if m.Has(DefOOF) && m.goodRun >= m.oofGood() {
+			m.clearDef(DefOOF)
+			m.inOct = 0
+		}
+	} else {
+		m.badRun++
+		m.goodRun = 0
+		if !m.Has(DefOOF) && m.badRun >= m.oofBad() {
+			m.raise(DefOOF)
+			m.oofOct = 0
+		}
+	}
+
+	m.winFrm++
+	if parityErr {
+		m.winErr++
+	}
+	if m.winFrm >= m.windowFrames() {
+		errs := m.winErr
+		m.winFrm, m.winErr = 0, 0
+		if errs >= m.sfFrames() {
+			m.raise(DefSF)
+		} else {
+			m.clearDef(DefSF)
+		}
+		if errs >= m.sdFrames() {
+			m.raise(DefSD)
+		} else {
+			m.clearDef(DefSD)
+		}
+	}
+	return alignOK || !m.Has(DefOOF)
+}

@@ -1,0 +1,260 @@
+package sonet
+
+import (
+	"testing"
+)
+
+// mon returns a monitor with small thresholds for fast tests.
+func mon() *DefectMonitor {
+	m := NewDefectMonitor(STM1)
+	m.Cfg = DefectConfig{
+		OOFBadFrames: 4, OOFGoodFrames: 2,
+		LOFFrames: 8, LOSOctets: 32,
+		WindowFrames: 8, SDFrames: 2, SFFrames: 6,
+	}
+	return m
+}
+
+func TestOOFNeedsConsecutiveErroredFrames(t *testing.T) {
+	m := mon()
+	// Three errored patterns, then a good one: no OOF (hysteresis).
+	for i := 0; i < 3; i++ {
+		if !m.FrameResult(false, false) {
+			t.Fatalf("dropped sync on errored frame %d", i)
+		}
+	}
+	m.FrameResult(true, false)
+	if m.Has(DefOOF) {
+		t.Fatal("OOF after a non-consecutive run")
+	}
+	// Four consecutive errored patterns: OOF declared, sync dropped.
+	for i := 0; i < 3; i++ {
+		m.FrameResult(false, false)
+	}
+	if in := m.FrameResult(false, false); in {
+		t.Fatal("kept sync after 4 consecutive errored frames")
+	}
+	if !m.Has(DefOOF) {
+		t.Fatal("OOF not raised")
+	}
+	// Two consecutive good patterns re-enter the in-frame state.
+	m.FrameResult(true, false)
+	if !m.Has(DefOOF) {
+		t.Fatal("OOF cleared after one good frame")
+	}
+	m.FrameResult(true, false)
+	if m.Has(DefOOF) {
+		t.Fatal("OOF not cleared after two good frames")
+	}
+	if m.Raises(DefOOF) != 1 || m.Clears(DefOOF) != 1 {
+		t.Errorf("OOF raises/clears = %d/%d", m.Raises(DefOOF), m.Clears(DefOOF))
+	}
+}
+
+func TestLOFPersistenceTimer(t *testing.T) {
+	m := mon()
+	fb := STM1.FrameBytes()
+	// Enter OOF.
+	for i := 0; i < 4; i++ {
+		m.FrameResult(false, false)
+	}
+	junk := make([]byte, fb)
+	for i := range junk {
+		junk[i] = 0x42 // live line, just misframed
+	}
+	// Seven frame times in OOF: LOF not yet.
+	for i := 0; i < 7; i++ {
+		m.Octets(junk)
+	}
+	if m.Has(DefLOF) {
+		t.Fatal("LOF before the persistence timer")
+	}
+	m.Octets(junk)
+	if !m.Has(DefLOF) {
+		t.Fatal("LOF not raised after 8 frame times in OOF")
+	}
+	// Recover framing; LOF must persist until the clear timer runs.
+	m.FrameResult(true, false)
+	m.FrameResult(true, false)
+	if m.Has(DefOOF) {
+		t.Fatal("OOF still active")
+	}
+	if !m.Has(DefLOF) {
+		t.Fatal("LOF cleared instantly")
+	}
+	for i := 0; i < 8; i++ {
+		m.Octets(junk)
+	}
+	if m.Has(DefLOF) {
+		t.Fatal("LOF not cleared after in-frame persistence")
+	}
+}
+
+func TestLOSZeroRun(t *testing.T) {
+	m := mon()
+	m.Octets(make([]byte, 31))
+	if m.Has(DefLOS) {
+		t.Fatal("LOS before threshold")
+	}
+	m.Octets(make([]byte, 1))
+	if !m.Has(DefLOS) {
+		t.Fatal("LOS not raised at 32 zero octets")
+	}
+	m.Octets([]byte{0xF6})
+	if m.Has(DefLOS) {
+		t.Fatal("LOS not cleared on live line")
+	}
+	if m.Raises(DefLOS) != 1 || m.Clears(DefLOS) != 1 {
+		t.Errorf("LOS raises/clears = %d/%d", m.Raises(DefLOS), m.Clears(DefLOS))
+	}
+	// A zero run interrupted by live octets never raises.
+	for i := 0; i < 10; i++ {
+		m.Octets(make([]byte, 20))
+		m.Octets([]byte{0x28})
+	}
+	if m.Raises(DefLOS) != 1 {
+		t.Error("interrupted zero runs raised LOS")
+	}
+}
+
+func TestSignalDegradeAndFailThresholds(t *testing.T) {
+	m := mon()
+	// Window of 8 frames with 2 parity-errored: SD but not SF.
+	for i := 0; i < 8; i++ {
+		m.FrameResult(true, i < 2)
+	}
+	if !m.Has(DefSD) || m.Has(DefSF) {
+		t.Fatalf("after degrade window: %v", m.Active())
+	}
+	// Window with 6 errored: SF joins.
+	for i := 0; i < 8; i++ {
+		m.FrameResult(true, i < 6)
+	}
+	if !m.Has(DefSD) || !m.Has(DefSF) {
+		t.Fatalf("after fail window: %v", m.Active())
+	}
+	// Clean window clears both.
+	for i := 0; i < 8; i++ {
+		m.FrameResult(true, false)
+	}
+	if m.Has(DefSD) || m.Has(DefSF) {
+		t.Fatalf("after clean window: %v", m.Active())
+	}
+}
+
+func TestDefectEventsAndStrings(t *testing.T) {
+	m := mon()
+	m.Octets(make([]byte, 64))
+	m.Octets([]byte{1})
+	if len(m.Events) != 2 {
+		t.Fatalf("events = %v", m.Events)
+	}
+	if !m.Events[0].Raised || m.Events[0].Defect != DefLOS {
+		t.Errorf("event 0 = %v", m.Events[0])
+	}
+	if got := m.Events[0].String(); got == "" {
+		t.Error("empty event string")
+	}
+	if (DefLOS | DefOOF).String() != "LOS+OOF" {
+		t.Errorf("String = %q", (DefLOS | DefOOF).String())
+	}
+	if Defect(0).String() != "none" {
+		t.Errorf("zero String = %q", Defect(0).String())
+	}
+	r, c := m.Transitions()
+	if r != 1 || c != 1 {
+		t.Errorf("transitions = %d/%d", r, c)
+	}
+}
+
+// TestDeframerSurvivesSingleErroredPattern is the hysteresis payoff: a
+// corrupted A1 byte no longer costs a whole frame of payload.
+func TestDeframerSurvivesSingleErroredPattern(t *testing.T) {
+	payload := make([]byte, 8000)
+	for i := range payload {
+		payload[i] = byte(i%251) + 1
+	}
+	got, df := pump(t, STM1, payload, 4, func(f []byte, i int) {
+		if i == 1 {
+			f[0] ^= 0xFF // destroy the first A1 byte
+		}
+	})
+	if df.FramesErrored != 1 {
+		t.Fatalf("FramesErrored = %d", df.FramesErrored)
+	}
+	if df.Defects.Has(DefOOF) {
+		t.Fatal("OOF from a single errored pattern")
+	}
+	// All payload delivered: the errored frame's octets were kept.
+	if len(got) < len(payload) {
+		t.Fatalf("delivered %d of %d payload octets", len(got), len(payload))
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("payload octet %d corrupted", i)
+		}
+	}
+}
+
+// TestDeframerByteSlipRaisesOOFAndRecovers injects a one-octet deletion
+// mid-stream: the deframer must integrate the errored patterns, declare
+// OOF, re-hunt, and clear the defect after realignment.
+func TestDeframerByteSlipRaisesOOFAndRecovers(t *testing.T) {
+	pos := 0
+	fr := NewFramer(STM1, func() (byte, bool) { pos++; return byte(pos%250) + 1, true })
+	var got []byte
+	df := NewDeframer(STM1, func(b byte) { got = append(got, b) })
+	df.Feed(fr.NextFrame())
+	// Delete one octet from the next frame: everything downstream slips.
+	f := fr.NextFrame()
+	df.Feed(f[1:])
+	for i := 0; i < 10; i++ {
+		df.Feed(fr.NextFrame())
+	}
+	if !df.Aligned() {
+		t.Fatal("did not realign after slip")
+	}
+	if df.Defects.Raises(DefOOF) != 1 || df.Defects.Clears(DefOOF) != 1 {
+		t.Errorf("OOF raises/clears = %d/%d",
+			df.Defects.Raises(DefOOF), df.Defects.Clears(DefOOF))
+	}
+	if df.Defects.Active() != 0 {
+		t.Errorf("defects still active: %v", df.Defects.Active())
+	}
+	if df.ResyncCount < 2 {
+		t.Errorf("ResyncCount = %d", df.ResyncCount)
+	}
+}
+
+// TestDeframerLOSWindow feeds a dead line mid-stream: LOS (and, as the
+// outage persists, OOF then LOF) must raise, then clear after the light
+// comes back.
+func TestDeframerLOSWindow(t *testing.T) {
+	fr := NewFramer(STM1, func() (byte, bool) { return 0x42, true })
+	df := NewDeframer(STM1, nil)
+	// Small LOF timer; parity thresholds high enough that the outage's
+	// few misframed candidates don't also trip SD/SF.
+	df.Defects.Cfg = DefectConfig{LOFFrames: 8, WindowFrames: 8, SDFrames: 6, SFFrames: 7}
+	for i := 0; i < 3; i++ {
+		df.Feed(fr.NextFrame())
+	}
+	// 14 frame times of dead line.
+	df.Feed(make([]byte, 14*STM1.FrameBytes()))
+	if !df.Defects.Has(DefLOS) {
+		t.Fatal("LOS not raised on dead line")
+	}
+	if !df.Defects.Has(DefOOF) || !df.Defects.Has(DefLOF) {
+		t.Fatalf("outage defects = %v", df.Defects.Active())
+	}
+	// Light back: resync and clear everything.
+	for i := 0; i < 12; i++ {
+		df.Feed(fr.NextFrame())
+	}
+	if df.Defects.Active() != 0 {
+		t.Fatalf("defects after recovery: %v", df.Defects.Active())
+	}
+	if df.Defects.Raises(DefLOS) != 1 || df.Defects.Raises(DefLOF) != 1 {
+		t.Errorf("raises LOS=%d LOF=%d",
+			df.Defects.Raises(DefLOS), df.Defects.Raises(DefLOF))
+	}
+}

@@ -4,10 +4,20 @@ package sonet
 // stream: it hunts for the A1/A2 alignment pattern, descrambles,
 // verifies B1/B3 parity against its own computation, and emits the
 // payload octets.
+//
+// Frame sync is supervised by a DefectMonitor (GR-253-style): a single
+// errored A1/A2 pattern no longer drops alignment — the frame is still
+// delivered at the assumed boundary and only OOFBadFrames consecutive
+// errored patterns fall back to the hunt, with LOS/LOF/SD/SF alarms
+// raised along the way. Set Defects to nil for the legacy stateless
+// behaviour (drop to hunting on the first errored pattern).
 type Deframer struct {
 	Level Level
 	// Emit receives recovered payload octets in order.
 	Emit func(b byte)
+	// Defects supervises sync state and raises section/path alarms.
+	// NewDeframer installs a monitor with default thresholds.
+	Defects *DefectMonitor
 
 	buf     []byte // accumulating candidate frame
 	aligned bool
@@ -20,15 +30,17 @@ type Deframer struct {
 	havePrev bool
 
 	// Counters.
-	FramesOK    uint64
-	B1Errors    uint64
-	B3Errors    uint64
-	ResyncCount uint64
+	FramesOK      uint64
+	FramesErrored uint64 // delivered in-frame despite an errored A1/A2
+	B1Errors      uint64
+	B3Errors      uint64
+	ResyncCount   uint64
 }
 
-// NewDeframer returns a deframer for the given level.
+// NewDeframer returns a deframer for the given level, supervised by a
+// DefectMonitor with default thresholds.
 func NewDeframer(level Level, emit func(byte)) *Deframer {
-	return &Deframer{Level: level, Emit: emit}
+	return &Deframer{Level: level, Emit: emit, Defects: NewDefectMonitor(level)}
 }
 
 // Aligned reports whether frame alignment has been acquired.
@@ -37,6 +49,9 @@ func (d *Deframer) Aligned() bool { return d.aligned }
 // Feed consumes received line octets.
 func (d *Deframer) Feed(p []byte) {
 	for _, b := range p {
+		if d.Defects != nil {
+			d.Defects.OctetIn(b)
+		}
 		d.buf = append(d.buf, b)
 		if !d.aligned {
 			d.hunt()
@@ -81,33 +96,44 @@ func matchAlignment(p []byte, n int) bool {
 	return true
 }
 
-// frame processes one aligned transport frame.
+// frame processes one frame-time of octets at the assumed alignment.
 func (d *Deframer) frame(raw []byte) {
 	n := int(d.Level)
 	row := colsPerSTM1 * n
 	soh := sohCols * n
-	if !matchAlignment(raw, n) {
-		// Alignment lost: drop back to hunting.
-		d.aligned = false
-		d.havePrev = false
-		d.buf = append([]byte(nil), raw[1:]...)
-		d.hunt()
-		return
-	}
+	alignOK := matchAlignment(raw, n)
+
 	frame := append([]byte(nil), raw...)
 	d.scr.Reset()
 	d.scr.Apply(frame[soh:])
 
 	// Parity checks against the previous frame.
+	parityErr := false
 	if d.havePrev {
 		wantB1 := bip8(d.prevFrame)
 		if frame[row+0] != wantB1 { // row 1, first overhead byte
 			d.B1Errors++
+			parityErr = true
 		}
 		wantB3 := bip8(d.prevPath)
 		if frame[2*row+soh] != wantB3 {
 			d.B3Errors++
+			parityErr = true
 		}
+	}
+
+	inFrame := alignOK
+	if d.Defects != nil {
+		inFrame = d.Defects.FrameResult(alignOK, parityErr)
+	}
+	if !inFrame {
+		// Out of frame: drop back to hunting from the next octet — the
+		// true boundary may sit inside this very frame after a slip.
+		d.aligned = false
+		d.havePrev = false
+		d.buf = append([]byte(nil), raw[1:]...)
+		d.hunt()
+		return
 	}
 
 	// Extract POH column + payload.
@@ -124,5 +150,9 @@ func (d *Deframer) frame(raw []byte) {
 	d.prevPath = path
 	d.prevFrame = append(d.prevFrame[:0], raw...)
 	d.havePrev = true
-	d.FramesOK++
+	if alignOK {
+		d.FramesOK++
+	} else {
+		d.FramesErrored++
+	}
 }

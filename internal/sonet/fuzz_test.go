@@ -1,9 +1,15 @@
 package sonet
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
 
 // FuzzDeframer must survive arbitrary line garbage in any chunking and
-// still re-acquire alignment on a subsequent clean frame.
+// still re-acquire alignment on subsequent clean frames. The defect
+// hysteresis integrates several errored framing patterns before
+// re-hunting, so recovery is given a dozen clean frames.
 func FuzzDeframer(f *testing.F) {
 	f.Add([]byte{0xF6, 0xF6, 0xF6, 0x28, 0x28, 0x28})
 	f.Add(make([]byte, 300))
@@ -12,11 +18,55 @@ func FuzzDeframer(f *testing.F) {
 		df.Feed(garbage)
 		fr := NewFramer(STM1, func() (byte, bool) { return 0x42, true })
 		before := df.FramesOK
-		for i := 0; i < 4; i++ {
+		for i := 0; i < 12; i++ {
 			df.Feed(fr.NextFrame())
 		}
 		if df.FramesOK < before+2 {
 			t.Fatalf("did not recover after garbage: %d frames", df.FramesOK-before)
+		}
+	})
+}
+
+// FuzzDeframerByteSlip injects byte insert/delete slips at arbitrary
+// offsets so the corpus exercises descrambler realignment and the OOF
+// integration, not just in-place corruption: whatever the slip, a run
+// of clean frames must always bring the deframer back in frame with no
+// latched defects.
+func FuzzDeframerByteSlip(f *testing.F) {
+	f.Add(uint32(100), true, byte(0))
+	f.Add(uint32(2430), false, byte(0xF6))
+	f.Add(uint32(7), false, byte(0x28))
+	f.Fuzz(func(t *testing.T, at uint32, del bool, ins byte) {
+		fr := NewFramer(STM1, func() (byte, bool) { return 0x42, true })
+		df := NewDeframer(STM1, nil)
+
+		// Two clean frames, then a slip somewhere in the next three.
+		span := int64(3 * STM1.FrameBytes())
+		var script fault.Script
+		if del {
+			script.Delete(int64(at)%span, 1)
+		} else {
+			script.Insert(int64(at)%span, ins)
+		}
+		inj := fault.NewInjector(script)
+		for i := 0; i < 2; i++ {
+			df.Feed(fr.NextFrame())
+		}
+		for i := 0; i < 3; i++ {
+			df.Feed(inj.Apply(fr.NextFrame()))
+		}
+		before := df.FramesOK
+		for i := 0; i < 14; i++ {
+			df.Feed(fr.NextFrame())
+		}
+		if df.FramesOK < before+2 {
+			t.Fatalf("did not recover after slip: %d frames", df.FramesOK-before)
+		}
+		if !df.Aligned() {
+			t.Fatal("not aligned after clean tail")
+		}
+		if d := df.Defects.Active() & (DefOOF | DefLOF | DefLOS); d != 0 {
+			t.Fatalf("defects latched after recovery: %v", d)
 		}
 	})
 }

@@ -174,8 +174,10 @@ func TestDeframerRealignsAfterFrameLoss(t *testing.T) {
 	// Lose half a frame (slip): feed only the tail of the next one.
 	f2 := fr.NextFrame()
 	df.Feed(f2[len(f2)/3:])
-	// Subsequent clean frames must re-align.
-	for i := 0; i < 3; i++ {
+	// Subsequent clean frames must re-align. The defect hysteresis
+	// integrates OOFBadFrames errored patterns before re-hunting, so
+	// recovery takes a few more frames than a stateless hunt would.
+	for i := 0; i < 10; i++ {
 		df.Feed(fr.NextFrame())
 	}
 	if !df.Aligned() {
@@ -186,6 +188,12 @@ func TestDeframerRealignsAfterFrameLoss(t *testing.T) {
 	}
 	if df.FramesOK < 3 {
 		t.Errorf("FramesOK = %d after realignment", df.FramesOK)
+	}
+	if df.Defects.Raises(DefOOF) == 0 {
+		t.Error("slip did not raise OOF")
+	}
+	if df.Defects.Has(DefOOF) {
+		t.Error("OOF still active after recovery")
 	}
 }
 

@@ -67,6 +67,18 @@ type LinkConfig struct {
 	LQMMaxLossPct float64
 	// LQMGoodWindows is the recovery hysteresis.
 	LQMGoodWindows int
+
+	// Supervise enables the self-healing supervisor: after any outage
+	// (SONET defect via NotifyDefects, echo timeout, LCP give-up, Bad
+	// LQM verdict) the link re-runs LCP/auth/IPCP with capped
+	// exponential backoff until it reaches Opened again.
+	Supervise bool
+	// RetryMin and RetryMax bound the backoff between re-open attempts
+	// in virtual time units (defaults 8 and 256).
+	RetryMin, RetryMax int64
+	// RestartOnBadLQM makes a Bad RFC 1333 verdict trigger a
+	// supervised restart (requires LQMPeriod and Supervise).
+	RestartOnBadLQM bool
 }
 
 // Datagram is one received network-layer packet.
@@ -100,6 +112,7 @@ type Link struct {
 	vjTx    *vj.Compressor
 	vjRx    *vj.Decompressor
 	auth    *linkAuth
+	sup     *supervisor
 
 	// networkUp latches entry into the network phase.
 	networkUp bool
@@ -183,6 +196,9 @@ func NewLink(cfg LinkConfig) *Link {
 	if cfg.LQMPeriod > 0 {
 		l.initLQM()
 	}
+	if cfg.Supervise {
+		l.sup = &supervisor{lineOK: true}
+	}
 	return l
 }
 
@@ -243,6 +259,7 @@ func (l *Link) Advance(now int64) {
 		l.monitor.Advance(now)
 	}
 	l.serviceEcho(now)
+	l.serviceSupervisor(now)
 }
 
 // serviceEcho implements the keepalive: periodic Echo-Requests on an

@@ -1,0 +1,35 @@
+#!/bin/sh
+# verify.sh — the repo's full verification gate:
+#   go vet, go build, go test -race, and a short fuzz smoke of every
+#   Fuzz* target (5s each by default; FUZZTIME overrides).
+#
+# Usage: ./scripts/verify.sh   (or: make verify)
+set -eu
+
+cd "$(dirname "$0")/.."
+FUZZTIME="${FUZZTIME:-5s}"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fuzz smoke ($FUZZTIME per target) =="
+# Each fuzz target must run alone: `go test -fuzz` accepts only one
+# match per package invocation.
+go list ./... | while read -r pkg; do
+    dir=$(go list -f '{{.Dir}}' "$pkg")
+    targets=$(grep -ho 'func Fuzz[A-Za-z0-9_]*' "$dir"/*_test.go 2>/dev/null |
+        sed 's/func //' | sort -u) || true
+    [ -n "$targets" ] || continue
+    for t in $targets; do
+        echo "-- $pkg $t"
+        go test -run '^$' -fuzz "^${t}\$" -fuzztime "$FUZZTIME" "$pkg"
+    done
+done
+
+echo "verify: OK"

@@ -1,0 +1,188 @@
+package gigapos
+
+import (
+	"testing"
+
+	"repro/internal/lcp"
+)
+
+// tick advances both endpoints one virtual time unit and, unless the
+// line is cut, exchanges whatever bytes each produced.
+func tick(a, b *Link, now int64, cut bool) {
+	a.Advance(now)
+	b.Advance(now)
+	out := a.Output()
+	if len(out) > 0 && !cut {
+		b.Input(out)
+	}
+	out = b.Output()
+	if len(out) > 0 && !cut {
+		a.Input(out)
+	}
+}
+
+// TestLCPMaxConfigureExhaustion: with no peer answering, the automaton
+// retransmits Configure-Requests Max-Configure times and then gives up
+// into Stopped (RFC 1661 TO- with the restart counter expired).
+func TestLCPMaxConfigureExhaustion(t *testing.T) {
+	a := NewLink(LinkConfig{Magic: 1, IPAddr: [4]byte{10, 0, 0, 1}})
+	a.lcpA.MaxConfigure = 3
+	a.Open()
+	a.Up()
+	requests := 0
+	for now := int64(1); now <= 40; now++ {
+		a.Advance(now)
+		if len(a.Output()) > 0 {
+			requests++
+		}
+	}
+	if st := a.lcpA.State(); st != lcp.Stopped {
+		t.Fatalf("state = %v, want Stopped after Max-Configure", st)
+	}
+	if requests != 3 {
+		t.Errorf("sent %d Configure-Requests, want 3", requests)
+	}
+	if a.lcpA.Timeouts < 3 {
+		t.Errorf("timeouts = %d, want >= 3", a.lcpA.Timeouts)
+	}
+}
+
+// TestEchoDeadPeerSupervisedHeal: the keepalive detects a silent peer
+// and tears the link down; when the line returns, the supervisor brings
+// it back to Opened without operator intervention.
+func TestEchoDeadPeerSupervisedHeal(t *testing.T) {
+	cfg := LinkConfig{
+		EchoPeriod: 4, EchoMisses: 2,
+		Supervise: true, RetryMin: 4, RetryMax: 64,
+	}
+	cfg.Magic, cfg.IPAddr = 0x1111, [4]byte{10, 0, 0, 1}
+	a := NewLink(cfg)
+	cfg.Magic, cfg.IPAddr = 0x2222, [4]byte{10, 0, 0, 2}
+	b := NewLink(cfg)
+	a.Open()
+	b.Open()
+	a.Up()
+	b.Up()
+
+	now := int64(0)
+	run := func(ticks int, cut bool) {
+		for i := 0; i < ticks; i++ {
+			now++
+			tick(a, b, now, cut)
+		}
+	}
+	run(50, false)
+	if !a.Opened() || !b.Opened() {
+		t.Fatal("links did not open")
+	}
+
+	// Cut the line long enough for the keepalive to give up.
+	run(60, true)
+	if a.EchoTimeouts == 0 {
+		t.Fatal("dead peer not detected")
+	}
+	if a.Opened() {
+		t.Fatal("link still Opened across a dead line")
+	}
+
+	// Splice the line back: the supervisor re-runs LCP and IPCP.
+	run(300, false)
+	if !a.Opened() || !b.Opened() {
+		t.Fatalf("links did not heal: a=%v b=%v", a.lcpA.State(), b.lcpA.State())
+	}
+	if !a.IPReady() || !b.IPReady() {
+		t.Fatal("IPCP did not reopen")
+	}
+	sup := a.Supervisor()
+	if sup.Restarts == 0 || sup.Recoveries == 0 {
+		t.Errorf("supervisor stats: %+v, want restarts and a recovery", sup)
+	}
+}
+
+// TestSupervisorBackoffDoubling: against a dead line, successive
+// re-open attempts space out exponentially and cap at RetryMax.
+func TestSupervisorBackoffDoubling(t *testing.T) {
+	a := NewLink(LinkConfig{
+		Magic: 1, IPAddr: [4]byte{10, 0, 0, 1},
+		Supervise: true, RetryMin: 4, RetryMax: 16,
+	})
+	a.lcpA.MaxConfigure = 1 // give up after one unanswered request
+	a.Open()
+	a.Up()
+	for now := int64(1); now <= 400; now++ {
+		a.Advance(now)
+		a.Output()
+	}
+	times := a.Supervisor().RetryTimes
+	if len(times) < 4 {
+		t.Fatalf("only %d retries in 400 units: %v", len(times), times)
+	}
+	// Each cycle is the LCP give-up time (restart period) plus the
+	// supervisor backoff, so the gaps grow 4→8→16 and then hold.
+	var gaps []int64
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, times[i]-times[i-1])
+	}
+	for i := 1; i < len(gaps); i++ {
+		if gaps[i] < gaps[i-1] && gaps[i-1] <= 16+3 {
+			t.Fatalf("backoff shrank before the cap: gaps %v", gaps)
+		}
+	}
+	if g := gaps[len(gaps)-1]; g > 16+3 {
+		t.Errorf("final gap %d exceeds RetryMax+restart period", g)
+	}
+	if gaps[0] >= gaps[len(gaps)-1] {
+		t.Errorf("no exponential growth visible in gaps %v", gaps)
+	}
+}
+
+// TestNotifyDefectsParksAndKicks: a service-affecting alarm takes the
+// link down and parks the supervisor (no retries against a dead line);
+// the all-clear triggers an immediate re-open.
+func TestNotifyDefectsParksAndKicks(t *testing.T) {
+	cfg := LinkConfig{Supervise: true, RetryMin: 4, RetryMax: 32}
+	cfg.Magic, cfg.IPAddr = 1, [4]byte{10, 0, 0, 1}
+	a := NewLink(cfg)
+	cfg.Magic, cfg.IPAddr = 2, [4]byte{10, 0, 0, 2}
+	b := NewLink(cfg)
+	a.Open()
+	b.Open()
+	a.Up()
+	b.Up()
+	now := int64(0)
+	run := func(ticks int, cut bool) {
+		for i := 0; i < ticks; i++ {
+			now++
+			tick(a, b, now, cut)
+		}
+	}
+	run(50, false)
+	if !a.Opened() {
+		t.Fatal("did not open")
+	}
+
+	a.NotifyDefects(AlarmLOS)
+	b.NotifyDefects(AlarmLOS)
+	if a.Opened() {
+		t.Fatal("link survived an LOS alarm")
+	}
+	restartsDuring := a.Supervisor().Restarts
+	run(100, true)
+	if got := a.Supervisor().Restarts; got != restartsDuring {
+		t.Fatalf("supervisor retried %d times against an active LOS", got-restartsDuring)
+	}
+
+	a.NotifyDefects(0)
+	b.NotifyDefects(0)
+	run(200, false)
+	if !a.Opened() || !b.Opened() {
+		t.Fatal("links did not re-open after the all-clear")
+	}
+	sup := a.Supervisor()
+	if sup.DefectOutages != 1 {
+		t.Errorf("DefectOutages = %d, want 1", sup.DefectOutages)
+	}
+	if sup.Recoveries == 0 {
+		t.Error("no recovery recorded")
+	}
+}
