@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-smoke verify bench
+.PHONY: build test race vet fuzz-smoke verify bench bench-json
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,8 @@ verify:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Machine-readable bench trajectory: BENCH_<date>.json with ns/op,
+# MB/s, and bits/cycle for the width × telemetry system matrix.
+bench-json:
+	./scripts/bench.sh

@@ -11,7 +11,7 @@ package gigapos
 //	BenchmarkFigure6_EscapeDetect    — Fig 6, destuffing bubble collapse
 //	BenchmarkThroughput_*            — headline 2.5 Gb/s / 625 Mb/s claim
 //	BenchmarkLatency_EscapePipeline  — 4-cycle (~50 ns) pipeline fill
-//	BenchmarkAblation_*              — design-choice sweeps (DESIGN.md §5)
+//	BenchmarkAblation_*              — design-choice sweeps (DESIGN.md §7)
 //	BenchmarkSoftStuff_*             — software mirror of 8- vs 32-bit
 //
 // Custom metrics attach the paper's quantities (LUTs, FFs, MHz, Gb/s,
@@ -33,6 +33,7 @@ import (
 	"repro/internal/rtl"
 	"repro/internal/sonet"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 var printTables sync.Once
@@ -489,5 +490,42 @@ func BenchmarkBaseline_GFPvsHDLC(b *testing.B) {
 			b.ReportMetric(100*float64(hdlcOctets-raw)/float64(raw), "hdlc-overhead-%")
 			b.ReportMetric(100*float64(gfpOctets-raw)/float64(raw), "gfp-overhead-%")
 		})
+	}
+}
+
+// BenchmarkSystem runs the full cycle-accurate loopback system with
+// and without telemetry instrumentation at both paper widths. The
+// probe design (plain counters on the sim thread, mirrors synced every
+// few hundred cycles) is accepted only if the telemetry=true variants
+// stay within ~2% of the plain ones.
+func BenchmarkSystem(b *testing.B) {
+	gen := netsim.NewGen(42, netsim.Fixed(1500), 0.02)
+	payloads := make([][]byte, 20)
+	var total int64
+	for i := range payloads {
+		payloads[i] = gen.Next()
+		total += int64(len(payloads[i]))
+	}
+	for _, w := range []int{1, 4} {
+		for _, instrumented := range []bool{false, true} {
+			b.Run(fmt.Sprintf("width=%dbit/telemetry=%t", w*8, instrumented), func(b *testing.B) {
+				b.SetBytes(total)
+				var bpc float64
+				for i := 0; i < b.N; i++ {
+					sys := p5.NewSystem(w)
+					if instrumented {
+						sys.Instrument(telemetry.NewRegistry(), "p5")
+					}
+					for _, d := range payloads {
+						sys.Send(p5.TxJob{Protocol: ppp.ProtoIPv4, Payload: d})
+					}
+					if !sys.RunUntilIdle(10_000_000) {
+						b.Fatal("system did not drain")
+					}
+					bpc = float64(total*8) / float64(sys.Sim.Now())
+				}
+				b.ReportMetric(bpc, "bits/cycle")
+			})
+		}
 	}
 }

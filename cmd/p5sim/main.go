@@ -6,15 +6,23 @@
 // dump includes the live SONET alarm state and latched interrupt
 // causes.
 //
+// With -telemetry ADDR the run is instrumented through the telemetry
+// registry and, after the report, an HTTP endpoint stays up serving
+// the Prometheus text exposition at /metrics, expvar JSON at
+// /debug/vars, Go profiles under /debug/pprof/, and the structured
+// event trace at /trace — scrape it with p5stat or curl, ^C to exit.
+//
 // Usage:
 //
 //	p5sim [-width 8|32] [-frames N] [-size imix|N] [-density F] [-errors F] [-v]
+//	      [-telemetry ADDR]
 //	      [-sonet] [-slip-every N] [-los-windows N] [-los-frames N] [-dup-every N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -25,56 +33,147 @@ import (
 	"repro/internal/rtl"
 	"repro/internal/sonet"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
+// simConfig is one p5sim run, decoupled from flag parsing so tests can
+// drive run() directly.
+type simConfig struct {
+	width   int
+	frames  int
+	size    string
+	density float64
+	errRate float64
+	seed    uint64
+	verbose bool
+
+	// telemetryAddr, when non-empty, serves the exposition endpoints
+	// after the run (":0" picks a free port).
+	telemetryAddr string
+
+	sonetMode bool
+	faults    fault.RandomConfig
+
+	// scrape, when set, is called with the endpoint base URL while the
+	// server is up; the server is then shut down instead of lingering.
+	// Test hook — nil in normal operation.
+	scrape func(baseURL string)
+}
+
+// usageError marks bad invocations (exit status 2 rather than 1).
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
 func main() {
-	width := flag.Int("width", 32, "datapath width in bits (8 or 32)")
-	frames := flag.Int("frames", 100, "datagrams to send")
-	sizeArg := flag.String("size", "imix", "datagram sizes: 'imix' or a fixed byte count")
-	density := flag.Float64("density", 0.02, "payload escape density (0..1)")
-	errRate := flag.Float64("errors", 0, "per-word probability of a line bit error")
-	seed := flag.Uint64("seed", 1, "workload seed")
-	verbose := flag.Bool("v", false, "print per-frame dispositions")
-	sonetMode := flag.Bool("sonet", false, "carry the line over an STM-1 section with fault injection")
+	cfg := simConfig{}
+	flag.IntVar(&cfg.width, "width", 32, "datapath width in bits (8 or 32)")
+	flag.IntVar(&cfg.frames, "frames", 100, "datagrams to send")
+	flag.StringVar(&cfg.size, "size", "imix", "datagram sizes: 'imix' or a fixed byte count")
+	flag.Float64Var(&cfg.density, "density", 0.02, "payload escape density (0..1)")
+	flag.Float64Var(&cfg.errRate, "errors", 0, "per-word probability of a line bit error")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "workload seed")
+	flag.BoolVar(&cfg.verbose, "v", false, "print per-frame dispositions")
+	flag.StringVar(&cfg.telemetryAddr, "telemetry", "", "serve /metrics, /debug/vars, /debug/pprof/, /trace on this address after the run")
+	flag.BoolVar(&cfg.sonetMode, "sonet", false, "carry the line over an STM-1 section with fault injection")
 	slipEvery := flag.Int("slip-every", 0, "sonet: mean octets between byte slips (0 = none)")
 	losWindows := flag.Int("los-windows", 0, "sonet: number of timed line cuts")
 	losFrames := flag.Int("los-frames", 30, "sonet: length of each line cut in STM-1 frames")
 	dupEvery := flag.Int("dup-every", 0, "sonet: mean octets between 16-octet duplications (0 = none)")
 	flag.Parse()
-
-	if *sonetMode {
-		runSONET(*width, *frames, *sizeArg, *density, *seed, *verbose,
-			fault.RandomConfig{
-				SlipEvery:  *slipEvery,
-				LOSWindows: *losWindows,
-				LOSLen:     *losFrames * sonet.STM1.FrameBytes(),
-				DupEvery:   *dupEvery,
-			})
-		return
+	cfg.faults = fault.RandomConfig{
+		SlipEvery:  *slipEvery,
+		LOSWindows: *losWindows,
+		LOSLen:     *losFrames * sonet.STM1.FrameBytes(),
+		DupEvery:   *dupEvery,
 	}
 
-	w := *width / 8
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "p5sim:", err)
+		if _, ok := err.(usageError); ok {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// run executes one simulation per cfg, writing the report to out.
+func run(cfg simConfig, out io.Writer) error {
+	if cfg.sonetMode {
+		return runSONET(cfg, out)
+	}
+	return runLoopback(cfg, out)
+}
+
+// parseCommon validates the flag combinations shared by both modes and
+// returns the byte width and size distribution.
+func parseCommon(cfg simConfig) (int, netsim.SizeDist, error) {
+	w := cfg.width / 8
 	if w != 1 && w != 4 {
-		fmt.Fprintln(os.Stderr, "p5sim: -width must be 8 or 32")
-		os.Exit(2)
+		return 0, nil, usageError("-width must be 8 or 32")
 	}
 	var dist netsim.SizeDist = netsim.IMIX{}
-	if *sizeArg != "imix" {
-		n, err := strconv.Atoi(*sizeArg)
+	if cfg.size != "imix" {
+		n, err := strconv.Atoi(cfg.size)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "p5sim: bad -size:", err)
-			os.Exit(2)
+			return 0, nil, usageError("bad -size: " + err.Error())
 		}
 		dist = netsim.Fixed(n)
 	}
+	return w, dist, nil
+}
 
-	gen := netsim.NewGen(*seed, dist, *density)
+// newTelemetry builds the registry/tracer pair when the run should be
+// instrumented (a serve address or a scrape hook is configured).
+func newTelemetry(cfg simConfig) (*telemetry.Registry, *telemetry.Tracer) {
+	if cfg.telemetryAddr == "" && cfg.scrape == nil {
+		return nil, nil
+	}
+	return telemetry.NewRegistry(), telemetry.NewTracer(4096)
+}
+
+// serveTelemetry starts the exposition endpoint after a run. With a
+// scrape hook the server lives only for the hook call; otherwise it
+// lingers until the process is killed so the operator can attach
+// p5stat, curl /metrics, or pull a profile.
+func serveTelemetry(cfg simConfig, reg *telemetry.Registry, tr *telemetry.Tracer, out io.Writer) error {
+	if reg == nil {
+		return nil
+	}
+	addr := cfg.telemetryAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	srv, err := telemetry.Serve(addr, reg, tr, "p5sim")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  telemetry        : http://%s/metrics (/debug/vars /debug/pprof/ /trace)\n", srv.Addr)
+	if cfg.scrape != nil {
+		cfg.scrape("http://" + srv.Addr)
+		return srv.Close()
+	}
+	select {} // serve until interrupted
+}
+
+// runLoopback is the default pipeline: transmitter and receiver share
+// one simulation with the line model looping octets straight back.
+func runLoopback(cfg simConfig, out io.Writer) error {
+	w, dist, err := parseCommon(cfg)
+	if err != nil {
+		return err
+	}
+	gen := netsim.NewGen(cfg.seed, dist, cfg.density)
 	sys := p5.NewSystem(w)
+	reg, tr := newTelemetry(cfg)
+	if reg != nil {
+		sys.Instrument(reg, "p5")
+	}
 
-	if *errRate > 0 {
-		rng := netsim.NewRand(*seed ^ 0xBEEF)
+	if cfg.errRate > 0 {
+		rng := netsim.NewRand(cfg.seed ^ 0xBEEF)
 		sys.Line.Corrupt = func(f rtl.Flit, cycle int64) rtl.Flit {
-			if rng.Float64() < *errRate {
+			if rng.Float64() < cfg.errRate {
 				lane := rng.Intn(f.N)
 				f.SetByte(lane, f.Byte(lane)^byte(1<<uint(rng.Intn(8))))
 			}
@@ -83,28 +182,28 @@ func main() {
 	}
 
 	var payloadBits int64
-	for i := 0; i < *frames; i++ {
+	for i := 0; i < cfg.frames; i++ {
 		d := gen.Next()
 		payloadBits += int64(len(d)) * 8
 		sys.Send(p5.TxJob{Protocol: ppp.ProtoIPv4, Payload: d})
 	}
 	if !sys.RunUntilIdle(200_000_000) {
-		fmt.Fprintln(os.Stderr, "p5sim: system did not drain")
-		os.Exit(1)
+		return fmt.Errorf("system did not drain")
 	}
+	sys.SyncTelemetry()
 
 	good, bad := 0, 0
 	for i, f := range sys.Received() {
 		if f.Err != nil {
 			bad++
-			if *verbose {
-				fmt.Printf("frame %4d: %v\n", i, f.Err)
+			if cfg.verbose {
+				fmt.Fprintf(out, "frame %4d: %v\n", i, f.Err)
 			}
 			continue
 		}
 		good++
-		if *verbose {
-			fmt.Printf("frame %4d: %v\n", i, f.Frame)
+		if cfg.verbose {
+			fmt.Fprintf(out, "frame %4d: %v\n", i, f.Frame)
 		}
 	}
 
@@ -113,23 +212,24 @@ func main() {
 	depth := synth.Total(synth.Inventory(w)).Depth
 	fmaxV2 := synth.VirtexII.FMaxMHz(depth, true)
 
-	fmt.Printf("P5 %d-bit loopback simulation\n", *width)
-	fmt.Printf("  datagrams        : %d sent, %d delivered, %d rejected\n", *frames, good, bad)
-	fmt.Printf("  payload          : %d bits in %d cycles = %.2f bits/cycle\n",
+	fmt.Fprintf(out, "P5 %d-bit loopback simulation\n", cfg.width)
+	fmt.Fprintf(out, "  datagrams        : %d sent, %d delivered, %d rejected\n", cfg.frames, good, bad)
+	fmt.Fprintf(out, "  payload          : %d bits in %d cycles = %.2f bits/cycle\n",
 		payloadBits, cycles, bitsPerCycle)
-	fmt.Printf("  @ 78.125 MHz     : %.3f Gb/s goodput (paper line rate: %.1f Gb/s)\n",
-		bitsPerCycle*synth.RequiredMHz/1000, float64(*width)*78.125/1000)
-	fmt.Printf("  @ Virtex-II fmax : %.3f Gb/s (%.1f MHz post-layout)\n",
+	fmt.Fprintf(out, "  @ 78.125 MHz     : %.3f Gb/s goodput (paper line rate: %.1f Gb/s)\n",
+		bitsPerCycle*synth.RequiredMHz/1000, float64(cfg.width)*78.125/1000)
+	fmt.Fprintf(out, "  @ Virtex-II fmax : %.3f Gb/s (%.1f MHz post-layout)\n",
 		bitsPerCycle*fmaxV2/1000, fmaxV2)
-	fmt.Printf("  escapes inserted : %d octets; tx stalls %d; resync high-water %d/%d octets\n",
+	fmt.Fprintf(out, "  escapes inserted : %d octets; tx stalls %d; resync high-water %d/%d octets\n",
 		sys.Tx.Escape.Escaped, sys.Tx.Escape.InputStalls,
 		sys.Tx.Escape.HighWater(), 4*w)
-	fmt.Printf("  OAM status       : rx-good=%d rx-bad=%d fcs-err=%d aborts=%d runts=%d\n",
+	fmt.Fprintf(out, "  OAM status       : rx-good=%d rx-bad=%d fcs-err=%d aborts=%d runts=%d\n",
 		sys.OAM.Read(p5.RegRxGood), sys.OAM.Read(p5.RegRxBad),
 		sys.OAM.Read(p5.RegRxFCSErr), sys.OAM.Read(p5.RegRxAborts),
 		sys.OAM.Read(p5.RegRxRunts))
-	fmt.Printf("  OAM interrupts   : stat=%#x causes=[%s]\n",
+	fmt.Fprintf(out, "  OAM interrupts   : stat=%#x causes=[%s]\n",
 		sys.OAM.Read(p5.RegIntStat), causeNames(sys.OAM.Read(p5.RegIntStat)))
+	return serveTelemetry(cfg, reg, tr, out)
 }
 
 // causeNames decodes an interrupt status word into its mnemonics.
@@ -148,24 +248,16 @@ func causeNames(stat uint32) string {
 
 // runSONET is the -sonet pipeline: P5 transmitter → STM-1 section with
 // a scripted fault injector → P5 receiver, with the deframer's defect
-// monitor wired into the OAM alarm register.
-func runSONET(width, frames int, sizeArg string, density float64, seed uint64,
-	verbose bool, faults fault.RandomConfig) {
-	w := width / 8
-	if w != 1 && w != 4 {
-		fmt.Fprintln(os.Stderr, "p5sim: -width must be 8 or 32")
-		os.Exit(2)
+// monitor wired into the OAM alarm register. Transmit and receive run
+// on separate simulations, so their telemetry uses distinct prefixes
+// (p5tx/p5rx) plus "sonet" for the section itself.
+func runSONET(cfg simConfig, out io.Writer) error {
+	w, dist, err := parseCommon(cfg)
+	if err != nil {
+		return err
 	}
-	var dist netsim.SizeDist = netsim.IMIX{}
-	if sizeArg != "imix" {
-		n, err := strconv.Atoi(sizeArg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "p5sim: bad -size:", err)
-			os.Exit(2)
-		}
-		dist = netsim.Fixed(n)
-	}
-	gen := netsim.NewGen(seed, dist, density)
+	gen := netsim.NewGen(cfg.seed, dist, cfg.density)
+	reg, tr := newTelemetry(cfg)
 
 	regs := p5.NewRegs()
 
@@ -175,15 +267,19 @@ func runSONET(width, frames int, sizeArg string, density float64, seed uint64,
 	tx := p5.NewTransmitter(txSim, w, regs)
 	sink := rtl.NewSink(tx.Out)
 	txSim.Add(sink)
+	var txSync func()
+	if reg != nil {
+		txSim.Instrument(reg, "p5tx")
+		txSync = p5.InstrumentTransmitter(reg, "p5tx", txSim, tx)
+	}
 	var payloadBits int64
-	for i := 0; i < frames; i++ {
+	for i := 0; i < cfg.frames; i++ {
 		d := gen.Next()
 		payloadBits += int64(len(d)) * 8
 		tx.Framer.Enqueue(p5.TxJob{Protocol: ppp.ProtoIPv4, Payload: d})
 	}
 	if !txSim.RunUntil(func() bool { return !tx.Busy() && txSim.Drained() }, 200_000_000) {
-		fmt.Fprintln(os.Stderr, "p5sim: transmitter did not drain")
-		os.Exit(1)
+		return fmt.Errorf("transmitter did not drain")
 	}
 
 	// Section: map into STM-1 transport frames, pass each frame through
@@ -205,19 +301,29 @@ func runSONET(width, frames int, sizeArg string, density float64, seed uint64,
 	rx := p5.NewReceiver(rxSim, w, regs)
 	src.Out = rx.In
 	rxSim.Add(src)
+	var rxSync func()
+	if reg != nil {
+		rxSim.Instrument(reg, "p5rx")
+		rxSync = p5.InstrumentReceiver(reg, "p5rx", rxSim, rx)
+	}
 	oam := p5.NewOAM(regs, tx, rx)
 	oam.AttachSection(df)
 	oam.Write(p5.RegIntMask, p5.IntOOF|p5.IntLOF|p5.IntLOS|p5.IntSDeg|p5.IntSFail)
+	var sectionSync func()
+	if reg != nil {
+		// After AttachSection so the OAM's defect hook stays chained.
+		sectionSync = df.Instrument(reg, tr, "sonet")
+	}
 
 	nFrames := (len(line)+sonet.STM1.PayloadBytes()-1)/sonet.STM1.PayloadBytes() + 2
-	script := fault.Random(netsim.NewRand(seed^0xFA17), int64(nFrames*sonet.STM1.FrameBytes()), faults)
+	script := fault.Random(netsim.NewRand(cfg.seed^0xFA17), int64(nFrames*sonet.STM1.FrameBytes()), cfg.faults)
 	inj := fault.NewInjector(script)
 	for i := 0; i < nFrames; i++ {
 		df.Feed(inj.Apply(fr.NextFrame()))
 	}
 	// Recovery tail: enough clean frame times for any line cut still in
 	// progress to end and the defect hysteresis to integrate back in.
-	tail := faults.LOSLen/sonet.STM1.FrameBytes() + 40
+	tail := cfg.faults.LOSLen/sonet.STM1.FrameBytes() + 40
 	for i := 0; i < tail; i++ {
 		df.Feed(inj.Apply(fr.NextFrame()))
 	}
@@ -227,44 +333,51 @@ func runSONET(width, frames int, sizeArg string, density float64, seed uint64,
 	if !rxSim.RunUntil(func() bool {
 		return src.Pending() == 0 && !rx.Busy() && rxSim.Drained()
 	}, 200_000_000) {
-		fmt.Fprintln(os.Stderr, "p5sim: receiver did not drain")
-		os.Exit(1)
+		return fmt.Errorf("receiver did not drain")
+	}
+	if reg != nil {
+		txSync()
+		rxSync()
+		sectionSync()
+		txSim.SyncTelemetry()
+		rxSim.SyncTelemetry()
 	}
 
 	good, bad := 0, 0
 	for i, f := range rx.Control.Queue {
 		if f.Err != nil {
 			bad++
-			if verbose {
-				fmt.Printf("frame %4d: %v\n", i, f.Err)
+			if cfg.verbose {
+				fmt.Fprintf(out, "frame %4d: %v\n", i, f.Err)
 			}
 			continue
 		}
 		good++
-		if verbose {
-			fmt.Printf("frame %4d: %v\n", i, f.Frame)
+		if cfg.verbose {
+			fmt.Fprintf(out, "frame %4d: %v\n", i, f.Frame)
 		}
 	}
 
-	fmt.Printf("P5 %d-bit over STM-1 SDH section\n", width)
-	fmt.Printf("  datagrams        : %d sent, %d delivered, %d rejected\n", frames, good, bad)
+	fmt.Fprintf(out, "P5 %d-bit over STM-1 SDH section\n", cfg.width)
+	fmt.Fprintf(out, "  datagrams        : %d sent, %d delivered, %d rejected\n", cfg.frames, good, bad)
 	if len(script.Ops) > 0 {
-		fmt.Printf("  fault script     : %s\n", script.String())
+		fmt.Fprintf(out, "  fault script     : %s\n", script.String())
 	} else {
-		fmt.Printf("  fault script     : (clean line)\n")
+		fmt.Fprintf(out, "  fault script     : (clean line)\n")
 	}
-	fmt.Printf("  injector         : slips +%d/-%d dup=%d los-octets=%d bit-errors=%d\n",
+	fmt.Fprintf(out, "  injector         : slips +%d/-%d dup=%d los-octets=%d bit-errors=%d\n",
 		inj.Stats.Inserted, inj.Stats.Deleted, inj.Stats.Duplicated,
 		inj.Stats.LOSOctets, inj.Stats.BitErrors)
-	fmt.Printf("  section          : frames ok=%d errored=%d resyncs=%d b1=%d b3=%d\n",
+	fmt.Fprintf(out, "  section          : frames ok=%d errored=%d resyncs=%d b1=%d b3=%d\n",
 		df.FramesOK, df.FramesErrored,
 		oam.Read(p5.RegResyncs), oam.Read(p5.RegB1Errors), oam.Read(p5.RegB3Errors))
-	fmt.Printf("  alarms           : reg=%#x active=[%v] raises=%d clears=%d\n",
+	fmt.Fprintf(out, "  alarms           : reg=%#x active=[%v] raises=%d clears=%d\n",
 		oam.Read(p5.RegAlarm), oam.Alarms(),
 		oam.Read(p5.RegDefectRaise), oam.Read(p5.RegDefectClear))
-	fmt.Printf("  OAM status       : rx-good=%d rx-bad=%d fcs-err=%d aborts=%d runts=%d\n",
+	fmt.Fprintf(out, "  OAM status       : rx-good=%d rx-bad=%d fcs-err=%d aborts=%d runts=%d\n",
 		oam.Read(p5.RegRxGood), oam.Read(p5.RegRxBad),
 		oam.Read(p5.RegRxFCSErr), oam.Read(p5.RegRxAborts), oam.Read(p5.RegRxRunts))
-	fmt.Printf("  OAM interrupts   : stat=%#x irq=%v causes=[%s]\n",
+	fmt.Fprintf(out, "  OAM interrupts   : stat=%#x irq=%v causes=[%s]\n",
 		oam.Read(p5.RegIntStat), regs.IRQ(), causeNames(oam.Read(p5.RegIntStat)))
+	return serveTelemetry(cfg, reg, tr, out)
 }

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sonet"
+	"repro/internal/telemetry"
+)
+
+// scrapeMetrics GETs base+path and returns the body.
+func scrapeGet(t *testing.T, base, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+// seriesMap scrapes /metrics and parses it into series name → value.
+func seriesMap(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	code, body := scrapeGet(t, base, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	parsed, err := telemetry.ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("parse /metrics: %v", err)
+	}
+	out := make(map[string]float64, len(parsed))
+	for _, s := range parsed {
+		out[s.Full] = s.Value
+	}
+	return out
+}
+
+// TestLoopbackTelemetryScrape is the acceptance path: a framed burst
+// with injected line errors, then an HTTP scrape of /metrics must show
+// nonzero per-stage occupancy, stall, and FCS-error series, and the
+// debug endpoints must answer.
+func TestLoopbackTelemetryScrape(t *testing.T) {
+	var series map[string]float64
+	cfg := simConfig{
+		width: 8, frames: 20, size: "imix", density: 0.02,
+		errRate: 0.001, seed: 7,
+		telemetryAddr: "127.0.0.1:0",
+		scrape: func(base string) {
+			series = seriesMap(t, base)
+			if code, body := scrapeGet(t, base, "/debug/vars"); code != http.StatusOK {
+				t.Errorf("/debug/vars status %d", code)
+			} else if !bytes.Contains(body, []byte(`"p5sim"`)) {
+				t.Error("/debug/vars does not include the published registry")
+			}
+			if code, _ := scrapeGet(t, base, "/debug/pprof/"); code != http.StatusOK {
+				t.Errorf("/debug/pprof/ status %d", code)
+			}
+			if code, _ := scrapeGet(t, base, "/trace"); code != http.StatusOK {
+				t.Errorf("/trace status %d", code)
+			}
+		},
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if series == nil {
+		t.Fatal("scrape hook never ran")
+	}
+	if !strings.Contains(out.String(), "telemetry        : http://") {
+		t.Error("report does not mention the telemetry endpoint")
+	}
+	for _, name := range []string{
+		`p5_cycles_total`,
+		`p5_wire_occupied_cycles_total{wire="tx.line"}`,
+		`p5_wire_stalls_total{wire="tx.body"}`,
+		`p5_unit_busy_cycles_total{unit="framer"}`,
+		`p5_tx_frames_total`,
+		`p5_tx_stall_cycles_total`,
+		`p5_rx_fcs_errors_total`,
+		`p5_line_words_total`,
+	} {
+		if v, ok := series[name]; !ok || v == 0 {
+			t.Errorf("series %s = %v (present=%v), want nonzero", name, v, ok)
+		}
+	}
+}
+
+// TestSONETTelemetryScrape runs the -sonet pipeline with byte slips and
+// a line cut, and checks the section/defect series and trace events
+// appear alongside the per-direction pipeline series.
+func TestSONETTelemetryScrape(t *testing.T) {
+	var series map[string]float64
+	var trace []telemetry.Event
+	cfg := simConfig{
+		width: 8, frames: 20, size: "imix", density: 0.02, seed: 3,
+		sonetMode: true,
+		faults: fault.RandomConfig{
+			SlipEvery:  4000,
+			LOSWindows: 1,
+			LOSLen:     10 * sonet.STM1.FrameBytes(),
+		},
+		telemetryAddr: "127.0.0.1:0",
+		scrape: func(base string) {
+			series = seriesMap(t, base)
+			code, body := scrapeGet(t, base, "/trace")
+			if code != http.StatusOK {
+				t.Fatalf("/trace status %d", code)
+			}
+			var err error
+			trace, err = telemetry.ReadEvents(bytes.NewReader(body))
+			if err != nil {
+				t.Fatalf("decode /trace: %v", err)
+			}
+		},
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if series == nil {
+		t.Fatal("scrape hook never ran")
+	}
+	for _, name := range []string{
+		`p5tx_cycles_total`,
+		`p5tx_tx_frames_total`,
+		`p5tx_unit_busy_cycles_total{unit="escape_gen"}`,
+		`p5rx_rx_frames_good_total`,
+		`p5rx_unit_busy_cycles_total{unit="delineator"}`,
+		`sonet_frames_ok_total`,
+		`sonet_resyncs_total`,
+		`sonet_defect_raises_total`,
+		`sonet_defect_clears_total`,
+	} {
+		if v, ok := series[name]; !ok || v == 0 {
+			t.Errorf("series %s = %v (present=%v), want nonzero", name, v, ok)
+		}
+	}
+	raises := 0
+	for _, e := range trace {
+		if e.Scope == "sonet" && e.Name == "defect-raise" {
+			raises++
+		}
+	}
+	if raises == 0 {
+		t.Error("no defect-raise trace events from the line cut")
+	}
+}
+
+// TestRunRejectsBadFlags pins the usage-error path.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(simConfig{width: 16, frames: 1, size: "imix"}, &out); err == nil {
+		t.Fatal("width 16 accepted")
+	} else if _, ok := err.(usageError); !ok {
+		t.Fatalf("want usageError, got %T", err)
+	}
+	if err := run(simConfig{width: 8, frames: 1, size: "bogus"}, &out); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}

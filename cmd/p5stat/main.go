@@ -1,0 +1,243 @@
+// Command p5stat renders a columnar per-stage utilisation and stall
+// report from a running p5sim telemetry endpoint — the software
+// equivalent of watching the pipeline's occupancy LEDs. It attaches to
+// the Prometheus exposition at /metrics (shared with any ordinary
+// scraper), groups series by instrument prefix (p5, p5tx, p5rx,
+// sonet), and derives busy and stall percentages from the cycle
+// counters.
+//
+// With -interval the endpoint is rescraped periodically and each
+// report shows the delta window, so live runs read as rates rather
+// than lifetime totals. With -events the structured trace at /trace is
+// dumped after the tables; -replay FILE formats a saved JSON trace
+// (the /trace or telemetry.WriteJSON format) without attaching to
+// anything.
+//
+// Usage:
+//
+//	p5stat [-url http://127.0.0.1:8080] [-interval 2s] [-n 5] [-events]
+//	p5stat -replay trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "p5sim telemetry endpoint base URL")
+	interval := flag.Duration("interval", 0, "rescrape period (0 = one snapshot report)")
+	count := flag.Int("n", 0, "stop after this many interval reports (0 = run until killed)")
+	events := flag.Bool("events", false, "dump the structured event trace from /trace after the report")
+	replay := flag.String("replay", "", "format events from a saved JSON trace file instead of attaching")
+	flag.Parse()
+
+	if err := run(os.Stdout, *url, *interval, *count, *events, *replay); err != nil {
+		fmt.Fprintln(os.Stderr, "p5stat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, url string, interval time.Duration, count int, events bool, replay string) error {
+	if replay != "" {
+		f, err := os.Open(replay)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		evs, err := telemetry.ReadEvents(f)
+		if err != nil {
+			return fmt.Errorf("%s: %v", replay, err)
+		}
+		writeEvents(w, evs)
+		return nil
+	}
+
+	cur, err := scrape(url + "/metrics")
+	if err != nil {
+		return err
+	}
+	if interval <= 0 {
+		report(w, cur, nil, 0)
+		if events {
+			return dumpTrace(w, url)
+		}
+		return nil
+	}
+	for i := 0; count == 0 || i < count; i++ {
+		time.Sleep(interval)
+		prev := cur
+		if cur, err = scrape(url + "/metrics"); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "--- window %s ---\n", interval)
+		report(w, cur, prev, interval.Seconds())
+	}
+	if events {
+		return dumpTrace(w, url)
+	}
+	return nil
+}
+
+// scrape fetches and parses one Prometheus exposition.
+func scrape(url string) ([]telemetry.Series, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return telemetry.ParseText(resp.Body)
+}
+
+func dumpTrace(w io.Writer, base string) error {
+	resp, err := http.Get(base + "/trace")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/trace: HTTP %d", resp.StatusCode)
+	}
+	evs, err := telemetry.ReadEvents(resp.Body)
+	if err != nil {
+		return err
+	}
+	writeEvents(w, evs)
+	return nil
+}
+
+func writeEvents(w io.Writer, evs []telemetry.Event) {
+	fmt.Fprintf(w, "trace: %d events\n", len(evs))
+	for _, e := range evs {
+		fmt.Fprintln(w, " ", e.String())
+	}
+}
+
+// report renders the per-prefix stage tables. prev (from an earlier
+// scrape) turns counters into window deltas; elapsed > 0 adds a
+// per-second rate column.
+func report(w io.Writer, cur, prev []telemetry.Series, elapsed float64) {
+	prevVal := map[string]float64{}
+	for _, s := range prev {
+		prevVal[s.Full] = s.Value
+	}
+	// delta is the windowed value of one series: counters (by the
+	// _total naming convention) are differenced against the previous
+	// scrape; gauges always show the instantaneous value.
+	delta := func(s telemetry.Series) float64 {
+		if strings.HasSuffix(s.Name, "_total") {
+			return s.Value - prevVal[s.Full]
+		}
+		return s.Value
+	}
+
+	byPrefix := map[string][]telemetry.Series{}
+	for _, s := range cur {
+		p := s.Name
+		if i := strings.IndexByte(p, '_'); i > 0 {
+			p = p[:i]
+		}
+		byPrefix[p] = append(byPrefix[p], s)
+	}
+	prefixes := make([]string, 0, len(byPrefix))
+	for p := range byPrefix {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+
+	for _, p := range prefixes {
+		group := byPrefix[p]
+		cycles := 0.0
+		var units, wires, rest []telemetry.Series
+		for _, s := range group {
+			switch {
+			case s.Name == p+"_cycles_total":
+				cycles = delta(s)
+			case s.Name == p+"_unit_busy_cycles_total":
+				units = append(units, s)
+			case strings.HasPrefix(s.Name, p+"_wire_"):
+				wires = append(wires, s)
+			default:
+				rest = append(rest, s)
+			}
+		}
+		if cycles > 0 {
+			fmt.Fprintf(w, "%s: %.0f cycles\n", p, cycles)
+		} else {
+			fmt.Fprintf(w, "%s:\n", p)
+		}
+		pct := func(v float64) string {
+			if cycles <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", 100*v/cycles)
+		}
+
+		tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+		if len(units) > 0 {
+			fmt.Fprintln(tw, "\tunit\tbusy%\t")
+			sort.Slice(units, func(i, j int) bool { return units[i].Label("unit") < units[j].Label("unit") })
+			for _, s := range units {
+				fmt.Fprintf(tw, "\t%s\t%s\t\n", s.Label("unit"), pct(delta(s)))
+			}
+		}
+		if len(wires) > 0 {
+			// Regroup the three wire families by wire name.
+			type wireRow struct{ occ, stall, xfer float64 }
+			rows := map[string]*wireRow{}
+			names := []string{}
+			at := func(n string) *wireRow {
+				if rows[n] == nil {
+					rows[n] = &wireRow{}
+					names = append(names, n)
+				}
+				return rows[n]
+			}
+			for _, s := range wires {
+				n := s.Label("wire")
+				switch s.Name {
+				case p + "_wire_occupied_cycles_total":
+					at(n).occ = delta(s)
+				case p + "_wire_stalls_total":
+					at(n).stall = delta(s)
+				case p + "_wire_transfers_total":
+					at(n).xfer = delta(s)
+				}
+			}
+			sort.Strings(names)
+			fmt.Fprintln(tw, "\twire\tocc%\tstall%\ttransfers\t")
+			for _, n := range names {
+				r := rows[n]
+				fmt.Fprintf(tw, "\t%s\t%s\t%s\t%.0f\t\n", n, pct(r.occ), pct(r.stall), r.xfer)
+			}
+		}
+		if len(rest) > 0 {
+			if elapsed > 0 {
+				fmt.Fprintln(tw, "\tseries\tvalue\trate/s\t")
+			} else {
+				fmt.Fprintln(tw, "\tseries\tvalue\t")
+			}
+			for _, s := range rest {
+				v := delta(s)
+				if elapsed > 0 {
+					fmt.Fprintf(tw, "\t%s\t%g\t%.1f\t\n", s.Full, v, v/elapsed)
+				} else {
+					fmt.Fprintf(tw, "\t%s\t%g\t\n", s.Full, v)
+				}
+			}
+		}
+		tw.Flush()
+	}
+}

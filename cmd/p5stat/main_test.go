@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fixtureServer serves a registry snapshot and trace the way p5sim
+// does, with counters that advance on every /metrics scrape so the
+// interval mode has a delta to show.
+func fixtureServer(t *testing.T) (*httptest.Server, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(64)
+	cycles := reg.Counter("p5_cycles_total", "clock")
+	busy := reg.Counter("p5_unit_busy_cycles_total", "busy", telemetry.L("unit", "framer"))
+	occ := reg.Counter("p5_wire_occupied_cycles_total", "occ", telemetry.L("wire", "tx.line"))
+	stall := reg.Counter("p5_wire_stalls_total", "stall", telemetry.L("wire", "tx.line"))
+	xfer := reg.Counter("p5_wire_transfers_total", "xfer", telemetry.L("wire", "tx.line"))
+	frames := reg.Counter("p5_tx_frames_total", "frames")
+	depth := reg.Gauge("p5_tx_sorter_occupancy", "fifo")
+	depth.Set(3)
+	tr.Emit(100, "sonet", "defect-raise", "LOS", 4, 4)
+	advance := func() {
+		cycles.Add(1000)
+		busy.Add(600)
+		occ.Add(250)
+		stall.Add(40)
+		xfer.Add(900)
+		frames.Add(10)
+	}
+	advance()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg.WritePrometheus(w)
+		advance()
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) { tr.WriteJSON(w) })
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+func TestSnapshotReport(t *testing.T) {
+	srv, _ := fixtureServer(t)
+	var out bytes.Buffer
+	if err := run(&out, srv.URL, 0, 0, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"p5: 1000 cycles",
+		"framer", "60.0", // busy% = 600/1000
+		"tx.line", "25.0", "4.0", // occ%, stall%
+		"p5_tx_frames_total",
+		"defect-raise", // -events trailer
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestIntervalDeltaReport(t *testing.T) {
+	srv, _ := fixtureServer(t)
+	var out bytes.Buffer
+	if err := run(&out, srv.URL, time.Millisecond, 2, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// Each window advances by exactly one step, so the delta equals the
+	// per-scrape increment, not the lifetime total.
+	if !strings.Contains(got, "p5: 1000 cycles") {
+		t.Errorf("window delta not computed:\n%s", got)
+	}
+	if strings.Count(got, "--- window") != 2 {
+		t.Errorf("want 2 window reports:\n%s", got)
+	}
+	if !strings.Contains(got, "rate/s") {
+		t.Errorf("interval report missing rate column:\n%s", got)
+	}
+}
+
+func TestReplayTraceFile(t *testing.T) {
+	tr := telemetry.NewTracer(16)
+	tr.Emit(1, "link:a", "restart", "", 40, 8)
+	tr.Emit(9, "link:a", "recovered", "", 1, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, "", 0, 0, false, path); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "trace: 2 events") ||
+		!strings.Contains(got, "link:a/restart") ||
+		!strings.Contains(got, "link:a/recovered") {
+		t.Errorf("replay output:\n%s", got)
+	}
+}

@@ -81,6 +81,9 @@ type Automaton struct {
 	Hooks Hooks
 	// Policy supplies option semantics. Required.
 	Policy Policy
+	// OnTransition, when set, observes every state change (telemetry
+	// tracing); it runs after the state is stored, before any hook.
+	OnTransition func(from, to State)
 
 	// Restart parameters; zero values take the RFC defaults.
 	MaxConfigure  int
@@ -240,12 +243,16 @@ func (a *Automaton) ser(req *Packet) {
 }
 
 func (a *Automaton) setState(s State) {
+	prev := a.state
 	a.state = s
 	// The restart timer only runs in the five "busy" states.
 	switch s {
 	case ReqSent, AckRcvd, AckSent, Closing, Stopping:
 	default:
 		a.stopTimer()
+	}
+	if prev != s && a.OnTransition != nil {
+		a.OnTransition(prev, s)
 	}
 }
 

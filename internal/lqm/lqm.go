@@ -93,6 +93,12 @@ func (q Quality) String() string {
 	}
 }
 
+// emitRecord remembers when a report sequence number left us.
+type emitRecord struct {
+	seq uint32
+	at  int64
+}
+
 // Monitor measures one direction pair of a PPP link. The caller feeds
 // traffic events (CountOut*/CountIn*) and received LQRs, and services
 // the report timer through Advance; Send is invoked with each outgoing
@@ -127,9 +133,23 @@ type Monitor struct {
 	next      int64
 	now       int64
 
+	// Round-trip sampling: every report we emit records its sequence
+	// number and send time in a small ring; a peer report whose
+	// LastOutLQRs echoes one of them closes the loop (RFC 1333 §2.3
+	// echo semantics — the echo arrives one reporting period behind,
+	// so the last emit alone is never the one matched).
+	emits   [4]emitRecord
+	echoed  uint32 // highest sequence already matched
+	emitIdx int
+
 	// Derived measurements from the last completed window.
 	LastInboundLossPct float64
 	LastPeerErrors     uint32
+	// LastRTT is the most recent report round-trip (virtual time
+	// units): our emit to the peer report echoing it. RTTSamples
+	// counts completed measurements.
+	LastRTT    int64
+	RTTSamples uint64
 }
 
 func (m *Monitor) period() int64 {
@@ -194,6 +214,8 @@ func (m *Monitor) Advance(now int64) {
 // measurement windows (RFC 1333 §2.3).
 func (m *Monitor) emit() {
 	m.OutLQRs++
+	m.emits[m.emitIdx] = emitRecord{seq: m.OutLQRs, at: m.now}
+	m.emitIdx = (m.emitIdx + 1) % len(m.emits)
 	q := LQR{
 		Magic:          m.Magic,
 		LastOutLQRs:    m.prevPeer.PeerOutLQRs,
@@ -220,6 +242,16 @@ func (m *Monitor) emit() {
 // the difference is traffic lost on the line toward us.
 func (m *Monitor) Receive(q *LQR) {
 	m.InLQRs++
+	if q.LastOutLQRs > m.echoed {
+		for _, rec := range m.emits {
+			if rec.seq != 0 && rec.seq == q.LastOutLQRs {
+				m.LastRTT = m.now - rec.at
+				m.RTTSamples++
+				m.echoed = rec.seq
+				break
+			}
+		}
+	}
 	in := m.InPackets
 	if !m.havePeer {
 		m.havePeer = true

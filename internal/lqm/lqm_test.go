@@ -188,3 +188,33 @@ func TestLastEchoFields(t *testing.T) {
 		t.Error("magic")
 	}
 }
+
+func TestRTTSampling(t *testing.T) {
+	// Two monitors with equal periods: the peer's echo of our sequence
+	// number arrives one reporting period behind, so the emit ring (not
+	// just the latest emit) must be searched for the match.
+	var toB, toA []*LQR
+	a := &Monitor{Magic: 1, Period: 10, Send: func(q *LQR) { toB = append(toB, q) }}
+	b := &Monitor{Magic: 2, Period: 10, Send: func(q *LQR) { toA = append(toA, q) }}
+	for now := int64(1); now <= 80; now++ {
+		// Deliver last tick's traffic first: one tick of line delay
+		// in each direction.
+		inB, inA := toB, toA
+		toB, toA = nil, nil
+		for _, q := range inB {
+			b.Receive(q)
+		}
+		for _, q := range inA {
+			a.Receive(q)
+		}
+		a.Advance(now)
+		b.Advance(now)
+	}
+	if a.RTTSamples == 0 {
+		t.Fatal("no RTT samples completed")
+	}
+	// One tick out, up to a full period parked at the peer, one tick back.
+	if a.LastRTT < 2 || a.LastRTT > 12 {
+		t.Errorf("LastRTT = %d, want within [2, 12]", a.LastRTT)
+	}
+}

@@ -2,6 +2,7 @@ package p5
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/crc"
 	"repro/internal/hdlc"
@@ -39,6 +40,28 @@ const (
 	RegB1Errors    = 0x6C // section BIP-8 errors (RO, needs section)
 	RegB3Errors    = 0x70 // path BIP-8 errors (RO, needs section)
 	RegResyncs     = 0x74 // frame-alignment reacquisitions (RO)
+
+	RegCntOverflow = 0x78 // sticky per-counter overflow latch (write 1 to clear)
+)
+
+// RegCntOverflow bit assignments: the status counters above are 16-bit
+// hardware fields. Reading a counter whose live value exceeds 0xFFFF
+// returns the saturated value and latches the counter's bit here. The
+// latch is sticky — cleared by writing 1, but re-asserted by the next
+// read while the counter remains saturated.
+const (
+	OvfTxFrames   = uint32(1) << 0
+	OvfTxEscaped  = uint32(1) << 1
+	OvfTxStalls   = uint32(1) << 2
+	OvfRxGood     = uint32(1) << 3
+	OvfRxBad      = uint32(1) << 4
+	OvfRxFCSErr   = uint32(1) << 5
+	OvfRxAborts   = uint32(1) << 6
+	OvfRxOverruns = uint32(1) << 7
+	OvfRxRunts    = uint32(1) << 8
+	OvfB1Errors   = uint32(1) << 9
+	OvfB3Errors   = uint32(1) << 10
+	OvfResyncs    = uint32(1) << 11
 )
 
 // RegAlarm bit assignments mirror the sonet.Defect bit set.
@@ -105,6 +128,11 @@ type Regs struct {
 	alarm        uint32
 	defectRaises uint32
 	defectClears uint32
+
+	// cntOvf is the RegCntOverflow latch. It is atomic rather than
+	// mu-guarded because reads of saturated status counters latch
+	// bits while holding only the read lock.
+	cntOvf atomic.Uint32
 }
 
 // NewRegs returns the power-on register file: Tx/Rx enabled, address
@@ -180,6 +208,22 @@ func (r *Regs) MRU() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.mru
+}
+
+// stat16 narrows a live datapath counter to its 16-bit status register
+// field: values above 0xFFFF saturate (instead of silently wrapping)
+// and latch the counter's sticky bit in RegCntOverflow. Callers hold
+// only the read lock, hence the CAS loop on the atomic latch.
+func (r *Regs) stat16(v uint64, bit uint32) uint32 {
+	if v <= 0xFFFF {
+		return uint32(v)
+	}
+	for {
+		old := r.cntOvf.Load()
+		if old&bit != 0 || r.cntOvf.CompareAndSwap(old, old|bit) {
+			return 0xFFFF
+		}
+	}
 }
 
 // RaiseInt sets interrupt status bits.
@@ -297,6 +341,13 @@ func (o *OAM) Write(addr uint32, v uint32) {
 		r.intStat &^= v // write-1-to-clear
 	case RegIntMask:
 		r.intMask = v
+	case RegCntOverflow:
+		for { // write-1-to-clear; CAS because reads latch lock-free
+			old := r.cntOvf.Load()
+			if r.cntOvf.CompareAndSwap(old, old&^v) {
+				break
+			}
+		}
 	}
 }
 
@@ -329,41 +380,43 @@ func (o *OAM) Read(addr uint32) uint32 {
 		return r.defectRaises
 	case RegDefectClear:
 		return r.defectClears
+	case RegCntOverflow:
+		return r.cntOvf.Load()
 	}
 	if o.section != nil {
 		switch addr {
 		case RegB1Errors:
-			return uint32(o.section.B1Errors)
+			return r.stat16(o.section.B1Errors, OvfB1Errors)
 		case RegB3Errors:
-			return uint32(o.section.B3Errors)
+			return r.stat16(o.section.B3Errors, OvfB3Errors)
 		case RegResyncs:
-			return uint32(o.section.ResyncCount)
+			return r.stat16(o.section.ResyncCount, OvfResyncs)
 		}
 	}
 	if o.tx != nil {
 		switch addr {
 		case RegTxFrames:
-			return uint32(o.tx.CRC.Frames)
+			return r.stat16(o.tx.CRC.Frames, OvfTxFrames)
 		case RegTxEscaped:
-			return uint32(o.tx.Escape.Escaped)
+			return r.stat16(o.tx.Escape.Escaped, OvfTxEscaped)
 		case RegTxStalls:
-			return uint32(o.tx.Escape.InputStalls)
+			return r.stat16(o.tx.Escape.InputStalls, OvfTxStalls)
 		}
 	}
 	if o.rx != nil {
 		switch addr {
 		case RegRxGood:
-			return uint32(o.rx.Control.Good)
+			return r.stat16(o.rx.Control.Good, OvfRxGood)
 		case RegRxBad:
-			return uint32(o.rx.Control.Bad)
+			return r.stat16(o.rx.Control.Bad, OvfRxBad)
 		case RegRxFCSErr:
-			return uint32(o.rx.CRC.FCSErrors)
+			return r.stat16(o.rx.CRC.FCSErrors, OvfRxFCSErr)
 		case RegRxAborts:
-			return uint32(o.rx.Delineator.Aborts)
+			return r.stat16(o.rx.Delineator.Aborts, OvfRxAborts)
 		case RegRxOverruns:
-			return uint32(o.rx.Delineator.Overruns)
+			return r.stat16(o.rx.Delineator.Overruns, OvfRxOverruns)
 		case RegRxRunts:
-			return uint32(o.rx.Control.Runts)
+			return r.stat16(o.rx.Control.Runts, OvfRxRunts)
 		}
 	}
 	return 0

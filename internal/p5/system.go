@@ -134,7 +134,8 @@ type System struct {
 	Rx   *Receiver
 	Line *Line
 
-	txWasBusy bool
+	txWasBusy     bool
+	telemetrySync func()
 }
 
 // NewSystem assembles a width-w system (w = 1 for the 8-bit P5, 4 for
@@ -182,6 +183,9 @@ func (s *System) Cycle() {
 		s.Regs.RaiseInt(IntTxDone)
 	}
 	s.txWasBusy = busy
+	if s.telemetrySync != nil && s.Sim.Now()&(telemetrySyncInterval-1) == 0 {
+		s.telemetrySync()
+	}
 }
 
 // Busy reports whether any octet is in flight anywhere in the system.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/hdlc"
 	"repro/internal/ppp"
 	"repro/internal/rtl"
+	"repro/internal/telemetry"
 )
 
 func TestTransmitterEmitsValidWireStream(t *testing.T) {
@@ -412,5 +413,105 @@ func TestSystemLoopbackAllWidths(t *testing.T) {
 				t.Fatalf("w=%d frame %d: %+v", w, i, f)
 			}
 		}
+	}
+}
+
+func TestTransmitterFirstWordLatencyFourCycles(t *testing.T) {
+	// The paper's pipeline claim: the 8-bit transmitter (Control → CRC
+	// → Escape Generate) puts its first line octet on the wire four
+	// cycles after the frame enters, then sustains one word per cycle
+	// (every inter-word gap is 1) for the rest of the frame.
+	sim := &rtl.Sim{}
+	regs := NewRegs()
+	tx := NewTransmitter(sim, 1, regs)
+	sink := rtl.NewSink(tx.Out)
+	sim.Add(sink)
+	tx.Framer.Enqueue(TxJob{Protocol: ppp.ProtoIPv4, Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8}})
+	if !sim.RunUntil(func() bool { return !tx.Busy() && sim.Drained() }, 10000) {
+		t.Fatal("transmitter did not drain")
+	}
+	if sink.FirstCycle != 4 {
+		t.Errorf("first word at cycle %d, want 4", sink.FirstCycle)
+	}
+	words := len(sink.Flits)
+	if words < 2 {
+		t.Fatalf("only %d words on the line", words)
+	}
+	if got := sink.GapCounts[1]; got != uint64(words-1) {
+		t.Errorf("gaps = %v over %d words: pipeline bubbled", sink.GapCounts, words)
+	}
+	if sink.MaxGap != 1 {
+		t.Errorf("MaxGap = %d, want 1 (back-to-back)", sink.MaxGap)
+	}
+	if sink.LastCycle != sink.FirstCycle+int64(words-1) {
+		t.Errorf("LastCycle = %d, want %d", sink.LastCycle, sink.FirstCycle+int64(words-1))
+	}
+}
+
+func TestOAMStatusCounterSaturation(t *testing.T) {
+	sys := NewSystem(1)
+	// Drive the live counter past the 16-bit status field.
+	sys.Rx.Control.Good = 0x1ABCD
+	sys.Tx.CRC.Frames = 0xFFFF // exactly at the ceiling: no overflow
+
+	if v := sys.OAM.Read(RegRxGood); v != 0xFFFF {
+		t.Errorf("RegRxGood = %#x, want saturation at 0xFFFF", v)
+	}
+	if v := sys.OAM.Read(RegTxFrames); v != 0xFFFF {
+		t.Errorf("RegTxFrames = %#x", v)
+	}
+	ovf := sys.OAM.Read(RegCntOverflow)
+	if ovf&OvfRxGood == 0 {
+		t.Errorf("overflow latch %#x missing OvfRxGood", ovf)
+	}
+	if ovf&OvfTxFrames != 0 {
+		t.Errorf("overflow latch %#x wrongly set for a counter at exactly 0xFFFF", ovf)
+	}
+
+	// W1C clears the latch...
+	sys.OAM.Write(RegCntOverflow, OvfRxGood)
+	if v := sys.OAM.Read(RegCntOverflow); v != 0 {
+		t.Errorf("latch %#x after W1C, want 0", v)
+	}
+	// ...but the next read of the still-saturated counter re-asserts it.
+	sys.OAM.Read(RegRxGood)
+	if v := sys.OAM.Read(RegCntOverflow); v&OvfRxGood == 0 {
+		t.Error("latch not re-asserted while counter remains saturated")
+	}
+}
+
+func TestSystemInstrumentExportsPipelineSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sys := NewSystem(1)
+	sys.Instrument(reg, "p5")
+	for i := 0; i < 8; i++ {
+		sys.Send(TxJob{Protocol: ppp.ProtoIPv4, Payload: bytes.Repeat([]byte{0x7E}, 64)})
+	}
+	if !sys.RunUntilIdle(1_000_000) {
+		t.Fatal("system did not drain")
+	}
+	sys.SyncTelemetry()
+	snap := reg.Snapshot("final")
+	for _, series := range []string{
+		"p5_cycles_total",
+		"p5_tx_frames_total",
+		"p5_rx_frames_good_total",
+		"p5_tx_escaped_octets_total",
+		"p5_line_words_total",
+		`p5_wire_occupied_cycles_total{wire="tx.line"}`,
+		`p5_wire_stalls_total{wire="tx.body"}`,
+		`p5_unit_busy_cycles_total{unit="framer"}`,
+	} {
+		if v, ok := snap.Get(series); !ok || v == 0 {
+			t.Errorf("series %s = %v (present=%v), want nonzero", series, v, ok)
+		}
+	}
+	// All-flag payload forces heavy escaping: the sorter high-water
+	// gauge must have moved.
+	if v, _ := snap.Get("p5_tx_sorter_highwater"); v == 0 {
+		t.Error("tx sorter high-water gauge never moved")
+	}
+	if v, _ := snap.Get("p5_rx_fcs_errors_total"); v != 0 {
+		t.Errorf("clean run exported %v FCS errors", v)
 	}
 }

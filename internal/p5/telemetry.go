@@ -1,0 +1,133 @@
+package p5
+
+import (
+	"repro/internal/rtl"
+	"repro/internal/telemetry"
+)
+
+// Telemetry mirrors: the datapath counters are plain uint64s written
+// only on the simulation thread (see internal/rtl/telemetry.go); here
+// each gets an atomic mirror in the registry, refreshed by a sync
+// closure. System hooks the sync into its own Cycle so a scraper sees
+// values at most telemetrySyncInterval cycles stale; standalone
+// assemblies (the p5sim -sonet path) call the returned sync functions
+// themselves.
+
+// telemetrySyncInterval is how often (cycles) an instrumented System
+// refreshes its mirrors. Power of two so the check is a mask.
+const telemetrySyncInterval = 256
+
+// counterTap binds one datapath counter to its registry mirror.
+type counterTap struct {
+	mirror *telemetry.Counter
+	read   func() uint64
+}
+
+// gaugeTap likewise for instantaneous values (FIFO occupancy).
+type gaugeTap struct {
+	mirror *telemetry.Gauge
+	read   func() int64
+}
+
+// InstrumentTransmitter exports a transmitter's unit counters under
+// prefix and samples its units' busy state each cycle (sim must already
+// be instrumented). The returned sync refreshes the mirrors.
+func InstrumentTransmitter(reg *telemetry.Registry, prefix string, sim *rtl.Sim, tx *Transmitter) func() {
+	taps := []counterTap{
+		{reg.Counter(prefix+"_tx_frames_total", "Frames through the transmit CRC unit."),
+			func() uint64 { return tx.CRC.Frames }},
+		{reg.Counter(prefix+"_tx_octets_total", "Payload octets read by the framer."),
+			func() uint64 { return tx.Framer.OctetsRead }},
+		{reg.Counter(prefix+"_tx_escaped_octets_total", "Octets escaped on transmit."),
+			func() uint64 { return tx.Escape.Escaped }},
+		{reg.Counter(prefix+"_tx_idle_words_total", "Idle fill words emitted on the line."),
+			func() uint64 { return tx.Escape.IdleWords }},
+		{reg.Counter(prefix+"_tx_stall_cycles_total", "Transmit cycles refused by line backpressure."),
+			func() uint64 { return tx.Escape.InputStalls }},
+	}
+	gauges := []gaugeTap{
+		{reg.Gauge(prefix+"_tx_sorter_occupancy", "Transmit byte-sorter FIFO occupancy (octets)."),
+			func() int64 { return int64(tx.Escape.Occupancy()) }},
+		{reg.Gauge(prefix+"_tx_sorter_highwater", "Transmit byte-sorter FIFO high-water mark (octets)."),
+			func() int64 { return int64(tx.Escape.HighWater()) }},
+	}
+	watchUnitBusy(reg, prefix, sim, "framer", tx.Framer.Busy)
+	watchUnitBusy(reg, prefix, sim, "tx_crc", tx.CRC.Busy)
+	watchUnitBusy(reg, prefix, sim, "escape_gen", tx.Escape.Busy)
+	return func() { syncTaps(taps, gauges) }
+}
+
+// InstrumentReceiver exports a receiver's unit counters under prefix
+// and samples its units' busy state each cycle.
+func InstrumentReceiver(reg *telemetry.Registry, prefix string, sim *rtl.Sim, rx *Receiver) func() {
+	taps := []counterTap{
+		{reg.Counter(prefix+"_rx_frames_good_total", "Frames delivered with a valid FCS."),
+			func() uint64 { return rx.Control.Good }},
+		{reg.Counter(prefix+"_rx_frames_bad_total", "Frames disposed of as damaged."),
+			func() uint64 { return rx.Control.Bad }},
+		{reg.Counter(prefix+"_rx_fcs_errors_total", "Frames failing the FCS check."),
+			func() uint64 { return rx.CRC.FCSErrors }},
+		{reg.Counter(prefix+"_rx_aborts_total", "Frames ended by an HDLC abort."),
+			func() uint64 { return rx.Delineator.Aborts }},
+		{reg.Counter(prefix+"_rx_overruns_total", "Octets dropped to receive overrun."),
+			func() uint64 { return rx.Delineator.Overruns }},
+		{reg.Counter(prefix+"_rx_runts_total", "Frames below the minimum length."),
+			func() uint64 { return rx.Control.Runts }},
+		{reg.Counter(prefix+"_rx_flags_total", "Flag sequences seen by the delineator."),
+			func() uint64 { return rx.Delineator.FlagsSeen }},
+		{reg.Counter(prefix+"_rx_sorter_bubbles_total", "Escape octets removed by the byte sorter (pipeline bubbles)."),
+			func() uint64 { return rx.Escape.Removed }},
+		{reg.Counter(prefix+"_rx_stall_cycles_total", "Receive cycles refused by downstream backpressure."),
+			func() uint64 { return rx.Escape.InputStalls }},
+	}
+	gauges := []gaugeTap{
+		{reg.Gauge(prefix+"_rx_sorter_occupancy", "Receive byte-sorter FIFO occupancy (octets)."),
+			func() int64 { return int64(rx.Escape.Occupancy()) }},
+		{reg.Gauge(prefix+"_rx_sorter_highwater", "Receive byte-sorter FIFO high-water mark (octets)."),
+			func() int64 { return int64(rx.Escape.HighWater()) }},
+	}
+	watchUnitBusy(reg, prefix, sim, "delineator", rx.Delineator.Busy)
+	watchUnitBusy(reg, prefix, sim, "escape_detect", rx.Escape.Busy)
+	return func() { syncTaps(taps, gauges) }
+}
+
+func watchUnitBusy(reg *telemetry.Registry, prefix string, sim *rtl.Sim, unit string, busy func() bool) {
+	sim.WatchBusy(reg.Counter(prefix+"_unit_busy_cycles_total",
+		"Cycles the unit held frame octets (pipeline utilisation numerator).",
+		telemetry.L("unit", unit)), busy)
+}
+
+func syncTaps(taps []counterTap, gauges []gaugeTap) {
+	for _, t := range taps {
+		t.mirror.Set(t.read())
+	}
+	for _, g := range gauges {
+		g.mirror.Set(g.read())
+	}
+}
+
+// Instrument exports the whole loopback system — kernel wires, unit
+// busy cycles, and datapath counters — under prefix. Cycle then
+// refreshes the mirrors every telemetrySyncInterval cycles; call
+// SyncTelemetry after the final cycle for an exact view.
+func (s *System) Instrument(reg *telemetry.Registry, prefix string) {
+	s.Sim.Instrument(reg, prefix)
+	txSync := InstrumentTransmitter(reg, prefix, s.Sim, s.Tx)
+	rxSync := InstrumentReceiver(reg, prefix, s.Sim, s.Rx)
+	lineWords := reg.Counter(prefix+"_line_words_total", "Words carried by the line model.")
+	s.telemetrySync = func() {
+		txSync()
+		rxSync()
+		lineWords.Set(s.Line.Words)
+		s.Sim.SyncTelemetry()
+	}
+	s.telemetrySync()
+}
+
+// SyncTelemetry refreshes every exported mirror immediately. No-op
+// when the system is not instrumented.
+func (s *System) SyncTelemetry() {
+	if s.telemetrySync != nil {
+		s.telemetrySync()
+	}
+}

@@ -54,20 +54,40 @@ type Sink struct {
 	Flits []Flit
 	Data  []byte
 	// FirstCycle is the simulation cycle (counted by the sink itself)
-	// at which the first flit arrived; -1 until then.
+	// at which the first flit arrived, LastCycle the most recent; -1
+	// until then. FirstCycle is the pipeline's fill latency when the
+	// source starts at cycle 0.
 	FirstCycle int64
-	cycle      int64
+	LastCycle  int64
+	// GapCounts histograms the inter-word gap (cycles between
+	// consecutive arrivals): GapCounts[1] counts back-to-back words,
+	// GapCounts[8] collects every gap of 8 or more. Index 0 is unused.
+	// MaxGap is the largest gap observed. A gap above 1 is a delivery
+	// bubble — the sink-side view of upstream stalls.
+	GapCounts [9]uint64
+	MaxGap    int64
+	cycle     int64
 }
 
 // NewSink creates a sink on w.
-func NewSink(w *Wire) *Sink { return &Sink{In: w, FirstCycle: -1} }
+func NewSink(w *Wire) *Sink { return &Sink{In: w, FirstCycle: -1, LastCycle: -1} }
 
 // Eval implements Module.
 func (s *Sink) Eval() {
 	if f, ok := s.In.Take(); ok {
 		if s.FirstCycle < 0 {
 			s.FirstCycle = s.cycle
+		} else {
+			gap := s.cycle - s.LastCycle
+			if gap > s.MaxGap {
+				s.MaxGap = gap
+			}
+			if gap > 8 {
+				gap = 8
+			}
+			s.GapCounts[gap]++
 		}
+		s.LastCycle = s.cycle
 		s.Flits = append(s.Flits, f)
 		s.Data = f.Bytes(s.Data)
 	}

@@ -81,9 +81,12 @@ type Wire struct {
 
 	// Transfers counts flits moved through the wire; Stalls counts
 	// cycles a producer found the wire blocked (via CanPush queries
-	// that returned false).
+	// that returned false); Occupied counts cycles the slot held a
+	// flit at the clock edge — Occupied/cycles is the wire's
+	// occupancy, the paper's per-stage pipeline utilisation figure.
 	Transfers uint64
 	Stalls    uint64
+	Occupied  uint64
 }
 
 // Peek returns the flit standing on the wire, if any, without consuming.
@@ -137,6 +140,9 @@ func (w *Wire) Tick() {
 		w.curValid = true
 		w.nextOK = false
 	}
+	if w.curValid {
+		w.Occupied++
+	}
 }
 
 // Empty reports whether the wire holds no flit and none is being latched.
@@ -157,6 +163,7 @@ type Sim struct {
 	modules []Module
 	wires   []*Wire
 	cycle   int64
+	instr   *instrumentation
 }
 
 // Add registers modules in datapath order (source first).
@@ -181,6 +188,9 @@ func (s *Sim) Cycle() {
 		w.Tick()
 	}
 	s.cycle++
+	if s.instr != nil {
+		s.instr.cycle(s.cycle)
+	}
 }
 
 // Run advances n cycles.

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/telemetry"
 )
 
 func TestFlitBytes(t *testing.T) {
@@ -316,5 +318,110 @@ func TestVCDDump(t *testing.T) {
 	// Change-only encoding: occupancy value 3 appears exactly once.
 	if strings.Count(out, "b11 #") != 1 {
 		t.Errorf("occupancy not change-encoded:\n%s", out)
+	}
+}
+
+func TestWireOccupiedCounts(t *testing.T) {
+	var w Wire
+	w.Push(FlitOf([]byte{1}))
+	w.Tick() // flit latched: occupied
+	w.Tick() // still standing: occupied again
+	w.Take()
+	w.Tick() // vacated at the edge: not occupied
+	if w.Occupied != 2 {
+		t.Errorf("Occupied = %d, want 2", w.Occupied)
+	}
+}
+
+func TestSinkGapHistogram(t *testing.T) {
+	// Throttle at k=3: words arrive every 3rd cycle, so every
+	// inter-word gap is 3 and LastCycle tracks the final arrival.
+	var sim Sim
+	src := &Source{Out: sim.Wire("w0")}
+	w1 := sim.Wire("w1")
+	sim.Add(src, &throttle{in: src.Out, out: w1, k: 3})
+	sink := NewSink(w1)
+	sim.Add(sink)
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		src.Feed(FlitOf([]byte{byte(i)}))
+	}
+	sim.RunUntil(func() bool { return len(sink.Flits) == n }, 1000)
+	if len(sink.Flits) != n {
+		t.Fatalf("only %d flits arrived", len(sink.Flits))
+	}
+	if sink.LastCycle <= sink.FirstCycle {
+		t.Errorf("LastCycle = %d, FirstCycle = %d", sink.LastCycle, sink.FirstCycle)
+	}
+	if sink.GapCounts[3] != n-1 {
+		t.Errorf("GapCounts = %v, want %d gaps of 3", sink.GapCounts, n-1)
+	}
+	if sink.MaxGap != 3 {
+		t.Errorf("MaxGap = %d, want 3", sink.MaxGap)
+	}
+}
+
+func TestSinkGapOverflowBucket(t *testing.T) {
+	var sim Sim
+	src := &Source{Out: sim.Wire("w")}
+	sink := NewSink(src.Out)
+	sim.Add(src, sink)
+	src.Feed(FlitOf([]byte{1}))
+	sim.Run(20) // first word arrives, then a long idle gap
+	src.Feed(FlitOf([]byte{2}))
+	sim.RunUntil(func() bool { return len(sink.Flits) == 2 }, 100)
+	if sink.GapCounts[8] != 1 {
+		t.Errorf("GapCounts = %v, want the long gap in the overflow bucket", sink.GapCounts)
+	}
+	if sink.MaxGap < 9 {
+		t.Errorf("MaxGap = %d, want >8", sink.MaxGap)
+	}
+}
+
+func TestSimInstrument(t *testing.T) {
+	var sim Sim
+	src := &Source{Out: sim.Wire("w0")}
+	w1 := sim.Wire("w1")
+	w2 := sim.Wire("w2")
+	sim.Add(src, &passthrough{in: src.Out, out: w1}, &throttle{in: w1, out: w2, k: 3})
+	sink := NewSink(w2)
+	sim.Add(sink)
+
+	reg := telemetry.NewRegistry()
+	sim.Instrument(reg, "kern")
+	busySrc := reg.Counter("kern_unit_busy_cycles_total", "", telemetry.L("unit", "source"))
+	sim.WatchBusy(busySrc, func() bool { return src.Pending() > 0 })
+
+	const n = 30
+	for i := 0; i < n; i++ {
+		src.Feed(FlitOf([]byte{byte(i)}))
+	}
+	sim.RunUntil(func() bool { return len(sink.Flits) == n }, 10000)
+	sim.SyncTelemetry()
+
+	snap := reg.Snapshot("t")
+	mustGet := func(series string) float64 {
+		v, ok := snap.Get(series)
+		if !ok {
+			t.Fatalf("series %s missing; have %v", series, snap.Samples())
+		}
+		return v
+	}
+	if v := mustGet("kern_cycles_total"); int64(v) != sim.Now() {
+		t.Errorf("cycles = %v, want %d", v, sim.Now())
+	}
+	if v := mustGet(`kern_wire_transfers_total{wire="w2"}`); v != n {
+		t.Errorf("w2 transfers = %v, want %d", v, n)
+	}
+	// The throttle backpressures w1 — stalls must be visible.
+	if v := mustGet(`kern_wire_stalls_total{wire="w1"}`); v == 0 {
+		t.Error("no stalls exported for the throttled wire")
+	}
+	if v := mustGet(`kern_wire_occupied_cycles_total{wire="w1"}`); v == 0 {
+		t.Error("no occupancy exported")
+	}
+	if busySrc.Value() == 0 {
+		t.Error("busy watch never sampled busy")
 	}
 }

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler builds the exposition endpoint set over a registry and an
+// optional tracer:
+//
+//	/metrics       Prometheus text format
+//	/debug/vars    expvar JSON (includes the registry snapshot under
+//	               the published name, plus Go memstats/cmdline)
+//	/debug/pprof/  the standard Go profiling endpoints
+//	/trace         the tracer's retained events as JSON (404 when nil)
+//
+// The returned handler is safe to serve while probes are being written:
+// all metric state is atomic.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		tr.WriteJSON(w)
+	})
+	return mux
+}
+
+// Publish exposes the registry under name in the process-wide expvar
+// namespace (visible at /debug/vars) as a map of series name to value.
+// Publishing the same name twice is a no-op, so repeated instrumenting
+// in tests is safe.
+func Publish(reg *Registry, name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		snap := reg.Snapshot(name)
+		out := make(map[string]float64, len(snap.Samples()))
+		for _, s := range snap.Samples() {
+			out[s.Series] = s.Value
+		}
+		return out
+	}))
+}
+
+// Server is a running exposition endpoint.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server for Handler(reg, tr) on addr (":0" picks
+// a free port) and also publishes the registry to expvar under
+// expvarName. It returns once the listener is bound; serving continues
+// in a background goroutine until Close.
+func Serve(addr string, reg *Registry, tr *Tracer, expvarName string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if expvarName != "" {
+		Publish(reg, expvarName)
+	}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: Handler(reg, tr)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

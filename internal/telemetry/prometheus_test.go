@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// HELP/TYPE headers once per family, registration order, label
+// rendering, histogram flattening. Regenerate with `go test -update`.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("p5_tx_frames_total", "Frames pushed by the framer.").Add(42)
+	r.Counter("p5_wire_transfers_total", "Words accepted across a wire.", L("wire", "framer.crc")).Add(9)
+	r.Gauge("p5_fifo_highwater", "", L("unit", "escape_gen")).Set(12)
+	r.GaugeFunc("p5_clock_mhz", "Modelled line clock.", func() float64 { return 155.52 })
+	h := r.Histogram("p5_sink_gap_cycles", "Inter-word gap at the sink.", []int64{1, 2, 4})
+	for _, v := range []int64{1, 3, 10} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}

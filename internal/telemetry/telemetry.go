@@ -1,0 +1,401 @@
+// Package telemetry is the repo's observability spine: a zero-dependency,
+// allocation-free metrics registry (atomic counters, gauges, fixed-bucket
+// histograms) with named snapshot/delta semantics, plus a bounded
+// ring-buffer structured event tracer (trace.go) and Prometheus/expvar/
+// pprof exposition (prometheus.go, http.go).
+//
+// The paper's P5 is only credible at OC-48 because every pipeline stage's
+// occupancy, stall and resynchronisation behaviour is visible to the OAM
+// block; this package is the software analogue. Probe points stay cheap:
+// registration (allocation, map lookups, locking) happens once at wiring
+// time, and the hot path is a single uncontended atomic add per event.
+//
+// Writers and readers may run on different goroutines — all metric state
+// is atomic, so a live simulation can be scraped while it runs.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a metric for exposition and delta semantics.
+type Kind uint8
+
+// The metric kinds.
+const (
+	// KindCounter is a monotonically increasing value; Snapshot.Delta
+	// subtracts counters.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous value; Snapshot.Delta keeps the
+	// newer value.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution; it flattens into
+	// _bucket/_sum/_count counter samples.
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Label is one constant key="value" pair attached to a metric series.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is usable but unregistered; obtain registered counters from a
+// Registry.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Set stores an absolute value. It exists for mirror counters that are
+// synchronised from a single-threaded simulation's plain counters (the
+// rtl kernel syncs its per-wire counts this way); callers must keep the
+// sequence of stored values non-decreasing for counter semantics to
+// hold. A decrease is exposed as a counter reset, which Prometheus
+// tolerates.
+func (c *Counter) Set(n uint64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution over int64 observations
+// (cycles, octets, virtual time units). Buckets are cumulative on
+// exposition, Prometheus-style; observation is a short linear scan plus
+// three atomic adds — no allocation.
+type Histogram struct {
+	bounds []int64 // inclusive upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64
+	sum    atomic.Int64
+	count  atomic.Uint64
+}
+
+// NewHistogram builds an unregistered histogram with the given
+// inclusive upper bounds (must be ascending). Most callers want
+// Registry.Histogram instead.
+func NewHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bounds returns the configured upper bounds.
+func (h *Histogram) Bounds() []int64 { return append([]int64(nil), h.bounds...) }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts; the last
+// entry is the overflow (+Inf) bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// metric is one registered series.
+type metric struct {
+	name   string // sanitized family name
+	help   string
+	labels []Label
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // gauge-func
+}
+
+// series renders the full series identity: name plus label block.
+func (m *metric) series() string { return seriesName(m.name, m.labels) }
+
+func seriesName(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", sanitizeName(l.Key), l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sanitizeName maps an arbitrary string onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:].
+func sanitizeName(s string) string {
+	ok := true
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i) {
+			ok = false
+			break
+		}
+	}
+	if ok && s != "" {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if isNameChar(s[i], i) {
+			b.WriteByte(s[i])
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func isNameChar(c byte, pos int) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return c >= '0' && c <= '9' && pos > 0
+}
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use. Registration is get-or-create: asking twice for the
+// same series returns the same metric, so independent subsystems can
+// share counters by name.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics []*metric
+	index   map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*metric)}
+}
+
+func (r *Registry) register(name, help string, kind Kind, labels []Label) *metric {
+	name = sanitizeName(name)
+	key := seriesName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.index[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %v (was %v)", key, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, labels: append([]Label(nil), labels...), kind: kind}
+	r.metrics = append(r.metrics, m)
+	r.index[key] = m
+	return m
+}
+
+// Counter returns the registered counter for name+labels, creating it
+// if needed.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(name, help, KindCounter, labels)
+	if m.counter == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// Gauge returns the registered gauge for name+labels, creating it if
+// needed.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(name, help, KindGauge, labels)
+	if m.gauge == nil {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is sampled by calling fn at
+// exposition time. fn must be safe for concurrent calls.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	m := r.register(name, help, KindGauge, labels)
+	m.fn = fn
+}
+
+// Histogram returns the registered histogram for name+labels, creating
+// it with the given inclusive upper bounds if needed.
+func (r *Registry) Histogram(name, help string, bounds []int64, labels ...Label) *Histogram {
+	m := r.register(name, help, KindHistogram, labels)
+	if m.hist == nil {
+		m.hist = NewHistogram(bounds)
+	}
+	return m.hist
+}
+
+// Sample is one flattened series value in a snapshot.
+type Sample struct {
+	// Series is the full series identity (name plus label block).
+	Series string
+	// Kind is the delta semantic: counters subtract, gauges keep.
+	Kind Kind
+	// Value is the sampled value.
+	Value float64
+}
+
+// Snapshot is a named, timestamped flattening of a registry: every
+// counter and gauge one sample, every histogram a _bucket series per
+// bound plus _sum and _count. Samples are sorted by series name.
+type Snapshot struct {
+	// Name labels the snapshot (the registry owner's choosing).
+	Name string
+	// At is the capture time.
+	At time.Time
+
+	samples []Sample
+	idx     map[string]int
+}
+
+// Snapshot captures the current value of every registered series.
+func (r *Registry) Snapshot(name string) Snapshot {
+	r.mu.RLock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.RUnlock()
+
+	s := Snapshot{Name: name, At: time.Now()}
+	for _, m := range metrics {
+		switch m.kind {
+		case KindCounter:
+			s.samples = append(s.samples, Sample{m.series(), KindCounter, float64(m.counter.Value())})
+		case KindGauge:
+			v := 0.0
+			if m.fn != nil {
+				v = m.fn()
+			} else {
+				v = float64(m.gauge.Value())
+			}
+			s.samples = append(s.samples, Sample{m.series(), KindGauge, v})
+		case KindHistogram:
+			cum := uint64(0)
+			counts := m.hist.BucketCounts()
+			for i, b := range m.hist.bounds {
+				cum += counts[i]
+				lbl := append(append([]Label(nil), m.labels...), L("le", fmt.Sprint(b)))
+				s.samples = append(s.samples, Sample{seriesName(m.name+"_bucket", lbl), KindCounter, float64(cum)})
+			}
+			cum += counts[len(counts)-1]
+			lbl := append(append([]Label(nil), m.labels...), L("le", "+Inf"))
+			s.samples = append(s.samples, Sample{seriesName(m.name+"_bucket", lbl), KindCounter, float64(cum)})
+			s.samples = append(s.samples, Sample{seriesName(m.name+"_sum", m.labels), KindCounter, float64(m.hist.Sum())})
+			s.samples = append(s.samples, Sample{seriesName(m.name+"_count", m.labels), KindCounter, float64(m.hist.Count())})
+		}
+	}
+	sort.Slice(s.samples, func(i, j int) bool { return s.samples[i].Series < s.samples[j].Series })
+	s.reindex()
+	return s
+}
+
+func (s *Snapshot) reindex() {
+	s.idx = make(map[string]int, len(s.samples))
+	for i, smp := range s.samples {
+		s.idx[smp.Series] = i
+	}
+}
+
+// Samples returns the flattened series, sorted by name.
+func (s Snapshot) Samples() []Sample { return s.samples }
+
+// Get returns the value of a series by full name.
+func (s Snapshot) Get(series string) (float64, bool) {
+	if s.idx == nil {
+		return 0, false
+	}
+	i, ok := s.idx[series]
+	if !ok {
+		return 0, false
+	}
+	return s.samples[i].Value, true
+}
+
+// Delta returns the change from prev to s: counter samples are
+// subtracted (series missing from prev keep their value; a counter that
+// went backwards — a reset — reports its new value), gauge samples keep
+// the newer value. The result carries s's name and timestamp.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{Name: s.Name, At: s.At}
+	d.samples = make([]Sample, 0, len(s.samples))
+	for _, smp := range s.samples {
+		if smp.Kind == KindCounter {
+			if old, ok := prev.Get(smp.Series); ok && old <= smp.Value {
+				smp.Value -= old
+			}
+		}
+		d.samples = append(d.samples, smp)
+	}
+	d.reindex()
+	return d
+}
+
+// Seconds returns the wall-clock span from prev to s, for turning a
+// delta into a rate.
+func (s Snapshot) Seconds(prev Snapshot) float64 {
+	return s.At.Sub(prev.At).Seconds()
+}
+
+// Rate returns a counter series' per-second rate over the span from
+// prev to s, or 0 when the span is empty or the series unknown.
+func (s Snapshot) Rate(prev Snapshot, series string) float64 {
+	secs := s.Seconds(prev)
+	if secs <= 0 {
+		return 0
+	}
+	cur, ok1 := s.Get(series)
+	old, ok2 := prev.Get(series)
+	if !ok1 || !ok2 || cur < old {
+		return 0
+	}
+	return (cur - old) / secs
+}

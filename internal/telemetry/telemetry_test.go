@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames_total", "frames")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	// Get-or-create returns the same counter.
+	if r.Counter("frames_total", "frames") != c {
+		t.Error("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("occupancy", "fill", L("unit", "sorter"))
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d", g.Value())
+	}
+
+	h := r.Histogram("gap_cycles", "gaps", []int64{1, 2, 4, 8})
+	for _, v := range []int64{1, 1, 2, 3, 9, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 116 {
+		t.Errorf("hist count=%d sum=%d", h.Count(), h.Sum())
+	}
+	want := []uint64{2, 1, 1, 0, 2} // ≤1, ≤2, ≤4, ≤8, +Inf
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotDeltaSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("xfers_total", "")
+	g := r.Gauge("fill", "")
+	c.Add(10)
+	g.Set(3)
+	s1 := r.Snapshot("t1")
+	c.Add(5)
+	g.Set(8)
+	s2 := r.Snapshot("t2")
+
+	d := s2.Delta(s1)
+	if v, _ := d.Get("xfers_total"); v != 5 {
+		t.Errorf("counter delta = %v", v)
+	}
+	if v, _ := d.Get("fill"); v != 8 {
+		t.Errorf("gauge delta keeps newer value, got %v", v)
+	}
+	// A counter reset (value went backwards) reports the new value.
+	c.Set(2)
+	s3 := r.Snapshot("t3")
+	if d := s3.Delta(s2); func() float64 { v, _ := d.Get("xfers_total"); return v }() != 2 {
+		t.Error("counter reset not reported as new value")
+	}
+}
+
+func TestSnapshotRate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("octets_total", "")
+	c.Add(100)
+	s1 := r.Snapshot("a")
+	c.Add(300)
+	s2 := r.Snapshot("b")
+	s2.At = s1.At.Add(2 * time.Second) // pin the span for determinism
+	if rate := s2.Rate(s1, "octets_total"); rate != 150 {
+		t.Errorf("rate = %v, want 150", rate)
+	}
+}
+
+func TestHistogramSnapshotFlattening(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []int64{2, 4}, L("unit", "crc"))
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+	s := r.Snapshot("x")
+	checks := map[string]float64{
+		`lat_bucket{unit="crc",le="2"}`:    1,
+		`lat_bucket{unit="crc",le="4"}`:    2,
+		`lat_bucket{unit="crc",le="+Inf"}`: 3,
+		`lat_sum{unit="crc"}`:              13,
+		`lat_count{unit="crc"}`:            3,
+	}
+	for series, want := range checks {
+		if v, ok := s.Get(series); !ok || v != want {
+			t.Errorf("%s = %v,%v want %v", series, v, ok, want)
+		}
+	}
+}
+
+func TestSanitizeNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("p5/wire transfers.total", "")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "p5_wire_transfers_total") {
+		t.Errorf("name not sanitized:\n%s", buf.String())
+	}
+}
+
+// TestConcurrentWritersAndReaders is the -race gate of the satellite
+// task: hammer every metric type and the tracer from many goroutines
+// while a reader concurrently snapshots and scrapes.
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(64)
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []int64{1, 10, 100})
+	r.GaugeFunc("fn", "", func() float64 { return float64(c.Value()) })
+
+	const writers = 8
+	const perWriter = 2000
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // reader
+		defer close(readerDone)
+		prev := r.Snapshot("prev")
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cur := r.Snapshot("cur")
+			cur.Delta(prev)
+			prev = cur
+			r.WritePrometheus(io.Discard)
+			tr.Events()
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+				g.Set(int64(j))
+				h.Observe(int64(j % 200))
+				tr.Emit(int64(j), "w", "tick", "", int64(id), int64(j))
+				// Concurrent registration must also be safe.
+				r.Counter("late_total", "").Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	if c.Value() != writers*perWriter {
+		t.Errorf("lost counter increments: %d", c.Value())
+	}
+	if h.Count() != writers*perWriter {
+		t.Errorf("lost observations: %d", h.Count())
+	}
+	if tr.Total() != writers*perWriter {
+		t.Errorf("lost events: %d", tr.Total())
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 40; i++ {
+		tr.Emit(int64(i), "s", "n", "", 0, 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	if evs[0].Seq != 25 || evs[15].Seq != 40 {
+		t.Errorf("retained window [%d..%d], want [25..40]", evs[0].Seq, evs[15].Seq)
+	}
+	if tr.Dropped() != 24 {
+		t.Errorf("dropped = %d", tr.Dropped())
+	}
+	// JSON round-trip.
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 16 || back[0].Seq != 25 {
+		t.Errorf("round-trip lost events: %d", len(back))
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help a").Add(3)
+	r.Gauge("b", "", L("wire", "tx.body"), L("k", `qu"ote`)).Set(-7)
+	r.Histogram("c", "", []int64{5}).Observe(2)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFull := map[string]Series{}
+	for _, s := range series {
+		byFull[s.Full] = s
+	}
+	if s, ok := byFull["a_total"]; !ok || s.Value != 3 {
+		t.Errorf("a_total = %+v", s)
+	}
+	g, ok := byFull[`b{wire="tx.body",k="qu\"ote"}`]
+	if !ok || g.Value != -7 || g.Label("wire") != "tx.body" || g.Label("k") != `qu"ote` {
+		t.Errorf("labelled gauge = %+v (present=%v)", g, ok)
+	}
+	if s, ok := byFull[`c_bucket{le="+Inf"}`]; !ok || s.Value != 1 {
+		t.Errorf("bucket = %+v", s)
+	}
+}

@@ -129,6 +129,10 @@ type Link struct {
 	AuthFailures       uint64
 	RxBadAuth          uint64
 	EchoTimeouts       uint64
+
+	// Telemetry (nil until Instrument).
+	tel *linkTelemetry
+	now int64 // virtual time of the latest Advance, for event stamps
 }
 
 // ErrLinkDown is returned when sending on a link whose LCP (or IPCP,
@@ -250,6 +254,7 @@ func (l *Link) Close() { l.lcpA.Close() }
 // Advance moves the endpoint's virtual clock (restart timers, the
 // numbered-mode T1, and quality report cadence).
 func (l *Link) Advance(now int64) {
+	l.now = now
 	l.lcpA.Advance(now)
 	l.ipcpA.Advance(now)
 	if l.station != nil {
@@ -260,6 +265,9 @@ func (l *Link) Advance(now int64) {
 	}
 	l.serviceEcho(now)
 	l.serviceSupervisor(now)
+	if l.tel != nil {
+		l.tel.sync()
+	}
 }
 
 // serviceEcho implements the keepalive: periodic Echo-Requests on an
@@ -285,6 +293,7 @@ func (l *Link) serviceEcho(now int64) {
 		// Dead peer: the link goes down (RFC 1661 §5.8 is the
 		// liveness tool; teardown policy is the implementation's).
 		l.EchoTimeouts++
+		l.trace("echo-timeout", "", int64(misses), 0)
 		l.echoPending = 0
 		l.lcpA.Down()
 		return

@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench.sh — machine-readable benchmark trajectory:
+#   runs the BenchmarkSystem matrix (datapath width × telemetry
+#   on/off) and writes BENCH_<date>.json with ns/op, MB/s, and the
+#   custom bits/cycle metric per variant, so successive PRs can be
+#   compared without scraping test logs.
+#
+# Usage: ./scripts/bench.sh [outfile]   (or: make bench-json)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_$(date +%Y%m%d).json}"
+benchtime="${BENCHTIME:-3x}"
+
+raw=$(go test -run '^$' -bench '^BenchmarkSystem$' -benchtime "$benchtime" .)
+
+printf '%s\n' "$raw" | awk -v date="$(date +%Y-%m-%d)" -v go="$(go version | awk '{print $3}')" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, go
+    n = 0
+}
+/^BenchmarkSystem\// {
+    # BenchmarkSystem/width=8bit/telemetry=false-8  5  17448822 ns/op  1.72 MB/s  7.779 bits/cycle
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, $2
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[\/]/, "_per_", unit)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' > "$out"
+
+echo "bench.sh: wrote $out"

@@ -15,6 +15,13 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== go test -race (telemetry concurrency gate) =="
+# The telemetry registry/tracer promise lock-free concurrent scraping;
+# run their concurrency tests under the race detector first and with
+# more iterations so a probe-side data race fails loudly before the
+# full suite runs.
+go test -race -count 2 ./internal/telemetry
+
 echo "== go test -race =="
 go test -race ./...
 

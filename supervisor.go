@@ -95,6 +95,7 @@ func (l *Link) NotifyDefects(active uint32) {
 		if s.lineOK {
 			s.lineOK = false
 			s.DefectOutages++
+			l.trace("defect-outage", "", int64(active), 0)
 			l.resetTransport()
 			l.lcpA.Down()
 		}
@@ -103,6 +104,7 @@ func (l *Link) NotifyDefects(active uint32) {
 	if !s.lineOK {
 		s.lineOK = true
 		s.kick = true
+		l.trace("line-clear", "", int64(active), 0)
 	}
 }
 
@@ -119,6 +121,7 @@ func (l *Link) serviceSupervisor(now int64) {
 		if s.outage {
 			s.Recoveries++
 			s.outage = false
+			l.trace("recovered", "", int64(s.Recoveries), 0)
 		}
 		s.backoff = l.cfg.retryMin()
 		s.retryAt = 0
@@ -139,6 +142,7 @@ func (l *Link) serviceSupervisor(now int64) {
 		q := l.monitor.Quality()
 		if q == lqm.Bad && s.lastQ != lqm.Bad {
 			s.LQMRestarts++
+			l.trace("lqm-restart", "", int64(q), 0)
 			l.lcpA.Down()
 		}
 		s.lastQ = q
@@ -186,6 +190,7 @@ func (l *Link) restartLCP(now int64) {
 	}
 	s.Restarts++
 	s.RetryTimes = append(s.RetryTimes, now)
+	l.trace("restart", "", now, s.backoff)
 	l.resetTransport()
 	l.lcpA.Down()
 	l.lcpA.Up()
