@@ -3,6 +3,7 @@ package gigapos
 import (
 	"testing"
 
+	"repro/internal/aps"
 	"repro/internal/channel"
 	"repro/internal/fault"
 	"repro/internal/netsim"
@@ -205,4 +206,115 @@ func TestChaosSoakLinkSelfHealing(t *testing.T) {
 	t.Logf("scenario %q: b outages=%d recoveries=%d; a retries at %v; OAM raises=%d clears=%d resyncs=%d",
 		script.String(), supB.DefectOutages, supB.Recoveries, supA.RetryTimes,
 		oam.Read(p5.RegDefectRaise), oam.Read(p5.RegDefectClear), oam.Read(p5.RegResyncs))
+}
+
+// TestChaosSoakDualLineProtection is the protected-pair counterpart of
+// the chaos soak: a 1+1 group rides two scripted fault scenarios, one
+// per line, that cut, corrupt, and slip each line in turn but never
+// take both down at once. The APS layer must absorb every event — the
+// headline assertion is that the PPP session never drops and the
+// self-healing supervisor never acts (zero LCP restarts, zero defect
+// outages) while at least one line of the pair is up.
+func TestChaosSoakDualLineProtection(t *testing.T) {
+	const fb = 2430
+	const wtr = 40
+	p := newProtectedPair(t, ProtectionConfig{
+		APS: aps.Config{Bidirectional: true, Revertive: true, WaitToRestore: wtr},
+	})
+	a, b := p.a, p.b
+
+	// Per-line scripts, pinned to absolute line-octet offsets. The
+	// service-affecting windows are disjoint across the two lines:
+	// whenever one line is dark the other is clean.
+	var w, pr fault.Script
+	w.LOS(50*fb, 70*fb)            // working cut #1 (frames 50-119)
+	w.Insert(260*fb+9, 0x55)       // byte slip: working loses alignment
+	w.LOS(300*fb, 40*fb)           // working cut #2 (frames 300-339)
+	pr.Corrupt(150*fb+100, 64, 0xFF) // standby line parity burst
+	pr.LOS(180*fb, 60*fb)          // protect cut while working is clean
+	pr.LOS(400*fb, 50*fb)          // protect cut #2, selector on working
+	pair := fault.NewPair(w, pr)
+	p.impairW = func(f []byte) []byte { return pair.Apply(0, f) }
+	p.impairP = func(f []byte) []byte { return pair.Apply(1, f) }
+
+	for i := 0; i < 40; i++ {
+		p.tick()
+	}
+	if !a.Opened() || !b.Opened() || !a.IPReady() || !b.IPReady() {
+		t.Fatal("links did not open on the clean pair")
+	}
+
+	// Soak with live traffic: one deterministic datagram per tick a→b.
+	var seq uint32
+	var delivered, corrupted int
+	for i := 0; i < 520; i++ {
+		seq++
+		pl := make([]byte, 32)
+		pl[0] = 0x45
+		pl[4], pl[5], pl[6], pl[7] = byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq)
+		for j := 8; j < len(pl); j++ {
+			pl[j] = byte(seq) ^ byte(j)*11
+		}
+		if err := a.SendIPv4(pl); err != nil {
+			t.Fatalf("send %d: %v", seq, err)
+		}
+		p.tick()
+		for _, d := range b.Received() {
+			if len(d.Payload) != 32 {
+				corrupted++
+				continue
+			}
+			s := uint32(d.Payload[4])<<24 | uint32(d.Payload[5])<<16 |
+				uint32(d.Payload[6])<<8 | uint32(d.Payload[7])
+			ok := d.Payload[0] == 0x45 && s >= 1 && s <= seq
+			for j := 8; ok && j < len(d.Payload); j++ {
+				ok = d.Payload[j] == byte(s)^byte(j)*11
+			}
+			if !ok {
+				corrupted++
+				continue
+			}
+			delivered++
+		}
+		// The whole point of 1+1: the session layer never sees any of it.
+		if !b.Opened() || !b.IPReady() {
+			t.Fatalf("session dropped at tick %d with one line still up", p.now)
+		}
+	}
+	if !pair.Done() {
+		t.Fatalf("scripts not fully fired: working=%q protect=%q", w.String(), pr.String())
+	}
+
+	// Ride out the last wait-to-restore; the revertive group ends home.
+	for i := 0; i < wtr+60; i++ {
+		p.tick()
+	}
+	if b.Active() != aps.Working || a.Active() != aps.Working {
+		t.Fatalf("group did not revert: a=%v b=%v", a.Active(), b.Active())
+	}
+
+	// Zero LCP restarts while >= 1 line was up — on both ends.
+	for name, l := range map[string]*ProtectedLink{"a": a, "b": b} {
+		sup := l.Supervisor()
+		if sup.Restarts != 0 || sup.DefectOutages != 0 || sup.Recoveries != 0 {
+			t.Errorf("%s supervisor acted during protected chaos: %+v", name, sup)
+		}
+	}
+	if corrupted != 0 {
+		t.Errorf("%d corrupted datagrams delivered", corrupted)
+	}
+	// Two working cuts each force a failover and a revert; protect-line
+	// events must not add spurious selector flaps beyond the slip's.
+	if b.Ctrl.ToProtect < 2 {
+		t.Errorf("ToProtect = %d, want >= 2 (two working-line cuts)", b.Ctrl.ToProtect)
+	}
+	if b.Ctrl.Switches < 4 {
+		t.Errorf("Switches = %d, want >= 4 (each cut out and back)", b.Ctrl.Switches)
+	}
+	lost := int(seq) - delivered
+	t.Logf("sent=%d delivered=%d lost=%d switches=%d toProtect=%d standbyDiscarded=%d",
+		seq, delivered, lost, b.Ctrl.Switches, b.Ctrl.ToProtect, b.DiscardedStandbyOctets)
+	if lost > int(seq)/10 {
+		t.Errorf("lost %d of %d datagrams; switch windows should cost far less", lost, seq)
+	}
 }

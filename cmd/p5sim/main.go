@@ -12,11 +12,21 @@
 // /debug/vars, Go profiles under /debug/pprof/, and the structured
 // event trace at /trace — scrape it with p5stat or curl, ^C to exit.
 //
+// With -protect two software PPP endpoints ride a 1+1 protected STM-1
+// line pair (GR-253 linear APS, bidirectional, revertive): the working
+// line is cut under live traffic, the APS controller moves the receive
+// selector to the protection line inside the 50 ms switch budget
+// without an LCP/IPCP renegotiation, and after the line heals the
+// group reverts through wait-to-restore. The report shows the switch
+// record and the OAM protection registers; -telemetry exposes
+// aps_switches_total and the aps_switch_duration histogram.
+//
 // Usage:
 //
 //	p5sim [-width 8|32] [-frames N] [-size imix|N] [-density F] [-errors F] [-v]
 //	      [-telemetry ADDR]
 //	      [-sonet] [-slip-every N] [-los-windows N] [-los-frames N] [-dup-every N]
+//	      [-protect]
 package main
 
 import (
@@ -26,6 +36,8 @@ import (
 	"os"
 	"strconv"
 
+	gigapos "repro"
+	"repro/internal/aps"
 	"repro/internal/fault"
 	"repro/internal/netsim"
 	"repro/internal/p5"
@@ -54,6 +66,11 @@ type simConfig struct {
 	sonetMode bool
 	faults    fault.RandomConfig
 
+	// protectMode runs the 1+1 APS failover scenario; cutFrames is the
+	// length of the scripted working-line cut in STM-1 frame times.
+	protectMode bool
+	cutFrames   int
+
 	// scrape, when set, is called with the endpoint base URL while the
 	// server is up; the server is then shut down instead of lingering.
 	// Test hook — nil in normal operation.
@@ -76,6 +93,7 @@ func main() {
 	flag.BoolVar(&cfg.verbose, "v", false, "print per-frame dispositions")
 	flag.StringVar(&cfg.telemetryAddr, "telemetry", "", "serve /metrics, /debug/vars, /debug/pprof/, /trace on this address after the run")
 	flag.BoolVar(&cfg.sonetMode, "sonet", false, "carry the line over an STM-1 section with fault injection")
+	flag.BoolVar(&cfg.protectMode, "protect", false, "run the 1+1 APS failover scenario (working-line cut of -los-frames frames)")
 	slipEvery := flag.Int("slip-every", 0, "sonet: mean octets between byte slips (0 = none)")
 	losWindows := flag.Int("los-windows", 0, "sonet: number of timed line cuts")
 	losFrames := flag.Int("los-frames", 30, "sonet: length of each line cut in STM-1 frames")
@@ -87,6 +105,7 @@ func main() {
 		LOSLen:     *losFrames * sonet.STM1.FrameBytes(),
 		DupEvery:   *dupEvery,
 	}
+	cfg.cutFrames = *losFrames
 
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "p5sim:", err)
@@ -99,6 +118,9 @@ func main() {
 
 // run executes one simulation per cfg, writing the report to out.
 func run(cfg simConfig, out io.Writer) error {
+	if cfg.protectMode {
+		return runProtect(cfg, out)
+	}
 	if cfg.sonetMode {
 		return runSONET(cfg, out)
 	}
@@ -379,5 +401,116 @@ func runSONET(cfg simConfig, out io.Writer) error {
 		oam.Read(p5.RegRxFCSErr), oam.Read(p5.RegRxAborts), oam.Read(p5.RegRxRunts))
 	fmt.Fprintf(out, "  OAM interrupts   : stat=%#x irq=%v causes=[%s]\n",
 		oam.Read(p5.RegIntStat), regs.IRQ(), causeNames(oam.Read(p5.RegIntStat)))
+	return serveTelemetry(cfg, reg, tr, out)
+}
+
+// runProtect is the -protect scenario: two supervised PPP endpoints on
+// a 1+1 protected STM-1 pair, a scripted working-line cut under live
+// traffic, APS failover, and revert through wait-to-restore. One tick
+// = one 125 µs frame time per direction, so the GR-253 50 ms switch
+// budget is 400 ticks.
+func runProtect(cfg simConfig, out io.Writer) error {
+	const (
+		fb        = 2430 // STM-1 frame bytes
+		warmTicks = 30
+		preTicks  = 50
+		wtrTicks  = 100
+	)
+	cut := cfg.cutFrames
+	if cut <= 0 {
+		cut = 30
+	}
+	reg, tr := newTelemetry(cfg)
+
+	lcfg := gigapos.LinkConfig{
+		EchoPeriod: 8, EchoMisses: 3,
+		Supervise: true, RetryMin: 8, RetryMax: 128,
+	}
+	pcfg := gigapos.ProtectionConfig{APS: aps.Config{
+		Bidirectional: true, Revertive: true, WaitToRestore: wtrTicks,
+	}}
+	lcfg.Magic, lcfg.IPAddr = 0xAAAA, [4]byte{10, 0, 0, 1}
+	a := gigapos.NewProtectedLink(lcfg, pcfg)
+	lcfg.Magic, lcfg.IPAddr = 0xBBBB, [4]byte{10, 0, 0, 2}
+	b := gigapos.NewProtectedLink(lcfg, pcfg)
+	if reg != nil {
+		b.Instrument(reg, tr, "link")
+	}
+	oam := &p5.OAM{Regs: p5.NewRegs()}
+	oam.AttachAPS(b.Ctrl)
+	oam.Write(p5.RegIntMask, p5.IntAPSSwitch)
+
+	// The scripted per-line scenario: only the a→b working line is cut.
+	var wScript, pScript fault.Script
+	wScript.LOS(int64(warmTicks+preTicks)*fb, cut*fb)
+	pair := fault.NewPair(wScript, pScript)
+
+	var now int64
+	tick := func() {
+		now++
+		a.Advance(now)
+		b.Advance(now)
+		wa, pa := a.NextFrames()
+		wb, pb := b.NextFrames()
+		b.FeedWorking(pair.Apply(0, wa))
+		b.FeedProtect(pair.Apply(1, pa))
+		a.FeedWorking(wb)
+		a.FeedProtect(pb)
+	}
+
+	a.Open()
+	a.Up()
+	b.Open()
+	b.Up()
+	for i := 0; i < warmTicks; i++ {
+		tick()
+	}
+	if !a.Opened() || !b.Opened() || !a.IPReady() || !b.IPReady() {
+		return fmt.Errorf("protected pair did not open")
+	}
+
+	// Live traffic a→b: one sequenced datagram per tick.
+	var seq, delivered, renegotiated int
+	drain := func() {
+		for _, d := range b.Received() {
+			if len(d.Payload) >= 8 && d.Payload[0] == 0x45 {
+				delivered++
+			}
+		}
+		if !b.Opened() || !b.IPReady() {
+			renegotiated++
+		}
+	}
+	total := preTicks + cut + wtrTicks + 150
+	for i := 0; i < total; i++ {
+		seq++
+		pl := make([]byte, 40)
+		pl[0] = 0x45
+		pl[4], pl[5], pl[6], pl[7] = byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq)
+		if err := a.SendIPv4(pl); err != nil {
+			return fmt.Errorf("send %d: %w", seq, err)
+		}
+		tick()
+		drain()
+	}
+
+	st := b.Ctrl.Stats
+	fmt.Fprintf(out, "1+1 protected PPP over STM-1 (GR-253 linear APS, bidirectional, revertive)\n")
+	fmt.Fprintf(out, "  working-line cut : %d frames (%.1f ms of dead line)\n", cut, float64(cut)*0.125)
+	fmt.Fprintf(out, "  traffic          : %d sent, %d delivered, %d lost in the switch windows\n",
+		seq, delivered, seq-delivered)
+	fmt.Fprintf(out, "  aps              : switches=%d to-protect=%d to-working=%d remote-wins=%d\n",
+		st.Switches, st.ToProtect, st.ToWorking, st.RemoteWins)
+	fmt.Fprintf(out, "  switch time      : %d frame times (budget 400 = 50 ms); selector now on %v\n",
+		st.LastSwitchTook, b.Active())
+	fmt.Fprintf(out, "  session          : lcp-renegotiations=%d supervisor-restarts=%d (hitless = 0/0)\n",
+		renegotiated, b.Supervisor().Restarts)
+	fmt.Fprintf(out, "  standby selector : %d payload octets recovered hot and discarded\n",
+		b.DiscardedStandbyOctets)
+	fmt.Fprintf(out, "  OAM aps regs     : state=%#x rx=%#04x tx=%#04x switches=%d\n",
+		oam.Read(p5.RegAPSState), oam.Read(p5.RegAPSRx),
+		oam.Read(p5.RegAPSTx), oam.Read(p5.RegAPSSwitches))
+	fmt.Fprintf(out, "  OAM interrupts   : stat=%#x irq=%v causes=[%s]\n",
+		oam.Read(p5.RegIntStat), oam.Regs.IRQ(), causeNames(oam.Read(p5.RegIntStat)))
 	return serveTelemetry(cfg, reg, tr, out)
 }

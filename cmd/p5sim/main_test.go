@@ -157,6 +157,73 @@ func TestSONETTelemetryScrape(t *testing.T) {
 	}
 }
 
+// TestProtectTelemetryScrape is the protection acceptance path: the
+// -protect failover scenario must expose the APS switch counter and
+// the switch-duration histogram through /metrics, emit aps switch
+// trace events, and report a hitless run (no LCP renegotiation).
+func TestProtectTelemetryScrape(t *testing.T) {
+	var series map[string]float64
+	var trace []telemetry.Event
+	cfg := simConfig{
+		protectMode: true, cutFrames: 30,
+		telemetryAddr: "127.0.0.1:0",
+		scrape: func(base string) {
+			series = seriesMap(t, base)
+			code, body := scrapeGet(t, base, "/trace")
+			if code != http.StatusOK {
+				t.Fatalf("/trace status %d", code)
+			}
+			var err error
+			trace, err = telemetry.ReadEvents(bytes.NewReader(body))
+			if err != nil {
+				t.Fatalf("decode /trace: %v", err)
+			}
+		},
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if series == nil {
+		t.Fatal("scrape hook never ran")
+	}
+	if got := series[`aps_switches_total`]; got != 2 {
+		t.Errorf("aps_switches_total = %v, want 2 (failover + revert)", got)
+	}
+	if got := series[`aps_switch_duration_count`]; got != 2 {
+		t.Errorf("aps_switch_duration_count = %v, want 2", got)
+	}
+	// Both switches completed inside the 50 ms budget bucket.
+	if got := series[`aps_switch_duration_bucket{le="400"}`]; got != 2 {
+		t.Errorf(`duration bucket le=400 = %v, want 2`, got)
+	}
+	for _, name := range []string{
+		`aps_to_protect_total`, `aps_to_working_total`,
+		`link_working_b2_errors_total`, // the cut corrupts line parity before LOS bites
+		`link_protect_frames_ok_total`,
+		`link_standby_discarded_octets_total`,
+	} {
+		if v, ok := series[name]; !ok || v == 0 {
+			t.Errorf("series %s = %v (present=%v), want nonzero", name, v, ok)
+		}
+	}
+	if got := series[`aps_active`]; got != 0 {
+		t.Errorf("aps_active = %v, want 0 (reverted to working)", got)
+	}
+	switches := 0
+	for _, e := range trace {
+		if e.Scope == "aps" && e.Name == "switch" {
+			switches++
+		}
+	}
+	if switches != 2 {
+		t.Errorf("aps switch trace events = %d, want 2", switches)
+	}
+	if !strings.Contains(out.String(), "lcp-renegotiations=0") {
+		t.Errorf("report does not show a hitless run:\n%s", out.String())
+	}
+}
+
 // TestRunRejectsBadFlags pins the usage-error path.
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out bytes.Buffer

@@ -1,0 +1,253 @@
+package aps
+
+import "testing"
+
+// TestK1K2Codec pins the byte layout.
+func TestK1K2Codec(t *testing.T) {
+	b := K1(ReqSignalFail, 1)
+	if b != 0xC1 {
+		t.Fatalf("K1(SF,1) = %#x", b)
+	}
+	r, ch := ParseK1(b)
+	if r != ReqSignalFail || ch != 1 {
+		t.Fatalf("ParseK1 = %v/%d", r, ch)
+	}
+	k2 := K2(1, true)
+	if ch, bidi := ParseK2(k2); ch != 1 || !bidi {
+		t.Fatalf("ParseK2(%#x) = %d/%v", k2, ch, bidi)
+	}
+	if ch, bidi := ParseK2(K2(1, false)); ch != 1 || bidi {
+		t.Fatalf("unidirectional K2 parsed as %d/%v", ch, bidi)
+	}
+	if ReqLockout < ReqForcedSwitch || ReqForcedSwitch < ReqSignalFail ||
+		ReqSignalFail < ReqSignalDegrade || ReqSignalDegrade < ReqManualSwitch ||
+		ReqManualSwitch < ReqWaitToRestore {
+		t.Fatal("request codes are not priority-ordered")
+	}
+	if ReqSignalFail.String() != "signal-fail" || Working.String() != "working" {
+		t.Error("string forms wrong")
+	}
+}
+
+// TestSFSwitchesToProtect: the basic failover and, in revertive mode,
+// the wait-to-restore path home.
+func TestSFSwitchesToProtect(t *testing.T) {
+	c := NewController(Config{Revertive: true, WaitToRestore: 10})
+	var events []SwitchEvent
+	c.OnSwitch = func(e SwitchEvent) { events = append(events, e) }
+
+	c.Advance(1)
+	if c.Active() != Working {
+		t.Fatal("selector not on working at rest")
+	}
+	c.SetSignal(2, Working, true, false)
+	c.Advance(2)
+	if c.Active() != Protect {
+		t.Fatal("SF on working did not switch")
+	}
+	if len(events) != 1 || events[0].Trigger != ReqSignalFail || events[0].Duration != 0 {
+		t.Fatalf("events = %v", events)
+	}
+	if k1, _ := c.TxK1K2(); k1 != K1(ReqSignalFail, 1) {
+		t.Errorf("tx K1 = %#x", k1)
+	}
+
+	// Condition clears: WTR holds the selector for 10 units.
+	c.SetSignal(5, Working, false, false)
+	c.Advance(5)
+	if c.Active() != Protect {
+		t.Fatal("reverted before WTR")
+	}
+	if k1, _ := c.TxK1K2(); k1 != K1(ReqWaitToRestore, 1) {
+		t.Errorf("tx K1 during WTR = %#x", k1)
+	}
+	c.Advance(14)
+	if c.Active() != Protect {
+		t.Fatal("reverted at WTR-1")
+	}
+	c.Advance(15)
+	if c.Active() != Working {
+		t.Fatal("did not revert after WTR expiry")
+	}
+	if c.Switches != 2 || c.ToProtect != 1 || c.ToWorking != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+// TestNonRevertiveStaysOnProtect: after the working line heals, a
+// non-revertive group signals Do-Not-Revert and keeps the selector.
+func TestNonRevertiveStaysOnProtect(t *testing.T) {
+	c := NewController(Config{})
+	c.SetSignal(1, Working, true, false)
+	c.Advance(1)
+	c.SetSignal(10, Working, false, false)
+	for now := int64(10); now < 100; now += 5 {
+		c.Advance(now)
+	}
+	if c.Active() != Protect {
+		t.Fatal("non-revertive group reverted")
+	}
+	if k1, _ := c.TxK1K2(); k1 != K1(ReqDoNotRevert, 1) {
+		t.Errorf("tx K1 = %#x, want do-not-revert", k1)
+	}
+}
+
+// TestHoldOffDelaysSwitch: a condition shorter than the hold-off never
+// moves the selector; one that persists switches at the timer.
+func TestHoldOffDelaysSwitch(t *testing.T) {
+	c := NewController(Config{HoldOff: 5})
+	c.SetSignal(10, Working, true, false)
+	c.Advance(10)
+	c.Advance(12)
+	if c.Active() != Working {
+		t.Fatal("switched inside the hold-off window")
+	}
+	// Transient clears before hold-off: no switch ever.
+	c.SetSignal(13, Working, false, false)
+	c.Advance(14)
+	c.Advance(20)
+	if c.Active() != Working || c.Switches != 0 {
+		t.Fatal("transient caused a switch")
+	}
+	// Persistent condition: switch once the hold-off elapses.
+	c.SetSignal(30, Working, true, false)
+	c.Advance(33)
+	if c.Active() != Working {
+		t.Fatal("switched early")
+	}
+	c.Advance(35)
+	if c.Active() != Protect {
+		t.Fatal("hold-off never released")
+	}
+	if c.LastSwitchTook != 5 {
+		t.Errorf("switch duration = %d, want 5 (the hold-off)", c.LastSwitchTook)
+	}
+}
+
+// TestPriorityOrdering: SF on protection pre-empts a forced switch;
+// lockout pre-empts everything.
+func TestPriorityOrdering(t *testing.T) {
+	c := NewController(Config{})
+	c.ForcedSwitch(1)
+	c.Advance(1)
+	if c.Active() != Protect {
+		t.Fatal("forced switch did not move the selector")
+	}
+	// Protection fails: selector must abandon it despite the command.
+	c.SetSignal(2, Protect, true, false)
+	c.Advance(2)
+	if c.Active() != Working {
+		t.Fatal("SF on protection did not pre-empt forced switch")
+	}
+	if k1, _ := c.TxK1K2(); k1 != K1(ReqSignalFail, 0) {
+		t.Errorf("tx K1 = %#x, want SF on null channel", k1)
+	}
+	c.SetSignal(3, Protect, false, false)
+	c.Advance(3)
+	if c.Active() != Protect {
+		t.Fatal("forced switch did not resume after protection healed")
+	}
+	// Lockout beats the still-latched forced command and SF on working.
+	c.Lockout(4)
+	c.SetSignal(4, Working, true, false)
+	c.Advance(4)
+	if c.Active() != Working {
+		t.Fatal("lockout did not pin the selector to working")
+	}
+	c.Clear()
+	c.Advance(5)
+	if c.Active() != Protect {
+		t.Fatal("clear did not release the lockout (forced still latched)")
+	}
+	c.Clear()
+	// SF-W still active, so the selector stays on protect via SF.
+	c.Advance(6)
+	if c.Active() != Protect {
+		t.Fatal("SF on working lost after clearing commands")
+	}
+}
+
+// TestManualSwitchYieldsToSignalDegrade: manual sits below SD in the
+// priority order — SD on the protection line sends the selector home.
+func TestManualSwitchYieldsToSignalDegrade(t *testing.T) {
+	c := NewController(Config{})
+	c.ManualSwitch(1)
+	c.Advance(1)
+	if c.Active() != Protect {
+		t.Fatal("manual switch ignored")
+	}
+	c.SetSignal(2, Protect, false, true) // SD on protection
+	c.Advance(2)
+	if c.Active() != Working {
+		t.Fatal("SD on protection did not pre-empt manual switch")
+	}
+}
+
+// TestBidirectionalHandshake runs both ends against each other: B sees
+// SF on its receive working line; A must follow on the strength of the
+// K1 request alone and acknowledge with Reverse-Request.
+func TestBidirectionalHandshake(t *testing.T) {
+	cfg := Config{Bidirectional: true, Revertive: true, WaitToRestore: 8}
+	a, b := NewController(cfg), NewController(cfg)
+
+	// Transport: each Advance's tx bytes arrive at the peer next tick.
+	deliver := func(now int64, from, to *Controller) {
+		k1, k2 := from.TxK1K2()
+		to.ReceiveK1K2(now, k1, k2)
+	}
+
+	b.SetSignal(1, Working, true, false)
+	for now := int64(1); now <= 4; now++ {
+		a.Advance(now)
+		b.Advance(now)
+		deliver(now, a, b)
+		deliver(now, b, a)
+	}
+	if b.Active() != Protect {
+		t.Fatal("B did not switch on local SF")
+	}
+	if a.Active() != Protect {
+		t.Fatal("A did not follow the far-end SF request")
+	}
+	if a.RemoteWins == 0 {
+		t.Error("A never recorded the remote request winning")
+	}
+	if k1, _ := a.TxK1K2(); k1 != K1(ReqReverseRequest, 1) {
+		t.Errorf("A tx K1 = %#x, want reverse-request ack", k1)
+	}
+
+	// Heal: B runs WTR, reverts, and A follows home.
+	b.SetSignal(10, Working, false, false)
+	for now := int64(10); now <= 40; now++ {
+		a.Advance(now)
+		b.Advance(now)
+		deliver(now, a, b)
+		deliver(now, b, a)
+	}
+	if b.Active() != Working || a.Active() != Working {
+		t.Fatalf("pair did not revert: a=%v b=%v", a.Active(), b.Active())
+	}
+}
+
+// TestBothLinesFailed: with SF on both lines the selector rests on
+// working (SF-P outranks SF-W) — the layer above falls back to its own
+// recovery path.
+func TestBothLinesFailed(t *testing.T) {
+	c := NewController(Config{})
+	c.SetSignal(1, Working, true, false)
+	c.Advance(1)
+	if c.Active() != Protect {
+		t.Fatal("no switch on SF-W")
+	}
+	c.SetSignal(2, Protect, true, false)
+	c.Advance(2)
+	if c.Active() != Working {
+		t.Fatal("selector not parked on working with both lines failed")
+	}
+	// Working heals first: stay (protection still failed).
+	c.SetSignal(3, Working, false, false)
+	c.Advance(3)
+	if c.Active() != Working {
+		t.Fatal("left working while protection still failed")
+	}
+}

@@ -1,0 +1,32 @@
+package fault
+
+// Pair drives independent scripted scenarios over the two lines of a
+// 1+1 protected pair: one Injector per line, each with its own script,
+// position and statistics, so a protection test can cut the working
+// line while the protect line stays clean (or degrade both on
+// different schedules) and reconcile what each line actually saw.
+type Pair struct {
+	Working, Protect *Injector
+}
+
+// NewPair returns injectors for the two per-line scenarios.
+func NewPair(working, protect Script) *Pair {
+	return &Pair{Working: NewInjector(working), Protect: NewInjector(protect)}
+}
+
+// Line returns the injector for line (0 = working, 1 = protect).
+func (p *Pair) Line(line int) *Injector {
+	if line&1 == 0 {
+		return p.Working
+	}
+	return p.Protect
+}
+
+// Apply passes one chunk of the given line's stream through that
+// line's injector.
+func (p *Pair) Apply(line int, chunk []byte) []byte {
+	return p.Line(line).Apply(chunk)
+}
+
+// Done reports whether both lines' scripts have fully fired.
+func (p *Pair) Done() bool { return p.Working.Done() && p.Protect.Done() }

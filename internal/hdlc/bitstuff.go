@@ -143,9 +143,12 @@ func (d *BitDestuffer) flag() {
 	}
 	d.inFrame = true
 	d.raw = d.raw[:0]
-	// Consume the register so overlapping re-matches cannot occur.
-	d.nseen = 0
-	d.last8 = 0
+	// The shift register keeps running: adjacent flags may share their
+	// boundary zero (…0111111 0 1111110…), so clearing it here would
+	// blind the hunter to a real flag whose window overlaps a match in
+	// preceding noise. No closer re-match exists — the windows 1-6 bits
+	// past a flag all start with a 1 — and a shared-zero match leaves
+	// fewer than 8 raw bits, which the length guard above drops.
 }
 
 // destuffBits removes inserted zeros and packs the residue into octets;

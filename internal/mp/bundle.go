@@ -72,6 +72,10 @@ type Receiver struct {
 	seen     []bool
 	expected uint32
 	anchored bool
+	// midDiscard is set when a discard stopped before reaching the next
+	// packet head; the continuation is the same loss region and must not
+	// be counted as another lost packet.
+	midDiscard bool
 
 	// Counters.
 	Delivered, Lost uint64
@@ -163,6 +167,8 @@ func (r *Receiver) drain() {
 		f, ok := r.frags[r.expected&mask]
 		switch {
 		case ok && f.Begin:
+			// A packet head at the consumption point ends any loss region.
+			r.midDiscard = false
 			// Walk the run.
 			seq := r.expected
 			complete := false
@@ -217,14 +223,19 @@ func (r *Receiver) drain() {
 
 // discardPacket drops fragments (and proven holes) from the expected
 // pointer forward until the next packet head, counting one lost packet.
+// The loss proof M advances incrementally, so one broken packet may be
+// discarded over several calls; only the first counts it.
 func (r *Receiver) discardPacket() {
 	mask := r.Format.Mask()
-	r.Lost++
+	if !r.midDiscard {
+		r.Lost++
+	}
 	for {
 		delete(r.frags, r.expected&mask)
 		r.expected = (r.expected + 1) & mask
 		if f, ok := r.frags[r.expected&mask]; ok {
 			if f.Begin {
+				r.midDiscard = false
 				return
 			}
 			continue // part of the same broken packet
@@ -232,6 +243,7 @@ func (r *Receiver) discardPacket() {
 		// Hole: stop discarding unless it too is proven lost (it then
 		// belongs to this or another broken packet).
 		if !r.lostForever(r.expected & mask) {
+			r.midDiscard = true
 			return
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/aps"
 	"repro/internal/crc"
 	"repro/internal/hdlc"
 	"repro/internal/ppp"
@@ -42,6 +43,23 @@ const (
 	RegResyncs     = 0x74 // frame-alignment reacquisitions (RO)
 
 	RegCntOverflow = 0x78 // sticky per-counter overflow latch (write 1 to clear)
+
+	RegB2Errors = 0x7C // line BIP-8 errors (RO, needs section)
+
+	// 1+1 APS protection block (AttachAPS).
+	RegAPSCtrl     = 0x80 // external switch commands (see APSCmd*)
+	RegAPSState    = 0x84 // bit 0: selected line; bits 4-7: tx K1 request
+	RegAPSRx       = 0x88 // accepted far-end K1<<8 | K2 (RO)
+	RegAPSTx       = 0x8C // transmitted K1<<8 | K2 (RO)
+	RegAPSSwitches = 0x90 // selector movements (RO, saturating)
+)
+
+// RegAPSCtrl command encodings (lower two bits of a host write).
+const (
+	APSCmdClear   = 0 // release any latched external command
+	APSCmdLockout = 1 // lock the selector to the working line
+	APSCmdForced  = 2 // force the selector to the protection line
+	APSCmdManual  = 3 // request protection below the SF/SD priorities
 )
 
 // RegCntOverflow bit assignments: the status counters above are 16-bit
@@ -62,6 +80,8 @@ const (
 	OvfB1Errors   = uint32(1) << 9
 	OvfB3Errors   = uint32(1) << 10
 	OvfResyncs    = uint32(1) << 11
+	OvfB2Errors   = uint32(1) << 12
+	OvfAPSSwitch  = uint32(1) << 13
 )
 
 // RegAlarm bit assignments mirror the sonet.Defect bit set.
@@ -96,6 +116,7 @@ const (
 	IntSDeg        = 1 << 6 // signal degrade threshold crossed
 	IntSFail       = 1 << 7 // signal fail threshold crossed
 	IntDefectClear = 1 << 8 // any defect cleared (alarm register updated)
+	IntAPSSwitch   = 1 << 9 // protection selector moved (AttachAPS)
 )
 
 // IntCauseNames maps interrupt bits to their mnemonic, for status dumps.
@@ -106,6 +127,7 @@ var IntCauseNames = []struct {
 	{IntRxFrame, "rx-frame"}, {IntRxError, "rx-error"}, {IntTxDone, "tx-done"},
 	{IntOOF, "oof"}, {IntLOF, "lof"}, {IntLOS, "los"},
 	{IntSDeg, "sdeg"}, {IntSFail, "sfail"}, {IntDefectClear, "defect-clear"},
+	{IntAPSSwitch, "aps-switch"},
 }
 
 // Regs is the OAM configuration register file. Datapath modules read it
@@ -253,6 +275,9 @@ type OAM struct {
 	// section, when attached, supplies the SONET defect/parity status
 	// registers.
 	section *sonet.Deframer
+	// aps, when attached, supplies the protection status registers and
+	// accepts RegAPSCtrl commands.
+	aps *aps.Controller
 }
 
 // NewOAM assembles an OAM block over separately constructed datapath
@@ -307,6 +332,25 @@ func (o *OAM) AttachSection(df *sonet.Deframer) {
 	}
 }
 
+// AttachAPS wires a 1+1 protection controller into the OAM block: the
+// host reads selector/request/signalling state from the RegAPS*
+// registers, issues lockout/forced/manual commands through RegAPSCtrl,
+// and every completed selector movement raises the IntAPSSwitch cause
+// (chained ahead of any existing OnSwitch subscriber).
+func (o *OAM) AttachAPS(c *aps.Controller) {
+	o.aps = c
+	if c == nil {
+		return
+	}
+	prev := c.OnSwitch
+	c.OnSwitch = func(e aps.SwitchEvent) {
+		o.Regs.RaiseInt(IntAPSSwitch)
+		if prev != nil {
+			prev(e)
+		}
+	}
+}
+
 // Alarms returns the live alarm register as a defect set.
 func (o *OAM) Alarms() sonet.Defect {
 	o.Regs.mu.RLock()
@@ -346,6 +390,20 @@ func (o *OAM) Write(addr uint32, v uint32) {
 			old := r.cntOvf.Load()
 			if r.cntOvf.CompareAndSwap(old, old&^v) {
 				break
+			}
+		}
+	case RegAPSCtrl:
+		if o.aps != nil {
+			now := o.aps.Now()
+			switch v & 3 {
+			case APSCmdClear:
+				o.aps.Clear()
+			case APSCmdLockout:
+				o.aps.Lockout(now)
+			case APSCmdForced:
+				o.aps.ForcedSwitch(now)
+			case APSCmdManual:
+				o.aps.ManualSwitch(now)
 			}
 		}
 	}
@@ -391,6 +449,23 @@ func (o *OAM) Read(addr uint32) uint32 {
 			return r.stat16(o.section.B3Errors, OvfB3Errors)
 		case RegResyncs:
 			return r.stat16(o.section.ResyncCount, OvfResyncs)
+		case RegB2Errors:
+			return r.stat16(o.section.B2Errors, OvfB2Errors)
+		}
+	}
+	if o.aps != nil {
+		txK1, txK2 := o.aps.TxK1K2()
+		switch addr {
+		case RegAPSState:
+			req, _ := aps.ParseK1(txK1)
+			return uint32(o.aps.Active())&1 | uint32(req)<<4
+		case RegAPSRx:
+			rxK1, rxK2 := o.aps.RxK1K2()
+			return uint32(rxK1)<<8 | uint32(rxK2)
+		case RegAPSTx:
+			return uint32(txK1)<<8 | uint32(txK2)
+		case RegAPSSwitches:
+			return r.stat16(o.aps.Switches, OvfAPSSwitch)
 		}
 	}
 	if o.tx != nil {

@@ -11,7 +11,7 @@ import (
 // acquisition and loss as a state machine with integration timers —
 // out-of-frame after consecutive errored framing patterns, loss-of-frame
 // after a persistence timer, loss-of-signal on a dead line, and
-// signal-degrade/fail alarms from B1/B3 parity rates. A supervisor (the
+// signal-degrade/fail alarms from measured B2 line parity rates. A supervisor (the
 // host behind the P5 OAM block, or a software Link) consumes the
 // resulting transitions.
 
@@ -28,10 +28,10 @@ const (
 	// DefLOS: loss of signal — LOSOctets consecutive zero octets (a
 	// dead line; scrambling guarantees a live line is never all-zeros).
 	DefLOS
-	// DefSD: signal degrade — B1/B3 errored-frame rate over a window
-	// crossed the degrade threshold.
+	// DefSD: signal degrade — B2 line-parity errored-frame rate over a
+	// window crossed the degrade threshold.
 	DefSD
-	// DefSF: signal fail — errored-frame rate crossed the fail
+	// DefSF: signal fail — line errored-frame rate crossed the fail
 	// threshold.
 	DefSF
 )
@@ -288,12 +288,24 @@ func (m *DefectMonitor) OctetIn(b byte) {
 	}
 }
 
-// FrameResult observes one frame-time's framing and parity verdicts and
-// returns whether the deframer should keep frame sync: false means OOF
-// is active and this frame's alignment was errored — fall back to the
-// hunt. A single errored pattern inside an otherwise good run keeps
-// sync (the in-frame hysteresis), so its payload is still delivered.
+// FrameResult is FrameResultLine for callers with a single parity
+// verdict: the one observation serves both the section and the line.
 func (m *DefectMonitor) FrameResult(alignOK, parityErr bool) (inFrame bool) {
+	return m.FrameResultLine(alignOK, parityErr, parityErr)
+}
+
+// FrameResultLine observes one frame-time's framing and parity verdicts
+// and returns whether the deframer should keep frame sync: false means
+// OOF is active and this frame's alignment was errored — fall back to
+// the hunt. A single errored pattern inside an otherwise good run keeps
+// sync (the in-frame hysteresis), so its payload is still delivered.
+//
+// sectionErr is the B1/B3 verdict (recorded for counters only);
+// lineErr is the measured B2 line parity verdict, and is what the
+// SD/SF declaration window integrates — signal degrade and signal fail
+// are line-layer defects, and they are the triggers a 1+1 APS
+// controller switches on.
+func (m *DefectMonitor) FrameResultLine(alignOK, sectionErr, lineErr bool) (inFrame bool) {
 	if alignOK {
 		m.goodRun++
 		m.badRun = 0
@@ -311,9 +323,10 @@ func (m *DefectMonitor) FrameResult(alignOK, parityErr bool) (inFrame bool) {
 	}
 
 	m.winFrm++
-	if parityErr {
+	if lineErr {
 		m.winErr++
 	}
+	_ = sectionErr // counted by the deframer; SD/SF integrate the line
 	if m.winFrm >= m.windowFrames() {
 		errs := m.winErr
 		m.winFrm, m.winErr = 0, 0

@@ -18,6 +18,11 @@ type Deframer struct {
 	// Defects supervises sync state and raises section/path alarms.
 	// NewDeframer installs a monitor with default thresholds.
 	Defects *DefectMonitor
+	// OnAPS, when set, observes every accepted K1/K2 change: a new pair
+	// is accepted only after arriving identically in apsAcceptFrames
+	// consecutive frames (the GR-253 byte-persistence filter), so a
+	// protection controller never acts on a corrupted signalling byte.
+	OnAPS func(k1, k2 byte)
 
 	buf     []byte // accumulating candidate frame
 	aligned bool
@@ -25,16 +30,35 @@ type Deframer struct {
 	scr       Scrambler
 	prevFrame []byte
 	prevPath  []byte
+	prevB2    byte // line BIP-8 computed over the previous descrambled frame
 	// first frame after alignment cannot be parity-checked (no
 	// previous frame).
 	havePrev bool
+
+	// APS byte-persistence filter state.
+	k1Cand, k2Cand byte
+	apsRun         int
+	apsK1, apsK2   byte
+	apsValid       bool
 
 	// Counters.
 	FramesOK      uint64
 	FramesErrored uint64 // delivered in-frame despite an errored A1/A2
 	B1Errors      uint64
+	B2Errors      uint64 // line BIP mismatches (drive SD/SF declaration)
 	B3Errors      uint64
 	ResyncCount   uint64
+	APSAccepts    uint64 // accepted K1/K2 changes
+}
+
+// apsAcceptFrames is the K1/K2 persistence requirement: a value must
+// repeat in this many consecutive frames before it is accepted.
+const apsAcceptFrames = 3
+
+// APSBytes returns the last accepted K1/K2 pair; ok is false until a
+// pair has passed the persistence filter.
+func (d *Deframer) APSBytes() (k1, k2 byte, ok bool) {
+	return d.apsK1, d.apsK2, d.apsValid
 }
 
 // NewDeframer returns a deframer for the given level, supervised by a
@@ -107,13 +131,19 @@ func (d *Deframer) frame(raw []byte) {
 	d.scr.Reset()
 	d.scr.Apply(frame[soh:])
 
-	// Parity checks against the previous frame.
-	parityErr := false
+	// Parity checks against the previous frame. B1/B3 watch the section
+	// and path; B2 watches the line and is what SD/SF declaration
+	// integrates, feeding the APS SF/SD switch triggers.
+	parityErr, lineErr := false, false
 	if d.havePrev {
 		wantB1 := bip8(d.prevFrame)
 		if frame[row+0] != wantB1 { // row 1, first overhead byte
 			d.B1Errors++
 			parityErr = true
+		}
+		if frame[apsRow*row] != d.prevB2 {
+			d.B2Errors++
+			lineErr = true
 		}
 		wantB3 := bip8(d.prevPath)
 		if frame[2*row+soh] != wantB3 {
@@ -124,7 +154,7 @@ func (d *Deframer) frame(raw []byte) {
 
 	inFrame := alignOK
 	if d.Defects != nil {
-		inFrame = d.Defects.FrameResult(alignOK, parityErr)
+		inFrame = d.Defects.FrameResultLine(alignOK, parityErr, lineErr)
 	}
 	if !inFrame {
 		// Out of frame: drop back to hunting from the next octet — the
@@ -135,6 +165,10 @@ func (d *Deframer) frame(raw []byte) {
 		d.hunt()
 		return
 	}
+
+	// APS signalling: K1/K2 from the line overhead, gated by the
+	// persistence filter.
+	d.observeAPS(frame[apsRow*row+1], frame[apsRow*row+2])
 
 	// Extract POH column + payload.
 	var path []byte
@@ -149,10 +183,35 @@ func (d *Deframer) frame(raw []byte) {
 	}
 	d.prevPath = path
 	d.prevFrame = append(d.prevFrame[:0], raw...)
+	d.prevB2 = bip8(frame[lineStart(d.Level):])
 	d.havePrev = true
 	if alignOK {
 		d.FramesOK++
 	} else {
 		d.FramesErrored++
+	}
+}
+
+// observeAPS runs the K1/K2 persistence filter over one frame's bytes.
+func (d *Deframer) observeAPS(k1, k2 byte) {
+	if k1 == d.k1Cand && k2 == d.k2Cand {
+		if d.apsRun < apsAcceptFrames {
+			d.apsRun++
+		}
+	} else {
+		d.k1Cand, d.k2Cand = k1, k2
+		d.apsRun = 1
+	}
+	if d.apsRun < apsAcceptFrames {
+		return
+	}
+	if d.apsValid && k1 == d.apsK1 && k2 == d.apsK2 {
+		return
+	}
+	d.apsK1, d.apsK2 = k1, k2
+	d.apsValid = true
+	d.APSAccepts++
+	if d.OnAPS != nil {
+		d.OnAPS(k1, k2)
 	}
 }

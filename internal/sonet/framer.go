@@ -12,9 +12,15 @@ type Framer struct {
 	// false) inserts inter-frame flag fill.
 	Pull func() (byte, bool)
 
+	// K1 and K2 are the APS signalling bytes carried in the line
+	// overhead (row 5 of the transport frame, next to B2). A protection
+	// controller rewrites them between frames; zero is "no request".
+	K1, K2 byte
+
 	scr       Scrambler
 	prevFrame []byte // previous scrambled frame, for B1
 	prevPath  []byte // previous payload+POH, for B3
+	prevB2    byte   // line BIP-8 of the previous frame's LOH+payload
 
 	FramesBuilt uint64
 	FillOctets  uint64
@@ -64,6 +70,13 @@ func (f *Framer) NextFrame() []byte {
 			// is sufficient for the byte-synchronous mapping.
 			frame[base] = 0x6A
 			frame[base+1] = 0x0A
+		case 4:
+			// B2: line BIP-8 over the previous frame's line overhead
+			// and payload (everything below the section overhead rows),
+			// then the K1/K2 APS signalling channel.
+			frame[base] = f.prevB2
+			frame[base+1] = f.K1
+			frame[base+2] = f.K2
 		}
 		// --- Path overhead column ---
 		var poh byte
@@ -91,6 +104,9 @@ func (f *Framer) NextFrame() []byte {
 		path = append(path, frame[base+pathStart:base+row]...)
 	}
 	f.prevPath = path
+	// B2 covers rows 4-9 (line overhead + payload) of this frame before
+	// scrambling; it is inserted into the NEXT frame.
+	f.prevB2 = bip8(frame[lineStart(f.Level):])
 
 	// Scramble everything except the first row of section overhead.
 	f.scr.Reset()

@@ -99,3 +99,12 @@ func bip8(p []byte) byte {
 	}
 	return b
 }
+
+// lineStart returns the octet offset of the line-overhead rows within a
+// transport frame: B2 parity coverage starts here (the section overhead
+// rows above are excluded, per the B2 definition).
+func lineStart(n Level) int { return 3 * colsPerSTM1 * int(n) }
+
+// apsRow is the frame row carrying B2/K1/K2 (row 5 of the standard's
+// 1-indexed layout).
+const apsRow = 4

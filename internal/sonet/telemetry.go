@@ -20,6 +20,8 @@ func (d *Deframer) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer, pre
 			func() uint64 { return d.FramesErrored }},
 		{reg.Counter(prefix+"_b1_errors_total", "Section BIP-8 parity errors."),
 			func() uint64 { return d.B1Errors }},
+		{reg.Counter(prefix+"_b2_errors_total", "Line BIP-8 parity errors (SD/SF source)."),
+			func() uint64 { return d.B2Errors }},
 		{reg.Counter(prefix+"_b3_errors_total", "Path BIP-8 parity errors."),
 			func() uint64 { return d.B3Errors }},
 		{reg.Counter(prefix+"_resyncs_total", "Frame-alignment reacquisitions."),

@@ -1,0 +1,249 @@
+package gigapos
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/aps"
+)
+
+// protectedPair wires two ProtectedLinks full duplex: both directions
+// ride a working+protect line pair, one frame per direction per tick
+// (1 tick = one 125 µs frame time, so the GR-253 50 ms switch budget
+// is 400 ticks).
+type protectedPair struct {
+	a, b *ProtectedLink
+	now  int64
+	// impair*, when set, transform the a→b frames in transit (nil
+	// passes the frame through; returning nil drops it entirely).
+	impairW, impairP func([]byte) []byte
+}
+
+func newProtectedPair(t *testing.T, pcfg ProtectionConfig) *protectedPair {
+	t.Helper()
+	cfg := LinkConfig{
+		EchoPeriod: 8, EchoMisses: 3,
+		Supervise: true, RetryMin: 8, RetryMax: 128,
+	}
+	cfg.Magic, cfg.IPAddr = 0xAAAA, [4]byte{10, 0, 0, 1}
+	a := NewProtectedLink(cfg, pcfg)
+	cfg.Magic, cfg.IPAddr = 0xBBBB, [4]byte{10, 0, 0, 2}
+	b := NewProtectedLink(cfg, pcfg)
+	p := &protectedPair{a: a, b: b}
+	a.Open()
+	a.Up()
+	b.Open()
+	b.Up()
+	return p
+}
+
+func (p *protectedPair) tick() {
+	p.now++
+	p.a.Advance(p.now)
+	p.b.Advance(p.now)
+	wa, pa := p.a.NextFrames()
+	wb, pb := p.b.NextFrames()
+	if p.impairW != nil {
+		wa = p.impairW(wa)
+	}
+	if p.impairP != nil {
+		pa = p.impairP(pa)
+	}
+	p.b.FeedWorking(wa)
+	p.b.FeedProtect(pa)
+	// b→a stays clean in these scenarios.
+	p.a.FeedWorking(wb)
+	p.a.FeedProtect(pb)
+}
+
+// zeroFrame replaces a frame with a dead line — a full-frame LOS cut.
+func zeroFrame(f []byte) []byte { return make([]byte, len(f)) }
+
+// TestProtectionHitlessFailover is the acceptance scenario: cut the
+// working line under live traffic and require (1) the APS switch
+// completes and delivery resumes within the 400-tick (50 ms) GR-253
+// budget, (2) LCP and IPCP never renegotiate — the session layer is
+// blind to the failure, (3) no delivered datagram is corrupted, and
+// (4) the revertive group returns to the working line after
+// wait-to-restore without any of the above regressing.
+func TestProtectionHitlessFailover(t *testing.T) {
+	const wtr = 100
+	p := newProtectedPair(t, ProtectionConfig{
+		APS: aps.Config{Bidirectional: true, Revertive: true, WaitToRestore: wtr},
+	})
+	a, b := p.a, p.b
+
+	for i := 0; i < 30; i++ {
+		p.tick()
+	}
+	if !a.Opened() || !b.Opened() || !a.IPReady() || !b.IPReady() {
+		t.Fatal("links did not open on the clean pair")
+	}
+
+	// Sequenced traffic a→b: one datagram per tick, payload fully
+	// deterministic so any delivered corruption is detectable.
+	var seq uint32
+	sent := map[uint32][]byte{}
+	send := func() {
+		seq++
+		pl := make([]byte, 40)
+		pl[0] = 0x45
+		pl[4], pl[5], pl[6], pl[7] = byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq)
+		for i := 8; i < len(pl); i++ {
+			pl[i] = byte(seq) ^ byte(i)*7
+		}
+		sent[seq] = pl
+		if err := a.SendIPv4(pl); err != nil {
+			t.Fatalf("send %d: %v", seq, err)
+		}
+	}
+	var delivered, corrupted int
+	var lastDeliveredAt int64
+	var maxGap int64
+	drain := func() {
+		for _, d := range b.Received() {
+			if len(d.Payload) < 8 {
+				corrupted++
+				continue
+			}
+			s := uint32(d.Payload[4])<<24 | uint32(d.Payload[5])<<16 |
+				uint32(d.Payload[6])<<8 | uint32(d.Payload[7])
+			want, ok := sent[s]
+			if !ok || !bytes.Equal(d.Payload, want) {
+				corrupted++
+				continue
+			}
+			delivered++
+			if lastDeliveredAt != 0 && p.now-lastDeliveredAt > maxGap {
+				maxGap = p.now - lastDeliveredAt
+			}
+			lastDeliveredAt = p.now
+		}
+	}
+	step := func() {
+		send()
+		p.tick()
+		drain()
+		if !b.Opened() || !b.IPReady() {
+			t.Fatalf("session dropped at tick %d: lcp-open=%v ipcp-open=%v",
+				p.now, b.Opened(), b.IPReady())
+		}
+	}
+
+	for i := 0; i < 50; i++ {
+		step()
+	}
+
+	// Cut the working line for 200 frame times.
+	failAt := p.now
+	p.impairW = zeroFrame
+	for i := 0; i < 200; i++ {
+		step()
+	}
+	if b.Active() != aps.Protect {
+		t.Fatalf("selector still on working %d ticks into the cut", p.now-failAt)
+	}
+	if b.Ctrl.ToProtect != 1 {
+		t.Errorf("ToProtect = %d, want 1", b.Ctrl.ToProtect)
+	}
+	if took := b.Ctrl.LastSwitchTook; took > 400 {
+		t.Errorf("switch took %d ticks, exceeds the 400-tick (50 ms) budget", took)
+	}
+	// The far end follows on the K1 request alone (bidirectional).
+	if a.Active() != aps.Protect {
+		t.Error("far end did not follow the switch")
+	}
+
+	// Heal, then ride out wait-to-restore: the group must revert.
+	p.impairW = nil
+	for i := 0; i < wtr+100; i++ {
+		step()
+	}
+	if b.Active() != aps.Working || a.Active() != aps.Working {
+		t.Fatalf("revertive group did not revert: a=%v b=%v", a.Active(), b.Active())
+	}
+	if b.Ctrl.Switches != 2 {
+		t.Errorf("switches = %d, want exactly 2 (out and back)", b.Ctrl.Switches)
+	}
+
+	// Hitless end to end: zero renegotiation, zero supervisor action,
+	// no corruption, and the delivery gap across BOTH selector moves
+	// stayed inside the 400-tick budget.
+	if corrupted != 0 {
+		t.Errorf("%d corrupted datagrams delivered", corrupted)
+	}
+	if maxGap > 400 {
+		t.Errorf("delivery gap %d ticks exceeds the 50 ms budget", maxGap)
+	}
+	for name, l := range map[string]*ProtectedLink{"a": a, "b": b} {
+		sup := l.Supervisor()
+		if sup.Restarts != 0 || sup.DefectOutages != 0 || sup.Recoveries != 0 {
+			t.Errorf("%s supervisor acted during protected failover: %+v", name, sup)
+		}
+	}
+	lost := int(seq) - delivered
+	t.Logf("sent=%d delivered=%d lost=%d maxGap=%d switchTook=%d standbyDiscarded=%d",
+		seq, delivered, lost, maxGap, b.Ctrl.LastSwitchTook, b.DiscardedStandbyOctets)
+	if lost > 40 {
+		t.Errorf("lost %d datagrams; the switch windows should cost far less", lost)
+	}
+	if b.DiscardedStandbyOctets == 0 {
+		t.Error("standby deframer never ran hot — switches cannot have been hitless")
+	}
+}
+
+// TestProtectionBothLinesDownFallsBack: with working AND protection
+// cut, the outage escalates past the APS layer to the self-healing
+// supervisor (PR 1 backoff path), and the session recovers after the
+// lines heal.
+func TestProtectionBothLinesDownFallsBack(t *testing.T) {
+	p := newProtectedPair(t, ProtectionConfig{
+		APS: aps.Config{Bidirectional: true, Revertive: true, WaitToRestore: 50},
+	})
+	a, b := p.a, p.b
+	for i := 0; i < 30; i++ {
+		p.tick()
+	}
+	if !b.Opened() || !b.IPReady() {
+		t.Fatal("links did not open")
+	}
+
+	p.impairW, p.impairP = zeroFrame, zeroFrame
+	for i := 0; i < 150; i++ {
+		p.tick()
+	}
+	if b.Opened() {
+		t.Fatal("session survived a dual cut — nothing to protect with")
+	}
+	sup := b.Supervisor()
+	if sup.DefectOutages != 1 {
+		t.Errorf("DefectOutages = %d, want 1", sup.DefectOutages)
+	}
+
+	p.impairW, p.impairP = nil, nil
+	heal := 0
+	for !(a.Opened() && b.Opened() && a.IPReady() && b.IPReady()) {
+		p.tick()
+		heal++
+		if heal > 400 {
+			t.Fatalf("pair did not recover within budget after dual cut")
+		}
+	}
+	if got := b.Supervisor().Recoveries; got < 1 {
+		t.Errorf("Recoveries = %d, want >= 1", got)
+	}
+	// The protected path still works after the full-outage round trip.
+	payload := []byte{0x45, 0, 0, 20, 9, 9, 9, 9}
+	if err := a.SendIPv4(payload); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		p.tick()
+		for _, d := range b.Received() {
+			if bytes.Equal(d.Payload, payload) {
+				return
+			}
+		}
+	}
+	t.Fatal("recovered pair did not deliver traffic")
+}

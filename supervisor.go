@@ -38,10 +38,16 @@ type SupervisorStats struct {
 	DefectOutages uint64
 	// LQMRestarts counts restarts triggered by a Bad quality verdict.
 	LQMRestarts uint64
-	// RetryTimes records the virtual time of every restart attempt —
-	// the exponential backoff is visible in the spacing.
+	// RetryTimes records the virtual time of the most recent restart
+	// attempts (bounded at retryTimesCap, oldest dropped first) — the
+	// exponential backoff is visible in the spacing. Restarts keeps the
+	// exact total.
 	RetryTimes []int64
 }
+
+// retryTimesCap bounds the retry-timestamp log so an endless outage in
+// a long soak cannot grow it without limit.
+const retryTimesCap = 64
 
 // supervisor is the per-link self-healing state machine.
 type supervisor struct {
@@ -189,6 +195,10 @@ func (l *Link) restartLCP(now int64) {
 		return
 	}
 	s.Restarts++
+	if len(s.RetryTimes) >= retryTimesCap {
+		n := copy(s.RetryTimes, s.RetryTimes[len(s.RetryTimes)-retryTimesCap+1:])
+		s.RetryTimes = s.RetryTimes[:n]
+	}
 	s.RetryTimes = append(s.RetryTimes, now)
 	l.trace("restart", "", now, s.backoff)
 	l.resetTransport()

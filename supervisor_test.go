@@ -186,3 +186,37 @@ func TestNotifyDefectsParksAndKicks(t *testing.T) {
 		t.Error("no recovery recorded")
 	}
 }
+
+// TestRetryTimesBounded: the retry-timestamp log is a ring — an
+// endless outage keeps only the most recent retryTimesCap entries
+// while Restarts counts the exact total.
+func TestRetryTimesBounded(t *testing.T) {
+	cfg := LinkConfig{Supervise: true, RetryMin: 8, RetryMax: 16}
+	cfg.Magic, cfg.IPAddr = 0xAAAA, [4]byte{10, 0, 0, 1}
+	l := NewLink(cfg)
+	l.Open() // Starting: restartLCP's gate accepts
+
+	const attempts = retryTimesCap + 36
+	for i := 1; i <= attempts; i++ {
+		l.restartLCP(int64(i))
+		l.lcpA.Down() // back to Starting for the next attempt
+	}
+	sup := l.Supervisor()
+	if sup.Restarts != attempts {
+		t.Fatalf("Restarts = %d, want %d", sup.Restarts, attempts)
+	}
+	if len(sup.RetryTimes) != retryTimesCap {
+		t.Fatalf("len(RetryTimes) = %d, want %d", len(sup.RetryTimes), retryTimesCap)
+	}
+	if got := sup.RetryTimes[len(sup.RetryTimes)-1]; got != attempts {
+		t.Errorf("newest entry = %d, want %d", got, attempts)
+	}
+	if got := sup.RetryTimes[0]; got != attempts-retryTimesCap+1 {
+		t.Errorf("oldest entry = %d, want %d (oldest dropped first)", got, attempts-retryTimesCap+1)
+	}
+	for i := 1; i < len(sup.RetryTimes); i++ {
+		if sup.RetryTimes[i] != sup.RetryTimes[i-1]+1 {
+			t.Fatalf("ring not contiguous at %d: %v", i, sup.RetryTimes[i-3:i+1])
+		}
+	}
+}
