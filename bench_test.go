@@ -11,7 +11,9 @@ package gigapos
 //	BenchmarkFigure6_EscapeDetect    — Fig 6, destuffing bubble collapse
 //	BenchmarkThroughput_*            — headline 2.5 Gb/s / 625 Mb/s claim
 //	BenchmarkLatency_EscapePipeline  — 4-cycle (~50 ns) pipeline fill
-//	BenchmarkAblation_*              — design-choice sweeps (DESIGN.md §7)
+//	BenchmarkAblation_*              — design-choice sweeps (DESIGN.md §9)
+//	BenchmarkEngineAggregate         — sharded line-card scale-out (E16)
+//	BenchmarkLink{Encode,Decode}Steady — zero-alloc link fast paths
 //	BenchmarkSoftStuff_*             — software mirror of 8- vs 32-bit
 //
 // Custom metrics attach the paper's quantities (LUTs, FFs, MHz, Gb/s,
@@ -490,6 +492,97 @@ func BenchmarkBaseline_GFPvsHDLC(b *testing.B) {
 			b.ReportMetric(100*float64(hdlcOctets-raw)/float64(raw), "hdlc-overhead-%")
 			b.ReportMetric(100*float64(gfpOctets-raw)/float64(raw), "gfp-overhead-%")
 		})
+	}
+}
+
+// BenchmarkEngineAggregate is the line-card scale-out measurement: 8
+// loopback pairs partitioned across 1/2/4/8 shard workers, steady-state
+// traffic in both directions. One op is one engine step (every link
+// advances once). The headline metrics are aggregate delivered frames
+// per second and line-rate Gb/s; allocs/op must be 0 in steady state.
+// Wall-clock speedup requires real cores — on a single-CPU host the
+// shards=8 case measures scheduling overhead, not scaling (see
+// EXPERIMENTS.md E16).
+func BenchmarkEngineAggregate(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("links=8/shards=%d", shards), func(b *testing.B) {
+			e := NewEngine(EngineConfig{Links: 8, Shards: shards, PayloadSize: 512, Batch: 8})
+			defer e.Close()
+			if !e.BringUp(512) {
+				b.Fatal("engine bring-up failed")
+			}
+			e.Run(32) // reach steady-state buffer capacities
+			start := e.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			e.Run(b.N)
+			b.StopTimer()
+			st := e.Stats()
+			delivered := float64(st.Datagrams - start.Datagrams)
+			line := float64(st.LineBytes - start.LineBytes)
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(delivered/secs, "frames/s")
+				b.ReportMetric(line*8/secs/1e9, "Gbps-line")
+			}
+			b.ReportMetric(delivered/float64(b.N), "frames/step")
+		})
+	}
+}
+
+// BenchmarkLinkEncodeSteady measures the steady-state transmit path of
+// one negotiated link: batch dispatch, fused single-pass CRC+stuff
+// encode, double-buffered drain. The alloc column is the point: 0 B/op.
+func BenchmarkLinkEncodeSteady(b *testing.B) {
+	a, _ := newTestPair(b, LinkConfig{}, LinkConfig{})
+	payload := make([]byte, 1500)
+	batch := make([][]byte, 8)
+	for i := range batch {
+		batch[i] = payload
+	}
+	for i := 0; i < 4; i++ { // grow buffers to steady-state capacity
+		a.SendIPv4Batch(batch)
+		a.Output()
+	}
+	b.SetBytes(int64(len(payload) * len(batch)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.SendIPv4Batch(batch); err != nil {
+			b.Fatal(err)
+		}
+		a.Output()
+	}
+}
+
+// BenchmarkLinkDecodeSteady measures the steady-state receive path:
+// tokenizer arena scan, fused destuff, DecodeBodyInto, arena copy,
+// batch drain. 0 B/op once warm.
+func BenchmarkLinkDecodeSteady(b *testing.B) {
+	a, z := newTestPair(b, LinkConfig{}, LinkConfig{})
+	payload := make([]byte, 1500)
+	batch := make([][]byte, 8)
+	for i := range batch {
+		batch[i] = payload
+	}
+	if _, err := a.SendIPv4Batch(batch); err != nil {
+		b.Fatal(err)
+	}
+	stream := append([]byte(nil), a.Output()...)
+	var rx []Datagram
+	for i := 0; i < 4; i++ { // grow buffers to steady-state capacity
+		z.Input(stream)
+		rx = z.ReceivedInto(rx[:0])
+	}
+	b.SetBytes(int64(len(stream)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Input(stream)
+		rx = z.ReceivedInto(rx[:0])
+		if len(rx) != len(batch) {
+			b.Fatalf("decoded %d datagrams, want %d", len(rx), len(batch))
+		}
 	}
 }
 

@@ -21,12 +21,20 @@
 // record and the OAM protection registers; -telemetry exposes
 // aps_switches_total and the aps_switch_duration histogram.
 //
+// With -engine N the run is the sharded software line card instead of
+// the cycle-accurate model: N loopback PPP link pairs partitioned
+// across -shards worker goroutines (default GOMAXPROCS), every
+// per-frame path allocation-free, reporting aggregate delivered
+// frames/s and line-rate Gb/s. -frames sets the measured step count
+// and -size the datagram size.
+//
 // Usage:
 //
 //	p5sim [-width 8|32] [-frames N] [-size imix|N] [-density F] [-errors F] [-v]
 //	      [-telemetry ADDR]
 //	      [-sonet] [-slip-every N] [-los-windows N] [-los-frames N] [-dup-every N]
 //	      [-protect]
+//	      [-engine N] [-shards N]
 package main
 
 import (
@@ -34,7 +42,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
+	"time"
 
 	gigapos "repro"
 	"repro/internal/aps"
@@ -71,6 +81,11 @@ type simConfig struct {
 	protectMode bool
 	cutFrames   int
 
+	// engineLinks, when nonzero, runs the sharded line-card engine with
+	// this many loopback link pairs across engineShards workers.
+	engineLinks  int
+	engineShards int
+
 	// scrape, when set, is called with the endpoint base URL while the
 	// server is up; the server is then shut down instead of lingering.
 	// Test hook — nil in normal operation.
@@ -94,6 +109,8 @@ func main() {
 	flag.StringVar(&cfg.telemetryAddr, "telemetry", "", "serve /metrics, /debug/vars, /debug/pprof/, /trace on this address after the run")
 	flag.BoolVar(&cfg.sonetMode, "sonet", false, "carry the line over an STM-1 section with fault injection")
 	flag.BoolVar(&cfg.protectMode, "protect", false, "run the 1+1 APS failover scenario (working-line cut of -los-frames frames)")
+	flag.IntVar(&cfg.engineLinks, "engine", 0, "run the sharded line-card engine with this many loopback link pairs")
+	flag.IntVar(&cfg.engineShards, "shards", 0, "engine worker goroutines (default GOMAXPROCS)")
 	slipEvery := flag.Int("slip-every", 0, "sonet: mean octets between byte slips (0 = none)")
 	losWindows := flag.Int("los-windows", 0, "sonet: number of timed line cuts")
 	losFrames := flag.Int("los-frames", 30, "sonet: length of each line cut in STM-1 frames")
@@ -118,6 +135,9 @@ func main() {
 
 // run executes one simulation per cfg, writing the report to out.
 func run(cfg simConfig, out io.Writer) error {
+	if cfg.engineLinks > 0 {
+		return runEngine(cfg, out)
+	}
 	if cfg.protectMode {
 		return runProtect(cfg, out)
 	}
@@ -176,6 +196,64 @@ func serveTelemetry(cfg simConfig, reg *telemetry.Registry, tr *telemetry.Tracer
 		return srv.Close()
 	}
 	select {} // serve until interrupted
+}
+
+// runEngine is the -engine mode: the sharded software line card. N
+// loopback PPP pairs negotiate in parallel, then run -frames engine
+// steps of steady-state bidirectional traffic; the report is the
+// aggregate delivered rate and the wire rate the pairs sustained.
+func runEngine(cfg simConfig, out io.Writer) error {
+	size := 512
+	if cfg.size != "imix" {
+		n, err := strconv.Atoi(cfg.size)
+		if err != nil || n <= 0 {
+			return usageError("bad -size: want a positive byte count")
+		}
+		size = n
+	}
+	steps := cfg.frames
+	if steps <= 0 {
+		steps = 1000
+	}
+	e := gigapos.NewEngine(gigapos.EngineConfig{
+		Links:       cfg.engineLinks,
+		Shards:      cfg.engineShards,
+		PayloadSize: size,
+		Batch:       8,
+	})
+	defer e.Close()
+	reg, tr := newTelemetry(cfg)
+	if reg != nil {
+		e.Instrument(reg, "linecard")
+	}
+
+	if !e.BringUp(1024) {
+		return fmt.Errorf("engine bring-up failed: %v", e)
+	}
+	e.Run(32) // settle buffers at steady-state capacity
+	start := e.Stats()
+	t0 := time.Now()
+	e.Run(steps)
+	elapsed := time.Since(t0)
+	st := e.Stats()
+
+	delivered := st.Datagrams - start.Datagrams
+	payload := st.PayloadBytes - start.PayloadBytes
+	line := st.LineBytes - start.LineBytes
+	secs := elapsed.Seconds()
+
+	fmt.Fprintf(out, "Sharded line-card engine (software PPP, fused CRC+stuff fast path)\n")
+	fmt.Fprintf(out, "  topology         : %d link pairs on %d shard workers (GOMAXPROCS=%d)\n",
+		st.Links, st.Shards, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(out, "  traffic          : %d steps, %d-octet datagrams, batch 8 per direction\n",
+		steps, size)
+	fmt.Fprintf(out, "  delivered        : %d datagrams, %d payload octets (rx-errors=%d)\n",
+		delivered, payload, st.RxErrors)
+	fmt.Fprintf(out, "  aggregate        : %.0f frames/s, %.3f Gb/s payload, %.3f Gb/s line\n",
+		float64(delivered)/secs, float64(payload)*8/secs/1e9, float64(line)*8/secs/1e9)
+	fmt.Fprintf(out, "  paper scale      : %.2fx the 2.488 Gb/s STM-16 line rate\n",
+		float64(line)*8/secs/1e9/2.488)
+	return serveTelemetry(cfg, reg, tr, out)
 }
 
 // runLoopback is the default pipeline: transmitter and receiver share

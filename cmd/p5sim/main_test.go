@@ -224,6 +224,49 @@ func TestProtectTelemetryScrape(t *testing.T) {
 	}
 }
 
+// TestEngineModeScrape runs the -engine line card and checks the report
+// plus the exported aggregate series.
+func TestEngineModeScrape(t *testing.T) {
+	var series map[string]float64
+	cfg := simConfig{
+		engineLinks: 4, engineShards: 2,
+		frames: 200, size: "256",
+		telemetryAddr: "127.0.0.1:0",
+		scrape: func(base string) {
+			series = seriesMap(t, base)
+		},
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if series == nil {
+		t.Fatal("scrape hook never ran")
+	}
+	for _, name := range []string{
+		`engine_datagrams_total{engine="linecard"}`,
+		`engine_payload_bytes_total{engine="linecard"}`,
+		`engine_line_bytes_total{engine="linecard"}`,
+		`engine_steps_total{engine="linecard"}`,
+		`engine_links{engine="linecard"}`,
+		`engine_shards{engine="linecard"}`,
+	} {
+		if v, ok := series[name]; !ok || v == 0 {
+			t.Errorf("series %s = %v (present=%v), want nonzero", name, v, ok)
+		}
+	}
+	report := out.String()
+	for _, want := range []string{
+		"4 link pairs on 2 shard workers",
+		"rx-errors=0",
+		"frames/s",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
 // TestRunRejectsBadFlags pins the usage-error path.
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out bytes.Buffer
@@ -234,5 +277,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run(simConfig{width: 8, frames: 1, size: "bogus"}, &out); err == nil {
 		t.Fatal("bad size accepted")
+	}
+	if err := run(simConfig{engineLinks: 2, frames: 1, size: "bogus"}, &out); err == nil {
+		t.Fatal("bad engine size accepted")
 	}
 }

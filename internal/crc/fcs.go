@@ -55,6 +55,42 @@ const (
 // Bytes returns the on-the-wire size of the FCS field in octets.
 func (s Size) Bytes() int { return int(s) }
 
+// Init returns the initial register value for streaming computation in
+// this mode, widened to 32 bits (the FCS16 register lives in the low
+// half). Thread the value through Update and finish with AppendFinish —
+// the streaming interface the fused stuff-and-CRC transmit kernel uses.
+func (s Size) Init() uint32 {
+	if s == FCS16Mode {
+		return uint32(Init16)
+	}
+	return Init32
+}
+
+// Update folds p into a streaming register started by Init.
+func (s Size) Update(fcs uint32, p []byte) uint32 {
+	if s == FCS16Mode {
+		return uint32(Slicing16(uint16(fcs), p))
+	}
+	return Slicing32(fcs, p)
+}
+
+// UpdateByte folds a single octet into a streaming register.
+func (s Size) UpdateByte(fcs uint32, b byte) uint32 {
+	if s == FCS16Mode {
+		return uint32(TableByte16(uint16(fcs), b))
+	}
+	return TableByte32(fcs, b)
+}
+
+// Finish complements a streaming register into the on-the-wire FCS
+// field value (append LSB first).
+func (s Size) Finish(fcs uint32) uint32 {
+	if s == FCS16Mode {
+		return uint32(uint16(fcs) ^ 0xFFFF)
+	}
+	return fcs ^ 0xFFFFFFFF
+}
+
 // Append appends the FCS of the selected size to p.
 func (s Size) Append(p []byte) []byte {
 	if s == FCS16Mode {

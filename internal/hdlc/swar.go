@@ -77,6 +77,29 @@ func StuffSWAR(dst, src []byte, m ACCM) []byte {
 	return Stuff(dst, src, m)
 }
 
+// EscapeSpan returns the length of the maximal prefix of src containing
+// no octet that needs escaping under map m, scanning eight lanes per
+// step. Span-at-a-time callers (the fused CRC+stuff transmit kernel)
+// alternate EscapeSpan with a single escaped octet, so every byte of
+// src is visited exactly once.
+func EscapeSpan(src []byte, m ACCM) int {
+	off := 0
+	for len(src) >= 8 {
+		x := binary.LittleEndian.Uint64(src)
+		if lanes := escLanes(x, m); lanes != 0 {
+			return off + bits.TrailingZeros64(lanes)/8
+		}
+		src = src[8:]
+		off += 8
+	}
+	for i, b := range src {
+		if m.Escaped(b) {
+			return off + i
+		}
+	}
+	return off + len(src)
+}
+
 // DestuffSWAR appends the decoded form of a stuffed sequence to dst,
 // scanning eight lanes per step for escape octets. esc threads streaming
 // state exactly as Destuff does.

@@ -16,6 +16,10 @@ var (
 // Token is one delineated, destuffed frame (or framing error) produced by
 // the Tokenizer. Body excludes the flags and has stuffing removed; the FCS
 // field is still present at the tail.
+//
+// Body aliases the Tokenizer's internal arena: it is valid until the
+// next Feed call on the same Tokenizer, which recycles the storage.
+// Consume or copy every token before feeding more stream bytes.
 type Token struct {
 	Body []byte
 	Err  error
@@ -26,6 +30,10 @@ type Token struct {
 // state across Feed calls so frames may straddle arbitrary chunk (or
 // datapath-word) boundaries — the condition that forces the 32-bit P5 to
 // handle flags in any byte lane.
+//
+// Destuffed bytes land in a single reusable arena (compacted at each
+// Feed), so the steady-state receive path allocates nothing once the
+// arena has grown to the working set.
 type Tokenizer struct {
 	// MaxFrame, when non-zero, bounds the destuffed frame size; longer
 	// frames are reported with ErrOversize and the remainder discarded
@@ -37,7 +45,8 @@ type Tokenizer struct {
 	// always silently skipped.
 	MinFrame int
 
-	buf     []byte // destuffed bytes of the in-progress frame
+	arena   []byte // destuffed bytes; the in-progress frame is arena[start:]
+	start   int    // arena offset of the in-progress frame
 	esc     bool   // escape octet pending
 	inFrame bool   // seen an opening flag
 	drop    bool   // discarding until next flag (after oversize)
@@ -50,8 +59,15 @@ type Tokenizer struct {
 }
 
 // Feed consumes raw stream octets, appending any complete frame tokens to
-// out and returning it. Feed never retains chunk.
+// out and returning it. Feed never retains chunk. Bodies of previously
+// returned tokens are invalidated: the arena is compacted (any partial
+// frame moves to the front) and recycled.
 func (t *Tokenizer) Feed(out []Token, chunk []byte) []Token {
+	if t.start > 0 {
+		n := copy(t.arena, t.arena[t.start:])
+		t.arena = t.arena[:n]
+		t.start = 0
+	}
 	for _, b := range chunk {
 		if b == Flag {
 			out = t.closeFrame(out)
@@ -67,14 +83,14 @@ func (t *Tokenizer) Feed(out []Token, chunk []byte) []Token {
 		}
 		if t.esc {
 			t.esc = false
-			t.buf = append(t.buf, b^XorBit)
+			t.arena = append(t.arena, b^XorBit)
 		} else if b == Escape {
 			t.esc = true
 			continue
 		} else {
-			t.buf = append(t.buf, b)
+			t.arena = append(t.arena, b)
 		}
-		if t.MaxFrame > 0 && len(t.buf) > t.MaxFrame {
+		if t.MaxFrame > 0 && len(t.arena)-t.start > t.MaxFrame {
 			t.drop = true
 			t.Oversize++
 		}
@@ -84,38 +100,42 @@ func (t *Tokenizer) Feed(out []Token, chunk []byte) []Token {
 
 // closeFrame handles a Flag octet: emit, skip, or report the span ended.
 func (t *Tokenizer) closeFrame(out []Token) []Token {
-	defer func() {
-		t.buf = nil
-		t.esc = false
-		t.drop = false
-		t.inFrame = true // a flag both closes and opens a frame
-	}()
-	if !t.inFrame {
+	wasEsc, wasDrop, wasIn := t.esc, t.drop, t.inFrame
+	t.esc = false
+	t.drop = false
+	t.inFrame = true // a flag both closes and opens a frame
+	if !wasIn {
 		return out
 	}
+	body := t.arena[t.start:]
 	switch {
-	case t.esc:
+	case wasEsc:
 		// Escape followed by flag: deliberate abort.
+		t.arena = t.arena[:t.start]
 		t.Aborts++
 		return append(out, Token{Err: ErrAborted})
-	case t.drop:
+	case wasDrop:
+		t.arena = t.arena[:t.start]
 		return append(out, Token{Err: ErrOversize})
-	case len(t.buf) == 0:
+	case len(body) == 0:
 		// Back-to-back flags or shared flag: no frame.
 		return out
-	case t.MinFrame > 0 && len(t.buf) < t.MinFrame:
+	case t.MinFrame > 0 && len(body) < t.MinFrame:
+		t.arena = t.arena[:t.start]
 		t.Runts++
 		return append(out, Token{Err: ErrRunt})
 	default:
 		t.Frames++
-		return append(out, Token{Body: t.buf})
+		t.start = len(t.arena)
+		return append(out, Token{Body: body})
 	}
 }
 
 // Reset returns the tokenizer to the hunting state, discarding any
-// partial frame. Counters are preserved.
+// partial frame. Counters are preserved; previously returned token
+// bodies stay valid until the next Feed.
 func (t *Tokenizer) Reset() {
-	t.buf = nil
+	t.arena = t.arena[:t.start]
 	t.esc = false
 	t.inFrame = false
 	t.drop = false

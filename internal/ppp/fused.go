@@ -1,0 +1,166 @@
+package ppp
+
+import (
+	"sync"
+
+	"repro/internal/crc"
+	"repro/internal/hdlc"
+)
+
+// This file is the allocation-free transmit fast path: a fused kernel
+// that walks the frame exactly once, folding each byte into the FCS
+// register while stuffing it onto the line — the software mirror of the
+// paper's pipelined CRC → Escape Generate transmitter stages, where the
+// CRC unit and the byte sorter see the same word in back-to-back
+// pipeline registers. The two-pass Encode (EncodeBody then
+// hdlc.Encode) is kept as the reference implementation; the fuzz target
+// FuzzFusedEncode holds the two byte-for-byte equal.
+
+// stuffFCS appends the stuffed encoding of src to dst while folding src
+// into the streaming FCS register: one traversal, escape-free spans
+// located by the SWAR scanner and copied in bulk.
+func stuffFCS(dst, src []byte, m hdlc.ACCM, s crc.Size, fcs uint32) ([]byte, uint32) {
+	for len(src) > 0 {
+		n := hdlc.EscapeSpan(src, m)
+		if n > 0 {
+			fcs = s.Update(fcs, src[:n])
+			dst = append(dst, src[:n]...)
+			src = src[n:]
+		}
+		if len(src) > 0 {
+			b := src[0]
+			fcs = s.UpdateByte(fcs, b)
+			dst = append(dst, hdlc.Escape, b^hdlc.XorBit)
+			src = src[1:]
+		}
+	}
+	return dst, fcs
+}
+
+// stuffOnly appends the stuffed encoding of src without touching the
+// FCS register (used for the FCS field itself, which is stuffed but not
+// self-covered).
+func stuffOnly(dst, src []byte, m hdlc.ACCM) []byte {
+	return hdlc.StuffSWAR(dst, src, m)
+}
+
+// AppendFramed appends one complete wire frame — flag, stuffed
+// hdr‖payload‖FCS(hdr‖payload), flag — to dst in a single pass over the
+// payload, allocating nothing beyond dst growth. hdr is the unstuffed
+// frame head (address/control/protocol octets, already compressed as
+// negotiated); the FCS of the selected size covers hdr then payload.
+// shareFlag elides the opening flag after a previous closing flag.
+func AppendFramed(dst, hdr, payload []byte, s crc.Size, m hdlc.ACCM, shareFlag bool) []byte {
+	if s == 0 {
+		s = crc.FCS32Mode
+	}
+	if !shareFlag || len(dst) == 0 || dst[len(dst)-1] != hdlc.Flag {
+		dst = append(dst, hdlc.Flag)
+	}
+	fcs := s.Init()
+	dst, fcs = stuffFCS(dst, hdr, m, s, fcs)
+	dst, fcs = stuffFCS(dst, payload, m, s, fcs)
+	var tail [4]byte
+	v := s.Finish(fcs)
+	for i := 0; i < s.Bytes(); i++ {
+		tail[i] = byte(v >> (8 * uint(i)))
+	}
+	dst = stuffOnly(dst, tail[:s.Bytes()], m)
+	return append(dst, hdlc.Flag)
+}
+
+// AppendFrame is the fused equivalent of Encode: it appends the
+// complete on-the-wire encoding of f to dst, computing the FCS and
+// stuffing in one pass over the payload, with no intermediate body
+// buffer. Output is byte-identical to Encode.
+func AppendFrame(dst []byte, f *Frame, c Config, shareFlag bool) []byte {
+	var hdr [4]byte
+	n := 0
+	if !(c.ACFC && f.Protocol != ProtoLCP) {
+		addr := f.Address
+		if addr == 0 {
+			addr = c.address()
+		}
+		ctrl := f.Control
+		if ctrl == 0 {
+			ctrl = CtrlUI
+		}
+		hdr[0], hdr[1] = addr, ctrl
+		n = 2
+	}
+	if c.PFC && f.Protocol < 0x100 && f.Protocol&1 == 1 && f.Protocol != ProtoLCP {
+		hdr[n] = byte(f.Protocol)
+		n++
+	} else {
+		hdr[n], hdr[n+1] = byte(f.Protocol>>8), byte(f.Protocol)
+		n += 2
+	}
+	return AppendFramed(dst, hdr[:n], f.Payload, c.fcs(), c.ACCM, shareFlag)
+}
+
+// DecodeBodyInto parses a destuffed frame body into *f without
+// allocating — the receive-side twin of AppendFrame. Semantics match
+// DecodeBody exactly; f.Payload aliases body.
+func DecodeBodyInto(f *Frame, body []byte, c Config) error {
+	fcsN := c.fcs().Bytes()
+	if len(body) < fcsN+1 {
+		return ErrTooShort
+	}
+	if !c.fcs().Check(body) {
+		return ErrBadFCS
+	}
+	p := body[:len(body)-fcsN]
+	// Address/control, possibly compressed away (ACFC). A compressed
+	// frame cannot begin with 0xFF: that would be ambiguous with the
+	// address octet, so 0xFF always means "uncompressed header".
+	if len(p) >= 2 && p[0] == AddrAllStations || !c.ACFC {
+		if len(p) < 2 {
+			return ErrTooShort
+		}
+		f.Address = p[0]
+		f.Control = p[1]
+		if !c.AnyAddress && f.Address != AddrAllStations && f.Address != c.address() {
+			return ErrBadAddress
+		}
+		if f.Control != CtrlUI {
+			return ErrBadControl
+		}
+		p = p[2:]
+	} else {
+		f.Address = c.address()
+		f.Control = CtrlUI
+	}
+	// Protocol field: 2 octets, or 1 if PFC and the first octet is odd
+	// (all protocol numbers have an odd low octet and even high octet,
+	// RFC 1661 §2).
+	if len(p) == 0 {
+		return ErrBadProtocol
+	}
+	if p[0]&1 == 1 {
+		if !c.PFC {
+			return ErrBadProtocol
+		}
+		f.Protocol = uint16(p[0])
+		p = p[1:]
+	} else {
+		if len(p) < 2 || p[1]&1 == 0 {
+			return ErrBadProtocol
+		}
+		f.Protocol = uint16(p[0])<<8 | uint16(p[1])
+		p = p[2:]
+	}
+	if len(p) > c.mru() {
+		return ErrTooLong
+	}
+	f.Payload = p
+	return nil
+}
+
+// bodyPool holds scratch body buffers for the two-pass Encode so legacy
+// callers stop paying a per-frame allocation once the pool is warm.
+var bodyPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, DefaultMRU+8)
+		return &b
+	},
+}

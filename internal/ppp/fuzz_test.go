@@ -1,9 +1,11 @@
 package ppp
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/crc"
+	"repro/internal/hdlc"
 )
 
 // FuzzDecodeBody must never panic on arbitrary bodies and must accept
@@ -28,6 +30,36 @@ func FuzzDecodeBody(f *testing.F) {
 		}
 		if got.Protocol != ProtoIPv4 || len(got.Payload) != len(body) {
 			t.Fatal("self-encoded frame mangled")
+		}
+	})
+}
+
+// FuzzFusedEncode differential-tests the fused single-pass CRC+stuff
+// transmit kernel (AppendFrame) against the two-pass reference
+// (EncodeBody then hdlc.Encode): every payload, framing-option
+// combination, protocol number and prior-stream state must produce
+// byte-for-byte identical wire encodings.
+func FuzzFusedEncode(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint16(ProtoIPv4), false, false, false, false, uint32(0))
+	f.Add([]byte{0x7E, 0x7D, 0x00, 0x13}, uint16(ProtoIPv4), true, true, false, true, uint32(0xFFFFFFFF))
+	f.Add([]byte{}, uint16(ProtoLCP), true, true, true, true, uint32(0xA5A5A5A5))
+	f.Add(bytes.Repeat([]byte{0x7E}, 64), uint16(0x0057), false, true, true, false, uint32(1))
+	f.Add(bytes.Repeat([]byte{0x42}, 1500), uint16(0x002D), true, false, false, false, uint32(0))
+	f.Fuzz(func(t *testing.T, payload []byte, proto uint16, pfc, acfc, fcs16, share bool, accm uint32) {
+		cfg := Config{PFC: pfc, ACFC: acfc, ACCM: hdlc.ACCM(accm)}
+		if fcs16 {
+			cfg.FCS = crc.FCS16Mode
+		}
+		fr := &Frame{Protocol: proto, Payload: payload}
+		// Exercise the shared-flag elision from both prior states: an
+		// empty stream and one ending in a closing flag.
+		for _, prior := range [][]byte{nil, {hdlc.Flag}} {
+			ref := Encode(append([]byte(nil), prior...), fr, cfg, share)
+			fused := AppendFrame(append([]byte(nil), prior...), fr, cfg, share)
+			if !bytes.Equal(ref, fused) {
+				t.Fatalf("fused kernel diverges from two-pass reference\nproto=%#04x pfc=%t acfc=%t fcs16=%t share=%t accm=%#x prior=% x\nref   = % x\nfused = % x",
+					proto, pfc, acfc, fcs16, share, accm, prior, ref, fused)
+			}
 		}
 	})
 }

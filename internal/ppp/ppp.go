@@ -150,10 +150,16 @@ func EncodeBody(dst []byte, f *Frame, c Config) []byte {
 
 // Encode appends the complete on-the-wire encoding of f — flags, stuffed
 // body, FCS — to dst. shareFlag elides the opening flag after a previous
-// closing flag.
+// closing flag. The body scratch comes from a sync.Pool, so the steady
+// state allocates nothing; AppendFrame produces identical output in one
+// fused CRC+stuff pass and is preferred on hot paths.
 func Encode(dst []byte, f *Frame, c Config, shareFlag bool) []byte {
-	body := EncodeBody(nil, f, c)
-	return hdlc.Encode(dst, body, c.ACCM, shareFlag)
+	scratch := bodyPool.Get().(*[]byte)
+	body := EncodeBody((*scratch)[:0], f, c)
+	dst = hdlc.Encode(dst, body, c.ACCM, shareFlag)
+	*scratch = body
+	bodyPool.Put(scratch)
+	return dst
 }
 
 // DecodeBody parses a destuffed frame body (as produced by the hdlc
@@ -161,58 +167,10 @@ func Encode(dst []byte, f *Frame, c Config, shareFlag bool) []byte {
 // address and MRU, and understands compressed headers when the
 // corresponding Config option is on.
 func DecodeBody(body []byte, c Config) (*Frame, error) {
-	fcsN := c.fcs().Bytes()
-	if len(body) < fcsN+1 {
-		return nil, ErrTooShort
-	}
-	if !c.fcs().Check(body) {
-		return nil, ErrBadFCS
-	}
-	p := body[:len(body)-fcsN]
 	var f Frame
-	// Address/control, possibly compressed away (ACFC). A compressed
-	// frame cannot begin with 0xFF: that would be ambiguous with the
-	// address octet, so 0xFF always means "uncompressed header".
-	if len(p) >= 2 && p[0] == AddrAllStations || !c.ACFC {
-		if len(p) < 2 {
-			return nil, ErrTooShort
-		}
-		f.Address = p[0]
-		f.Control = p[1]
-		if !c.AnyAddress && f.Address != AddrAllStations && f.Address != c.address() {
-			return nil, ErrBadAddress
-		}
-		if f.Control != CtrlUI {
-			return nil, ErrBadControl
-		}
-		p = p[2:]
-	} else {
-		f.Address = c.address()
-		f.Control = CtrlUI
+	if err := DecodeBodyInto(&f, body, c); err != nil {
+		return nil, err
 	}
-	// Protocol field: 2 octets, or 1 if PFC and the first octet is odd
-	// (all protocol numbers have an odd low octet and even high octet,
-	// RFC 1661 §2).
-	if len(p) == 0 {
-		return nil, ErrBadProtocol
-	}
-	if p[0]&1 == 1 {
-		if !c.PFC {
-			return nil, ErrBadProtocol
-		}
-		f.Protocol = uint16(p[0])
-		p = p[1:]
-	} else {
-		if len(p) < 2 || p[1]&1 == 0 {
-			return nil, ErrBadProtocol
-		}
-		f.Protocol = uint16(p[0])<<8 | uint16(p[1])
-		p = p[2:]
-	}
-	if len(p) > c.mru() {
-		return nil, ErrTooLong
-	}
-	f.Payload = p
 	return &f, nil
 }
 

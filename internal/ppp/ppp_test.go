@@ -227,3 +227,82 @@ func TestFrameString(t *testing.T) {
 		t.Errorf("String() = %q", s)
 	}
 }
+
+func TestAppendFrameMatchesEncode(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{0x00},
+		{0x7E, 0x7D, 0x03, 0x13},
+		bytes.Repeat([]byte{0x7E}, 100),
+		bytes.Repeat([]byte{0x42}, 1500),
+	}
+	for _, pfc := range []bool{false, true} {
+		for _, acfc := range []bool{false, true} {
+			for _, fcs := range []crc.Size{0, crc.FCS16Mode, crc.FCS32Mode} {
+				for _, accm := range []hdlc.ACCM{hdlc.ACCMNone, hdlc.ACCMAll} {
+					cfg := Config{PFC: pfc, ACFC: acfc, FCS: fcs, ACCM: accm}
+					for _, proto := range []uint16{ProtoIPv4, ProtoLCP, ProtoVJC, 0x0057} {
+						for _, p := range payloads {
+							fr := &Frame{Protocol: proto, Payload: p}
+							ref := Encode(nil, fr, cfg, false)
+							got := AppendFrame(nil, fr, cfg, false)
+							if !bytes.Equal(ref, got) {
+								t.Fatalf("pfc=%t acfc=%t fcs=%v accm=%#x proto=%#04x len=%d:\nref % x\ngot % x",
+									pfc, acfc, fcs, accm, proto, len(p), ref, got)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAppendFrameSharedFlag(t *testing.T) {
+	cfg := Config{ACCM: hdlc.ACCMNone}
+	fr := &Frame{Protocol: ProtoIPv4, Payload: []byte{9, 9}}
+	s := AppendFrame(nil, fr, cfg, false)
+	shared := AppendFrame(s, fr, cfg, true)
+	ref := Encode(Encode(nil, fr, cfg, false), fr, cfg, true)
+	if !bytes.Equal(shared, ref) {
+		t.Fatalf("shared-flag stream % x, want % x", shared, ref)
+	}
+}
+
+// TestFusedPathZeroAlloc pins the zero-allocation invariant of the
+// steady-state encode and decode fast paths: once dst and the frame
+// struct are warm, AppendFrame and DecodeBodyInto must not allocate.
+func TestFusedPathZeroAlloc(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x17, 0x7E, 0x42, 0x55}, 350)
+	cfg := Config{ACCM: hdlc.ACCMNone}
+	fr := Frame{Protocol: ProtoIPv4, Payload: payload}
+	dst := AppendFrame(nil, &fr, cfg, false) // size the buffer
+	if allocs := testing.AllocsPerRun(100, func() {
+		dst = AppendFrame(dst[:0], &fr, cfg, false)
+	}); allocs != 0 {
+		t.Errorf("AppendFrame: %.1f allocs/op, want 0", allocs)
+	}
+
+	var tk hdlc.Tokenizer
+	toks := tk.Feed(nil, dst)
+	if len(toks) != 1 || toks[0].Err != nil {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	body := append([]byte(nil), toks[0].Body...)
+	var out Frame
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := DecodeBodyInto(&out, body, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("DecodeBodyInto: %.1f allocs/op, want 0", allocs)
+	}
+
+	// The pooled two-pass Encode is allocation-free in the steady state
+	// as well (scratch body from the sync.Pool).
+	if allocs := testing.AllocsPerRun(100, func() {
+		dst = Encode(dst[:0], &fr, cfg, false)
+	}); allocs != 0 {
+		t.Errorf("Encode (pooled): %.1f allocs/op, want 0", allocs)
+	}
+}

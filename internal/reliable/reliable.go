@@ -104,6 +104,11 @@ type Station struct {
 	// Deliver hands a received information field up the stack. Required
 	// for data reception.
 	Deliver func([]byte)
+	// Release, when non-nil, is called with each Send payload once the
+	// station no longer references it — acknowledged, or dropped by a
+	// link reset. Callers recycling transmit buffers hook this to
+	// reclaim them; the station never touches a buffer after Release.
+	Release func([]byte)
 	// Window is the transmit window k (default DefaultWindow, max 7).
 	Window int
 	// RetransmitPeriod is the T1 timer in virtual time units
@@ -173,6 +178,17 @@ func (s *Station) Disconnect() {
 
 func (s *Station) reset() {
 	s.vs, s.vr, s.va = 0, 0, 0
+	if s.Release != nil {
+		for _, f := range s.sent {
+			if f.Payload != nil {
+				s.Release(f.Payload)
+			}
+		}
+		for _, p := range s.pending {
+			s.Release(p)
+		}
+		s.pending = nil
+	}
 	s.sent = nil
 	s.rejSent = false
 	s.retries = 0
@@ -339,6 +355,9 @@ func (s *Station) ack(nr uint8) {
 		// first is acknowledged iff it lies in [va, nr) modulo 8.
 		if !seqInRange(s.va, first, nr) {
 			break
+		}
+		if s.Release != nil && s.sent[0].Payload != nil {
+			s.Release(s.sent[0].Payload)
 		}
 		s.sent = s.sent[1:]
 		s.va = (first + 1) % Modulus

@@ -102,10 +102,26 @@ type Link struct {
 	ipcpPol *ipcp.Policy
 	ipcpA   *lcp.Automaton
 
-	out []byte // pending transmit bytes (wire format)
-	tk  hdlc.Tokenizer
+	// Transmit side: the pending wire bytes are double-buffered so
+	// Output can hand the caller a filled buffer and keep encoding into
+	// the other without clearing to nil — no per-drain allocation.
+	out      []byte // pending transmit bytes (wire format)
+	outSpare []byte // the other half of the double buffer
 
-	rx []Datagram
+	tk   hdlc.Tokenizer
+	toks []hdlc.Token // reusable token scratch for Input
+
+	// Receive side: datagram payloads are copied out of the tokenizer's
+	// recycled arena into a link-owned arena, double-buffered at drain
+	// time, so Input may be fed aggressively recycled buffers while
+	// drained datagrams stay intact.
+	rx           []Datagram
+	rxSpare      []Datagram
+	rxArena      []byte
+	rxArenaSpare []byte
+
+	ctl     []byte   // control-packet marshal scratch
+	relFree [][]byte // free list of numbered-mode information buffers
 
 	station *reliable.Station
 	monitor *lqm.Monitor
@@ -235,8 +251,9 @@ func (l *Link) rxConfig() ppp.Config {
 }
 
 func (l *Link) sendControl(proto uint16, p *lcp.Packet) {
-	f := &ppp.Frame{Protocol: proto, Payload: p.Marshal(nil)}
-	l.out = ppp.Encode(l.out, f, l.lcpTxConfig(), true)
+	l.ctl = p.Marshal(l.ctl[:0])
+	f := ppp.Frame{Protocol: proto, Payload: l.ctl}
+	l.out = ppp.AppendFrame(l.out, &f, l.lcpTxConfig(), true)
 }
 
 // Open administratively opens the link (LCP Open event).
@@ -304,7 +321,7 @@ func (l *Link) serviceEcho(now int64) {
 	m := l.cfg.Magic
 	magic[0], magic[1], magic[2], magic[3] = byte(m>>24), byte(m>>16), byte(m>>8), byte(m)
 	pkt := lcpPacket(9 /* Echo-Request */, l.echoID, magic[:])
-	l.out = ppp.Encode(l.out, &ppp.Frame{Protocol: ppp.ProtoLCP, Payload: pkt},
+	l.out = ppp.AppendFrame(l.out, &ppp.Frame{Protocol: ppp.ProtoLCP, Payload: pkt},
 		l.lcpTxConfig(), true)
 	l.echoNext = now + l.cfg.EchoPeriod
 }
@@ -336,12 +353,57 @@ func (l *Link) Send(proto uint16, payload []byte) error {
 		if !l.station.Connected() {
 			return ErrLinkDown
 		}
-		info := append([]byte{byte(proto >> 8), byte(proto)}, payload...)
+		// Information buffers come from a free list refilled by the
+		// station's Release hook when frames are acknowledged — no
+		// per-packet allocation in the steady state.
+		info := l.getInfoBuf()
+		info = append(info, byte(proto>>8), byte(proto))
+		info = append(info, payload...)
 		return l.station.Send(info)
 	}
-	f := &ppp.Frame{Protocol: proto, Payload: payload}
-	l.out = ppp.Encode(l.out, f, l.dataTxConfig(), true)
+	f := ppp.Frame{Protocol: proto, Payload: payload}
+	l.out = ppp.AppendFrame(l.out, &f, l.dataTxConfig(), true)
 	return nil
+}
+
+// getInfoBuf pops an empty scratch buffer off the numbered-mode free
+// list, growing the list when the window outruns it.
+func (l *Link) getInfoBuf() []byte {
+	if n := len(l.relFree); n > 0 {
+		b := l.relFree[n-1]
+		l.relFree = l.relFree[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// SendIPv4Batch queues a batch of IPv4 datagrams, amortising the
+// per-call dispatch — phase checks, framing-config assembly, VJ arming
+// — across the batch. It returns the number of datagrams queued; on
+// error the remainder of the batch is not attempted.
+func (l *Link) SendIPv4Batch(datagrams [][]byte) (int, error) {
+	if !l.Opened() || !l.IPReady() {
+		return 0, ErrLinkDown
+	}
+	if (l.vjTx != nil && l.VJGranted()) || l.station != nil {
+		// Compressed or numbered mode: per-datagram work dominates, go
+		// through the full path.
+		for i, d := range datagrams {
+			if err := l.SendIPv4(d); err != nil {
+				return i, err
+			}
+		}
+		return len(datagrams), nil
+	}
+	cfg := l.dataTxConfig()
+	for _, d := range datagrams {
+		if l.monitor != nil {
+			l.monitor.CountOutPacket(len(d))
+		}
+		f := ppp.Frame{Protocol: ppp.ProtoIPv4, Payload: d}
+		l.out = ppp.AppendFrame(l.out, &f, cfg, true)
+	}
+	return len(datagrams), nil
 }
 
 // SendIPv4 queues an IPv4 datagram, applying Van Jacobson header
@@ -366,9 +428,13 @@ func (l *Link) VJGranted() bool { return l.ipcpPol.VJToPeer && l.IPReady() }
 
 // Output drains the pending transmit byte stream (wire format: flags,
 // stuffing, FCS). Feed it to the peer's Input or to a PHY.
+//
+// The returned slice is one half of a double buffer: it stays intact
+// while the link encodes into the other half, and is recycled by the
+// second-following Output call. Consume (or copy) it before then.
 func (l *Link) Output() []byte {
 	o := l.out
-	l.out = nil
+	l.out, l.outSpare = l.outSpare[:0], o
 	return o
 }
 
@@ -377,15 +443,27 @@ func (l *Link) HasOutput() bool { return len(l.out) > 0 }
 
 // Input feeds received line bytes into the endpoint; complete frames
 // are decoded and dispatched (control packets drive the automatons,
-// network packets are queued for Received).
+// network packets are queued for Received). Input never retains stream,
+// and queued datagram payloads are copies — the caller may recycle the
+// buffer immediately.
 func (l *Link) Input(stream []byte) {
-	toks := l.tk.Feed(nil, stream)
-	for _, tok := range toks {
-		if tok.Err != nil {
+	l.toks = l.tk.Feed(l.toks[:0], stream)
+	for i := range l.toks {
+		if l.toks[i].Err != nil {
 			l.RxErrors++
 			continue
 		}
-		l.frame(tok.Body)
+		l.frame(l.toks[i].Body)
+	}
+}
+
+// InputBatch feeds a batch of received chunks, amortising dispatch the
+// way SendIPv4Batch does on the transmit side. Chunks may share (and
+// recycle) one underlying buffer: each is fully consumed before the
+// next is touched.
+func (l *Link) InputBatch(chunks [][]byte) {
+	for _, c := range chunks {
+		l.Input(c)
 	}
 }
 
@@ -401,8 +479,8 @@ func (l *Link) frame(body []byte) {
 		}
 		return
 	}
-	f, err := ppp.DecodeBody(body, l.rxConfig())
-	if err != nil {
+	var f ppp.Frame
+	if err := ppp.DecodeBodyInto(&f, body, l.rxConfig()); err != nil {
 		l.RxErrors++
 		if l.monitor != nil {
 			l.monitor.CountInError()
@@ -427,7 +505,7 @@ func (l *Link) frame(body []byte) {
 			}
 		}
 	case 0xC023, 0xC223: // PAP / CHAP
-		l.authFrame(f)
+		l.authFrame(&f)
 	case lqm.Proto:
 		if l.monitor != nil {
 			if q, ok := lqm.Parse(f.Payload); ok {
@@ -438,10 +516,12 @@ func (l *Link) frame(body []byte) {
 		if l.monitor != nil {
 			l.monitor.CountInPacket(len(f.Payload))
 		}
-		l.rx = append(l.rx, Datagram{Protocol: f.Protocol, Payload: f.Payload})
+		// Copy out of the tokenizer's recycled arena: the queued
+		// datagram must survive any number of further Input calls.
+		l.rx = append(l.rx, Datagram{Protocol: f.Protocol, Payload: l.copyRx(f.Payload)})
 	case ppp.ProtoVJC, ppp.ProtoVJU:
 		if l.vjRx == nil {
-			l.protocolReject(f)
+			l.protocolReject(&f)
 			return
 		}
 		typ := vj.TypeCompressed
@@ -462,15 +542,44 @@ func (l *Link) frame(body []byte) {
 		l.rx = append(l.rx, Datagram{Protocol: ppp.ProtoIPv4, Payload: pkt})
 	default:
 		// Unknown protocol: Protocol-Reject (RFC 1661 §5.7).
-		l.protocolReject(f)
+		l.protocolReject(&f)
 	}
 }
 
+// copyRx appends p to the link's receive arena and returns the stored
+// span. The arena is double-buffered at drain time, so the span outlives
+// every subsequent Input until the second-following drain.
+func (l *Link) copyRx(p []byte) []byte {
+	n := len(l.rxArena)
+	l.rxArena = append(l.rxArena, p...)
+	return l.rxArena[n : n+len(p) : n+len(p)]
+}
+
 // Received drains the queue of received network-layer datagrams.
+//
+// The returned slice and the payloads it references are one half of a
+// double buffer: they stay intact while the link keeps receiving, and
+// are recycled after the second-following drain (Received or
+// ReceivedInto). Consume or copy them before then.
 func (l *Link) Received() []Datagram {
 	r := l.rx
-	l.rx = nil
+	l.rx, l.rxSpare = l.rxSpare[:0], r
+	l.rxArena, l.rxArenaSpare = l.rxArenaSpare[:0], l.rxArena
+	if len(r) == 0 {
+		return nil
+	}
 	return r
+}
+
+// ReceivedInto appends the drained datagrams to dst and returns it —
+// the batch-drain form: callers reusing dst across drains avoid the
+// queue-header traffic of Received. Payload ownership follows the same
+// double-buffer rule as Received.
+func (l *Link) ReceivedInto(dst []Datagram) []Datagram {
+	dst = append(dst, l.rx...)
+	l.rx = l.rx[:0]
+	l.rxArena, l.rxArenaSpare = l.rxArenaSpare[:0], l.rxArena
+	return dst
 }
 
 // NegotiatedMRU returns the MRU granted to our transmit direction.

@@ -1,7 +1,6 @@
 package gigapos
 
 import (
-	"repro/internal/crc"
 	"repro/internal/hdlc"
 	"repro/internal/lqm"
 	"repro/internal/ppp"
@@ -28,7 +27,13 @@ func (l *Link) initReliable() {
 				return
 			}
 			proto := uint16(info[0])<<8 | uint16(info[1])
-			l.rx = append(l.rx, Datagram{Protocol: proto, Payload: info[2:]})
+			l.rx = append(l.rx, Datagram{Protocol: proto, Payload: l.copyRx(info[2:])})
+		},
+		// Acknowledged (or reset-dropped) information buffers return to
+		// the free list Link.Send draws from — the numbered-mode path's
+		// zero-allocation loop.
+		Release: func(buf []byte) {
+			l.relFree = append(l.relFree, buf)
 		},
 	}
 }
@@ -41,8 +46,9 @@ func (l *Link) initLQM() {
 		MaxLossPct:  l.cfg.LQMMaxLossPct,
 		GoodWindows: l.cfg.LQMGoodWindows,
 		Send: func(q *lqm.LQR) {
-			f := &ppp.Frame{Protocol: lqm.Proto, Payload: q.Marshal(nil)}
-			l.out = ppp.Encode(l.out, f, l.lcpTxConfig(), true)
+			l.ctl = q.Marshal(l.ctl[:0])
+			f := ppp.Frame{Protocol: lqm.Proto, Payload: l.ctl}
+			l.out = ppp.AppendFrame(l.out, &f, l.lcpTxConfig(), true)
 		},
 	}
 }
@@ -73,18 +79,11 @@ func (l *Link) LinkQuality() (lqm.Quality, float64) {
 
 // encodeNumbered puts a numbered-mode frame on the wire: address, the
 // I/S/U control octet, the information field, FCS — stuffed and flagged
-// like every other frame.
+// like every other frame, through the fused single-pass CRC+stuff
+// kernel.
 func (l *Link) encodeNumbered(dst []byte, f reliable.Frame) []byte {
-	body := []byte{ppp.AddrAllStations, f.Ctrl}
-	body = append(body, f.Payload...)
-	if l.cfg.fcs() == FCS16 {
-		v := crc.FCS16(body)
-		body = append(body, byte(v), byte(v>>8))
-	} else {
-		v := crc.FCS32(body)
-		body = append(body, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return hdlc.Encode(dst, body, hdlc.ACCMAll, true)
+	hdr := [2]byte{ppp.AddrAllStations, f.Ctrl}
+	return ppp.AppendFramed(dst, hdr[:], f.Payload, l.cfg.fcs(), hdlc.ACCMAll, true)
 }
 
 // decodeNumbered handles a frame whose control octet is not UI: it

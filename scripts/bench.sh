@@ -1,9 +1,12 @@
 #!/bin/sh
 # bench.sh — machine-readable benchmark trajectory:
 #   runs the BenchmarkSystem matrix (datapath width × telemetry
-#   on/off) and writes BENCH_<date>.json with ns/op, MB/s, and the
-#   custom bits/cycle metric per variant, so successive PRs can be
-#   compared without scraping test logs.
+#   on/off), the sharded line-card engine scale-out
+#   (BenchmarkEngineAggregate) and the steady-state link fast paths
+#   (BenchmarkLinkEncodeSteady / BenchmarkLinkDecodeSteady), and writes
+#   BENCH_<date>.json with ns/op, MB/s, allocs/op and the custom
+#   metrics (bits/cycle, frames/s, Gbps-line) per variant, so
+#   successive PRs can be compared without scraping test logs.
 #
 # Usage: ./scripts/bench.sh [outfile]   (or: make bench-json)
 set -eu
@@ -12,15 +15,17 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_$(date +%Y%m%d).json}"
 benchtime="${BENCHTIME:-3x}"
 
-raw=$(go test -run '^$' -bench '^BenchmarkSystem$' -benchtime "$benchtime" .)
+raw=$(go test -run '^$' \
+    -bench '^(BenchmarkSystem|BenchmarkEngineAggregate|BenchmarkLinkEncodeSteady|BenchmarkLinkDecodeSteady)$' \
+    -benchtime "$benchtime" -benchmem .)
 
 printf '%s\n' "$raw" | awk -v date="$(date +%Y-%m-%d)" -v go="$(go version | awk '{print $3}')" '
 BEGIN {
     printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, go
     n = 0
 }
-/^BenchmarkSystem\// {
-    # BenchmarkSystem/width=8bit/telemetry=false-8  5  17448822 ns/op  1.72 MB/s  7.779 bits/cycle
+/^Benchmark(System|EngineAggregate|LinkEncodeSteady|LinkDecodeSteady)/ {
+    # BenchmarkSystem/width=8bit/telemetry=false-8  5  17448822 ns/op  1.72 MB/s  7.779 bits/cycle  0 B/op  0 allocs/op
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
     if (n++) printf ","
