@@ -11,9 +11,10 @@ package gigapos
 //	BenchmarkFigure6_EscapeDetect    — Fig 6, destuffing bubble collapse
 //	BenchmarkThroughput_*            — headline 2.5 Gb/s / 625 Mb/s claim
 //	BenchmarkLatency_EscapePipeline  — 4-cycle (~50 ns) pipeline fill
-//	BenchmarkAblation_*              — design-choice sweeps (DESIGN.md §9)
+//	BenchmarkAblation_*              — design-choice sweeps (DESIGN.md §10)
 //	BenchmarkEngineAggregate         — sharded line-card scale-out (E16)
 //	BenchmarkLink{Encode,Decode}Steady — zero-alloc link fast paths
+//	BenchmarkLinkEncodeSteadyFlight  — same loop, flight recorder armed
 //	BenchmarkSoftStuff_*             — software mirror of 8- vs 32-bit
 //
 // Custom metrics attach the paper's quantities (LUTs, FFs, MHz, Gb/s,
@@ -26,6 +27,7 @@ import (
 	"testing"
 
 	"repro/internal/crc"
+	"repro/internal/flight"
 	"repro/internal/gfp"
 	"repro/internal/hdlc"
 	"repro/internal/netsim"
@@ -535,6 +537,36 @@ func BenchmarkEngineAggregate(b *testing.B) {
 // encode, double-buffered drain. The alloc column is the point: 0 B/op.
 func BenchmarkLinkEncodeSteady(b *testing.B) {
 	a, _ := newTestPair(b, LinkConfig{}, LinkConfig{})
+	payload := make([]byte, 1500)
+	batch := make([][]byte, 8)
+	for i := range batch {
+		batch[i] = payload
+	}
+	for i := 0; i < 4; i++ { // grow buffers to steady-state capacity
+		a.SendIPv4Batch(batch)
+		a.Output()
+	}
+	b.SetBytes(int64(len(payload) * len(batch)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.SendIPv4Batch(batch); err != nil {
+			b.Fatal(err)
+		}
+		a.Output()
+	}
+}
+
+// BenchmarkLinkEncodeSteadyFlight is the armed twin of
+// BenchmarkLinkEncodeSteady: the identical transmit loop with the
+// flight recorder attached, so the per-frame tagging cost is directly
+// comparable. verify.sh gates the pair — armed must stay 0 allocs/op
+// and within a few percent of the unarmed ns/op.
+func BenchmarkLinkEncodeSteadyFlight(b *testing.B) {
+	a, z := newTestPair(b, LinkConfig{}, LinkConfig{})
+	a.ArmFlight(flight.NewRecorder(nil, "bench_a", flight.Config{}))
+	z.ArmFlight(flight.NewRecorder(nil, "bench_z", flight.Config{}))
+	JoinFlight(a, z)
 	payload := make([]byte, 1500)
 	batch := make([][]byte, 8)
 	for i := range batch {

@@ -28,10 +28,18 @@
 // frames/s and line-rate Gb/s. -frames sets the measured step count
 // and -size the datagram size.
 //
+// With -flight DIR (in the -protect and -engine modes) every link is
+// armed with the always-on flight recorder: per-frame latency
+// histograms with exemplars, SLO burn-rate gauges in /metrics, the
+// error-budget board at /slo (render with p5stat -slo), and black-box
+// captures (.p5fr, decode with p5trace -capture) written to DIR on
+// every defect escalation, APS switch, FCS burst, or supervisor
+// restart.
+//
 // Usage:
 //
 //	p5sim [-width 8|32] [-frames N] [-size imix|N] [-density F] [-errors F] [-v]
-//	      [-telemetry ADDR]
+//	      [-telemetry ADDR] [-flight DIR]
 //	      [-sonet] [-slip-every N] [-los-windows N] [-los-frames N] [-dup-every N]
 //	      [-protect]
 //	      [-engine N] [-shards N]
@@ -49,6 +57,7 @@ import (
 	gigapos "repro"
 	"repro/internal/aps"
 	"repro/internal/fault"
+	"repro/internal/flight"
 	"repro/internal/netsim"
 	"repro/internal/p5"
 	"repro/internal/ppp"
@@ -72,6 +81,10 @@ type simConfig struct {
 	// telemetryAddr, when non-empty, serves the exposition endpoints
 	// after the run (":0" picks a free port).
 	telemetryAddr string
+
+	// flightDir, when non-empty, arms the flight recorder in the
+	// -protect and -engine modes and writes black-box captures there.
+	flightDir string
 
 	sonetMode bool
 	faults    fault.RandomConfig
@@ -107,6 +120,7 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 1, "workload seed")
 	flag.BoolVar(&cfg.verbose, "v", false, "print per-frame dispositions")
 	flag.StringVar(&cfg.telemetryAddr, "telemetry", "", "serve /metrics, /debug/vars, /debug/pprof/, /trace on this address after the run")
+	flag.StringVar(&cfg.flightDir, "flight", "", "arm the flight recorder (with -protect or -engine); write .p5fr captures to this directory")
 	flag.BoolVar(&cfg.sonetMode, "sonet", false, "carry the line over an STM-1 section with fault injection")
 	flag.BoolVar(&cfg.protectMode, "protect", false, "run the 1+1 APS failover scenario (working-line cut of -los-frames frames)")
 	flag.IntVar(&cfg.engineLinks, "engine", 0, "run the sharded line-card engine with this many loopback link pairs")
@@ -174,11 +188,12 @@ func newTelemetry(cfg simConfig) (*telemetry.Registry, *telemetry.Tracer) {
 	return telemetry.NewRegistry(), telemetry.NewTracer(4096)
 }
 
-// serveTelemetry starts the exposition endpoint after a run. With a
-// scrape hook the server lives only for the hook call; otherwise it
-// lingers until the process is killed so the operator can attach
-// p5stat, curl /metrics, or pull a profile.
-func serveTelemetry(cfg simConfig, reg *telemetry.Registry, tr *telemetry.Tracer, out io.Writer) error {
+// serveTelemetry starts the exposition endpoint after a run, mounting
+// the flight board at /slo when one exists. With a scrape hook the
+// server lives only for the hook call; otherwise it lingers until the
+// process is killed so the operator can attach p5stat, curl /metrics,
+// or pull a profile.
+func serveTelemetry(cfg simConfig, reg *telemetry.Registry, tr *telemetry.Tracer, board *flight.Board, out io.Writer) error {
 	if reg == nil {
 		return nil
 	}
@@ -186,16 +201,47 @@ func serveTelemetry(cfg simConfig, reg *telemetry.Registry, tr *telemetry.Tracer
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
-	srv, err := telemetry.Serve(addr, reg, tr, "p5sim")
+	telemetry.Publish(reg, "p5sim")
+	mux := telemetry.Mux(reg, tr)
+	endpoints := "/debug/vars /debug/pprof/ /trace"
+	if board != nil {
+		mux.Handle("/slo", board.Handler())
+		endpoints += " /slo"
+	}
+	srv, err := telemetry.ServeHandler(addr, mux)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "  telemetry        : http://%s/metrics (/debug/vars /debug/pprof/ /trace)\n", srv.Addr)
+	fmt.Fprintf(out, "  telemetry        : http://%s/metrics (%s)\n", srv.Addr, endpoints)
 	if cfg.scrape != nil {
 		cfg.scrape("http://" + srv.Addr)
 		return srv.Close()
 	}
 	select {} // serve until interrupted
+}
+
+// flightSummary renders the one-line flight report: aggregate frames
+// tracked/lost, captures dumped, and the worst SLO burn across the
+// board.
+func flightSummary(out io.Writer, board *flight.Board, dir string) {
+	doc := board.Snapshot()
+	var tracked, lost, captures uint64
+	exemplars := 0
+	for _, l := range doc.Links {
+		tracked += l.Tracked
+		lost += l.Lost
+		captures += l.Captures
+		exemplars += len(l.Exemplars)
+	}
+	worst, alarm := 0.0, false
+	for _, s := range doc.SLOs {
+		if s.WorstBurn > worst {
+			worst = s.WorstBurn
+		}
+		alarm = alarm || s.Alarm
+	}
+	fmt.Fprintf(out, "  flight           : tracked=%d lost=%d captures=%d exemplars=%d worst-burn=%.2f alarm=%v dir=%s\n",
+		tracked, lost, captures, exemplars, worst, alarm, dir)
 }
 
 // runEngine is the -engine mode: the sharded software line card. N
@@ -226,6 +272,10 @@ func runEngine(cfg simConfig, out io.Writer) error {
 	if reg != nil {
 		e.Instrument(reg, "linecard")
 	}
+	var board *flight.Board
+	if cfg.flightDir != "" {
+		board = e.ArmFlight(reg, flight.Config{Dir: cfg.flightDir})
+	}
 
 	if !e.BringUp(1024) {
 		return fmt.Errorf("engine bring-up failed: %v", e)
@@ -253,7 +303,10 @@ func runEngine(cfg simConfig, out io.Writer) error {
 		float64(delivered)/secs, float64(payload)*8/secs/1e9, float64(line)*8/secs/1e9)
 	fmt.Fprintf(out, "  paper scale      : %.2fx the 2.488 Gb/s STM-16 line rate\n",
 		float64(line)*8/secs/1e9/2.488)
-	return serveTelemetry(cfg, reg, tr, out)
+	if board != nil {
+		flightSummary(out, board, cfg.flightDir)
+	}
+	return serveTelemetry(cfg, reg, tr, board, out)
 }
 
 // runLoopback is the default pipeline: transmitter and receiver share
@@ -329,7 +382,7 @@ func runLoopback(cfg simConfig, out io.Writer) error {
 		sys.OAM.Read(p5.RegRxRunts))
 	fmt.Fprintf(out, "  OAM interrupts   : stat=%#x causes=[%s]\n",
 		sys.OAM.Read(p5.RegIntStat), causeNames(sys.OAM.Read(p5.RegIntStat)))
-	return serveTelemetry(cfg, reg, tr, out)
+	return serveTelemetry(cfg, reg, tr, nil, out)
 }
 
 // causeNames decodes an interrupt status word into its mnemonics.
@@ -479,7 +532,7 @@ func runSONET(cfg simConfig, out io.Writer) error {
 		oam.Read(p5.RegRxFCSErr), oam.Read(p5.RegRxAborts), oam.Read(p5.RegRxRunts))
 	fmt.Fprintf(out, "  OAM interrupts   : stat=%#x irq=%v causes=[%s]\n",
 		oam.Read(p5.RegIntStat), regs.IRQ(), causeNames(oam.Read(p5.RegIntStat)))
-	return serveTelemetry(cfg, reg, tr, out)
+	return serveTelemetry(cfg, reg, tr, nil, out)
 }
 
 // runProtect is the -protect scenario: two supervised PPP endpoints on
@@ -516,7 +569,27 @@ func runProtect(cfg simConfig, out io.Writer) error {
 	}
 	oam := &p5.OAM{Regs: p5.NewRegs()}
 	oam.AttachAPS(b.Ctrl)
-	oam.Write(p5.RegIntMask, p5.IntAPSSwitch)
+	oam.Write(p5.RegIntMask, p5.IntAPSSwitch|p5.IntFlightDump|p5.IntSLOBurn)
+
+	// Flight recorder: arm both endpoints so a→b latency resolves, put
+	// the SLO on the receiving side, and expose dumps through the OAM
+	// interrupt causes. Armed before traffic, as the recorder requires.
+	var board *flight.Board
+	var recA, recB *flight.Recorder
+	if cfg.flightDir != "" {
+		fcfg := flight.Config{Dir: cfg.flightDir}
+		recA = flight.NewRecorder(reg, "prot_a", fcfg)
+		recB = flight.NewRecorder(reg, "prot_b", fcfg)
+		a.ArmFlight(recA)
+		b.ArmFlight(recB)
+		gigapos.JoinFlight(a.Link, b.Link)
+		slo := b.FlightSLO(reg, "prot", flight.SLOConfig{})
+		oam.AttachFlight(recB, slo)
+		board = flight.NewBoard()
+		board.Attach(recA)
+		board.Attach(recB)
+		board.AttachSLO(slo)
+	}
 
 	// The scripted per-line scenario: only the a→b working line is cut.
 	var wScript, pScript fault.Script
@@ -590,5 +663,11 @@ func runProtect(cfg simConfig, out io.Writer) error {
 		oam.Read(p5.RegAPSTx), oam.Read(p5.RegAPSSwitches))
 	fmt.Fprintf(out, "  OAM interrupts   : stat=%#x irq=%v causes=[%s]\n",
 		oam.Read(p5.RegIntStat), oam.Regs.IRQ(), causeNames(oam.Read(p5.RegIntStat)))
-	return serveTelemetry(cfg, reg, tr, out)
+	if board != nil {
+		fmt.Fprintf(out, "  flight captures  : aps-switch=%d total=%d (p99 %d ticks a→b); OAM RegFlightCtrl=%d\n",
+			recB.CapturesFor("aps-switch"), recB.Captures(), recA.P99(),
+			oam.Read(p5.RegFlightCtrl))
+		flightSummary(out, board, cfg.flightDir)
+	}
+	return serveTelemetry(cfg, reg, tr, board, out)
 }

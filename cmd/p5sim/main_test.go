@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/flight"
 	"repro/internal/sonet"
 	"repro/internal/telemetry"
 )
@@ -224,16 +226,109 @@ func TestProtectTelemetryScrape(t *testing.T) {
 	}
 }
 
+// TestProtectFlightScrape re-runs the failover scenario with the
+// flight recorder armed: the APS switch must dump exactly one capture
+// per selector movement (decodable from disk), the SLO burn gauges and
+// latency histograms must appear in /metrics, and /slo must serve the
+// error-budget board.
+func TestProtectFlightScrape(t *testing.T) {
+	dir := t.TempDir()
+	var series map[string]float64
+	var board flight.BoardJSON
+	cfg := simConfig{
+		protectMode: true, cutFrames: 30,
+		telemetryAddr: "127.0.0.1:0",
+		flightDir:     dir,
+		scrape: func(base string) {
+			series = seriesMap(t, base)
+			code, body := scrapeGet(t, base, "/slo")
+			if code != http.StatusOK {
+				t.Fatalf("/slo status %d", code)
+			}
+			var err error
+			board, err = flight.ReadBoard(bytes.NewReader(body))
+			if err != nil {
+				t.Fatalf("decode /slo: %v", err)
+			}
+		},
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if series == nil {
+		t.Fatal("scrape hook never ran")
+	}
+	for _, name := range []string{
+		`flight_frames_tracked_total{link="prot_a"}`,
+		`flight_e2e_latency_ticks_count{link="prot_a"}`,
+		`slo_worst_burn_rate{slo="prot"}`,
+		`slo_error_budget_remaining{slo="prot"}`,
+		`flight_captures_total{link="prot_b"}`,
+	} {
+		if _, ok := series[name]; !ok {
+			t.Errorf("series %s missing from /metrics", name)
+		}
+	}
+	if got := series[`flight_captures_total{link="prot_b"}`]; got != 2 {
+		t.Errorf("captures = %v, want 2 (failover + revert)", got)
+	}
+	var slos, links int
+	for _, s := range board.SLOs {
+		if s.Name == "prot" {
+			slos++
+		}
+	}
+	for _, l := range board.Links {
+		if l.Link == "prot_a" && l.Tracked > 0 {
+			links++
+		}
+	}
+	if slos != 1 || links != 1 {
+		t.Errorf("/slo board missing entries: slos=%d links=%d\n%+v", slos, links, board)
+	}
+	// Both ends dump on each selector movement; check the receiving
+	// side's two files decode back losslessly.
+	files, err := filepath.Glob(filepath.Join(dir, "prot_b-*.p5fr"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("prot_b capture files = %v (err=%v), want 2", files, err)
+	}
+	for _, f := range files {
+		c, err := flight.ReadFile(f)
+		if err != nil {
+			t.Errorf("decode %s: %v", f, err)
+			continue
+		}
+		if c.Reason != "aps-switch" || len(c.Events) == 0 {
+			t.Errorf("%s: reason=%q events=%d, want aps-switch with events", f, c.Reason, len(c.Events))
+		}
+	}
+	if !strings.Contains(out.String(), "flight captures  : aps-switch=2") {
+		t.Errorf("report missing the flight capture line:\n%s", out.String())
+	}
+}
+
 // TestEngineModeScrape runs the -engine line card and checks the report
 // plus the exported aggregate series.
 func TestEngineModeScrape(t *testing.T) {
 	var series map[string]float64
+	var board flight.BoardJSON
 	cfg := simConfig{
 		engineLinks: 4, engineShards: 2,
 		frames: 200, size: "256",
 		telemetryAddr: "127.0.0.1:0",
+		flightDir:     t.TempDir(),
 		scrape: func(base string) {
 			series = seriesMap(t, base)
+			code, body := scrapeGet(t, base, "/slo")
+			if code != http.StatusOK {
+				t.Fatalf("/slo status %d", code)
+			}
+			var err error
+			board, err = flight.ReadBoard(bytes.NewReader(body))
+			if err != nil {
+				t.Fatalf("decode /slo: %v", err)
+			}
 		},
 	}
 	var out bytes.Buffer
@@ -250,9 +345,22 @@ func TestEngineModeScrape(t *testing.T) {
 		`engine_steps_total{engine="linecard"}`,
 		`engine_links{engine="linecard"}`,
 		`engine_shards{engine="linecard"}`,
+		`flight_frames_tracked_total{link="port0_a"}`,
 	} {
 		if v, ok := series[name]; !ok || v == 0 {
 			t.Errorf("series %s = %v (present=%v), want nonzero", name, v, ok)
+		}
+	}
+	// The burn gauge is present and zero on a clean run.
+	if v, ok := series[`slo_worst_burn_rate{slo="port0"}`]; !ok || v != 0 {
+		t.Errorf(`slo_worst_burn_rate{slo="port0"} = %v (present=%v), want 0`, v, ok)
+	}
+	if len(board.SLOs) != 4 || len(board.Links) != 8 {
+		t.Errorf("/slo board: %d slos %d links, want 4/8", len(board.SLOs), len(board.Links))
+	}
+	for _, l := range board.Links {
+		if l.Lost != 0 {
+			t.Errorf("clean engine run lost %d frames on %s", l.Lost, l.Link)
 		}
 	}
 	report := out.String()

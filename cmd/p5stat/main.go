@@ -11,11 +11,15 @@
 // than lifetime totals. With -events the structured trace at /trace is
 // dumped after the tables; -replay FILE formats a saved JSON trace
 // (the /trace or telemetry.WriteJSON format) without attaching to
-// anything.
+// anything. With -slo the error-budget board at /slo is rendered after
+// the tables (burn rates, budget remaining, alarms, per-link loss);
+// -exemplars adds each link's latency exemplars — bucket upper bound,
+// frame id, and the tick it was observed — so a p99 outlier resolves
+// to a concrete frame.
 //
 // Usage:
 //
-//	p5stat [-url http://127.0.0.1:8080] [-interval 2s] [-n 5] [-events]
+//	p5stat [-url http://127.0.0.1:8080] [-interval 2s] [-n 5] [-events] [-slo] [-exemplars]
 //	p5stat -replay trace.json
 package main
 
@@ -23,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -30,6 +35,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/telemetry"
 )
 
@@ -38,16 +44,18 @@ func main() {
 	interval := flag.Duration("interval", 0, "rescrape period (0 = one snapshot report)")
 	count := flag.Int("n", 0, "stop after this many interval reports (0 = run until killed)")
 	events := flag.Bool("events", false, "dump the structured event trace from /trace after the report")
+	slo := flag.Bool("slo", false, "render the error-budget board from /slo after the report")
+	exemplars := flag.Bool("exemplars", false, "with the /slo board, list each link's latency exemplars")
 	replay := flag.String("replay", "", "format events from a saved JSON trace file instead of attaching")
 	flag.Parse()
 
-	if err := run(os.Stdout, *url, *interval, *count, *events, *replay); err != nil {
+	if err := run(os.Stdout, *url, *interval, *count, *events, *slo, *exemplars, *replay); err != nil {
 		fmt.Fprintln(os.Stderr, "p5stat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, url string, interval time.Duration, count int, events bool, replay string) error {
+func run(w io.Writer, url string, interval time.Duration, count int, events, slo, exemplars bool, replay string) error {
 	if replay != "" {
 		f, err := os.Open(replay)
 		if err != nil {
@@ -66,12 +74,20 @@ func run(w io.Writer, url string, interval time.Duration, count int, events bool
 	if err != nil {
 		return err
 	}
-	if interval <= 0 {
-		report(w, cur, nil, 0)
+	trailers := func() error {
 		if events {
-			return dumpTrace(w, url)
+			if err := dumpTrace(w, url); err != nil {
+				return err
+			}
+		}
+		if slo || exemplars {
+			return dumpSLO(w, url, exemplars)
 		}
 		return nil
+	}
+	if interval <= 0 {
+		report(w, cur, nil, 0)
+		return trailers()
 	}
 	for i := 0; count == 0 || i < count; i++ {
 		time.Sleep(interval)
@@ -82,10 +98,71 @@ func run(w io.Writer, url string, interval time.Duration, count int, events bool
 		fmt.Fprintf(w, "--- window %s ---\n", interval)
 		report(w, cur, prev, interval.Seconds())
 	}
-	if events {
-		return dumpTrace(w, url)
+	return trailers()
+}
+
+// dumpSLO renders the /slo error-budget board: per-objective burn
+// rates and, with exemplars, the concrete frames behind the latency
+// histogram's slow buckets.
+func dumpSLO(w io.Writer, base string, exemplars bool) error {
+	resp, err := http.Get(base + "/slo")
+	if err != nil {
+		return err
 	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/slo: HTTP %d", resp.StatusCode)
+	}
+	doc, err := flight.ReadBoard(resp.Body)
+	if err != nil {
+		return err
+	}
+	writeBoard(w, doc, exemplars)
 	return nil
+}
+
+func writeBoard(w io.Writer, doc flight.BoardJSON, exemplars bool) {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	if len(doc.SLOs) > 0 {
+		fmt.Fprintln(w, "slo board:")
+		fmt.Fprintln(tw, "\tslo\tloss burn\tp99 burn\tfailover burn\tworst\tbudget left\tp99 ticks\talarm\t")
+		for _, s := range doc.SLOs {
+			alarm := "-"
+			if s.Alarm {
+				alarm = "ALARM"
+			}
+			fmt.Fprintf(tw, "\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f%%\t%d\t%s\t\n",
+				s.Name, s.LossBurn, s.P99Burn, s.FailoverBurn, s.WorstBurn,
+				100*s.BudgetRemaining, s.P99Ticks, alarm)
+		}
+		tw.Flush()
+	}
+	if len(doc.Links) > 0 {
+		fmt.Fprintln(tw, "\tlink\ttracked\tlost\tin flight\tp99 ticks\tcaptures\t")
+		for _, l := range doc.Links {
+			fmt.Fprintf(tw, "\t%s\t%d\t%d\t%d\t%d\t%d\t\n",
+				l.Link, l.Tracked, l.Lost, l.InFlight, l.P99Ticks, l.Captures)
+		}
+		tw.Flush()
+	}
+	if !exemplars {
+		return
+	}
+	for _, l := range doc.Links {
+		if len(l.Exemplars) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "exemplars %s:\n", l.Link)
+		fmt.Fprintln(tw, "\tbucket ≤\tlatency\tframe id\tat tick\t")
+		for _, ex := range l.Exemplars {
+			le := fmt.Sprintf("%d", ex.LE)
+			if ex.LE == math.MaxInt64 {
+				le = "+Inf"
+			}
+			fmt.Fprintf(tw, "\t%s\t%d\t%d\t%d\t\n", le, ex.Value, ex.ID, ex.At)
+		}
+		tw.Flush()
+	}
 }
 
 // scrape fetches and parses one Prometheus exposition.

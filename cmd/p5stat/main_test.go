@@ -44,15 +44,59 @@ func fixtureServer(t *testing.T) (*httptest.Server, *telemetry.Registry) {
 		advance()
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) { tr.WriteJSON(w) })
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write([]byte(`{
+		 "slos": [{"name": "port0", "window_ticks": 2048, "loss_target": 0.001,
+		  "p99_budget_ticks": 8, "failover_budget_ticks": 400,
+		  "loss_burn": 5.25, "p99_burn": 0.5, "failover_burn": 0,
+		  "worst_burn": 5.25, "budget_remaining": 0.4, "p99_ticks": 4, "alarm": true}],
+		 "links": [{"link": "port0_a", "tracked": 900, "lost": 3, "in_flight": 2,
+		  "p99_ticks": 4, "captures": 1,
+		  "exemplars": [{"le": 4, "id": 117, "value": 3, "at": 5000, "seq": 116},
+		   {"le": 9223372036854775807, "id": 903, "value": 700, "at": 9000, "seq": 902}]}]}`))
+	})
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return srv, reg
 }
 
+func TestSLOBoardReport(t *testing.T) {
+	srv, _ := fixtureServer(t)
+	var out bytes.Buffer
+	if err := run(&out, srv.URL, 0, 0, false, true, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"slo board:",
+		"port0", "5.25", "40.0%", "ALARM", // burn, budget remaining, alarm flag
+		"port0_a", "900", // link row: tracked
+		"exemplars port0_a:",
+		"117",  // resolvable frame id
+		"+Inf", // overflow bucket rendered symbolically
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("slo report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSLOWithoutExemplarsOmitsThem(t *testing.T) {
+	srv, _ := fixtureServer(t)
+	var out bytes.Buffer
+	if err := run(&out, srv.URL, 0, 0, false, true, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "exemplars ") {
+		t.Errorf("-slo alone leaked exemplar rows:\n%s", out.String())
+	}
+}
+
 func TestSnapshotReport(t *testing.T) {
 	srv, _ := fixtureServer(t)
 	var out bytes.Buffer
-	if err := run(&out, srv.URL, 0, 0, true, ""); err != nil {
+	if err := run(&out, srv.URL, 0, 0, true, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -72,7 +116,7 @@ func TestSnapshotReport(t *testing.T) {
 func TestIntervalDeltaReport(t *testing.T) {
 	srv, _ := fixtureServer(t)
 	var out bytes.Buffer
-	if err := run(&out, srv.URL, time.Millisecond, 2, false, ""); err != nil {
+	if err := run(&out, srv.URL, time.Millisecond, 2, false, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -102,7 +146,7 @@ func TestReplayTraceFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run(&out, "", 0, 0, false, path); err != nil {
+	if err := run(&out, "", 0, 0, false, false, false, path); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()

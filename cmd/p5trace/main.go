@@ -6,9 +6,13 @@
 // Usage:
 //
 //	p5trace [-fig 5|6] [-cycles N] [-vcd file.vcd]
+//	p5trace -capture FILE [-fcs 16|32]
 //
 // With -vcd, a Value Change Dump of the traced signals is also written,
-// viewable in GTKWave.
+// viewable in GTKWave. With -capture, a flight-recorder black-box dump
+// (.p5fr) is decoded instead: trigger metadata, register snapshot,
+// trace events, and the captured wire streams re-tokenized into
+// annotated HDLC frames.
 package main
 
 import (
@@ -46,7 +50,17 @@ func main() {
 	fig := flag.Int("fig", 5, "figure to trace (5 = escape generate, 6 = escape detect)")
 	cycles := flag.Int("cycles", 16, "cycles to trace")
 	vcdPath := flag.String("vcd", "", "also write a Value Change Dump to this file")
+	capture := flag.String("capture", "", "decode a flight-recorder capture file (.p5fr) and exit")
+	fcsBits := flag.Int("fcs", 32, "FCS mode used when re-framing captured wire bytes (16 or 32)")
 	flag.Parse()
+
+	if *capture != "" {
+		if err := dumpCapture(os.Stdout, *capture, *fcsBits); err != nil {
+			fmt.Fprintln(os.Stderr, "p5trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var vcd *rtl.VCD
 	if *vcdPath != "" {

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/flight"
+	"repro/internal/ppp"
+	"repro/internal/telemetry"
+)
+
+func TestDumpCaptureAnnotatesFrames(t *testing.T) {
+	// Build a wire stream of two clean PPP frames, wrap it in a capture
+	// file, and check the decoder re-frames and annotates both.
+	var cfg ppp.Config
+	wire := ppp.AppendFrame(nil, &ppp.Frame{
+		Protocol: ppp.ProtoIPv4, Payload: []byte{0x45, 0, 0, 4, 0xDE, 0xAD, 0xBE, 0xEF, 1, 2},
+	}, cfg, false)
+	wire = ppp.AppendFrame(wire, &ppp.Frame{
+		Protocol: ppp.ProtoLCP, Payload: []byte{1, 1, 0, 4},
+	}, cfg, false)
+
+	c := &flight.Capture{
+		Link: "a", Reason: "fcs-burst", Seq: 3, Now: 1234, WallNs: 42,
+		RxBase: 100, RxWire: wire,
+		Events: []telemetry.Event{{Seq: 1, At: 1200, Scope: "flight:a", Name: "fcs-burst", V1: 8, V2: 128}},
+		Regs:   []flight.RegSample{{Name: "rx_frames", Value: 7}},
+	}
+	dir := t.TempDir()
+	if err := c.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, c.Filename())
+
+	var out bytes.Buffer
+	if err := dumpCapture(&out, path, 32); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"link=a reason=fcs-burst seq=3 now=1234",
+		"rx_frames",
+		"fcs-burst",
+		"rx wire: ", "stream offset 100",
+		"proto=IPv4 payload=10",
+		"proto=LCP payload=4",
+		"tx wire: empty",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDumpCaptureAnnotatesDamage(t *testing.T) {
+	// A truncated ring start and a corrupted FCS must be annotated, not
+	// dropped silently.
+	var cfg ppp.Config
+	wire := ppp.AppendFrame(nil, &ppp.Frame{Protocol: ppp.ProtoIPv4, Payload: []byte{1, 2, 3, 4}}, cfg, false)
+	bad := ppp.AppendFrame(nil, &ppp.Frame{Protocol: ppp.ProtoIPv4, Payload: []byte{5, 6, 7, 8}}, cfg, false)
+	bad[5] ^= 0xFF // damage inside the body: FCS check fails
+	// Start mid-frame: drop the opening flag and first body octets.
+	stream := append(append(wire[4:], bad...), 0x7E)
+
+	c := &flight.Capture{Link: "z", Reason: "oam", RxWire: stream}
+	dir := t.TempDir()
+	if err := c.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, c.Filename())
+	var out bytes.Buffer
+	if err := dumpCapture(&out, path, 32); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "damaged:") && !strings.Contains(got, "undecodable:") {
+		t.Errorf("damage not annotated:\n%s", got)
+	}
+}
+
+func TestDumpCaptureRejectsGarbage(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "junk.p5fr")
+	if err := writeTestFile(p, []byte("not a capture")); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := dumpCapture(&out, p, 32); err == nil {
+		t.Fatal("garbage file decoded without error")
+	}
+}
+
+func writeTestFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,369 @@
+package flight
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// SLOConfig sets the service-level objectives a link is held to. The
+// zero value gives the repo's defaults: loss ≤ 1e-3, p99 end-to-end
+// latency ≤ 8 ticks (1 ms at 125 µs/tick), failover ≤ 400 ticks (the
+// GR-253 50 ms protection budget).
+type SLOConfig struct {
+	// Window is the rolling evaluation window in virtual ticks
+	// (default 2048). Burn rates are computed over the trailing
+	// window with Window/8 granularity.
+	Window int64
+	// FrameLossTarget is the objective's maximum frame-loss ratio
+	// (default 1e-3).
+	FrameLossTarget float64
+	// P99BudgetTicks is the end-to-end p99 latency budget (default 8).
+	P99BudgetTicks int64
+	// FailoverBudgetTicks is the protection-switch duration budget
+	// (default 400 ticks = 50 ms).
+	FailoverBudgetTicks int64
+	// AlarmBurn is the worst-objective burn rate at which the SLO
+	// alarms (default 4; clears below half that, for hysteresis).
+	AlarmBurn float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Window <= 0 {
+		c.Window = 2048
+	}
+	if c.FrameLossTarget <= 0 {
+		c.FrameLossTarget = 1e-3
+	}
+	if c.P99BudgetTicks <= 0 {
+		c.P99BudgetTicks = 8
+	}
+	if c.FailoverBudgetTicks <= 0 {
+		c.FailoverBudgetTicks = 400
+	}
+	if c.AlarmBurn <= 0 {
+		c.AlarmBurn = 4
+	}
+	return c
+}
+
+// Sources supply the cumulative series an SLO evaluates. All funcs
+// must be safe to call from the sampling goroutine; nil funcs read as
+// zero.
+type Sources struct {
+	// Frames is the cumulative count of frames the objective covers
+	// (delivered + lost).
+	Frames func() uint64
+	// Errors is the cumulative count of lost or errored frames.
+	Errors func() uint64
+	// P99 is the current end-to-end p99 latency in ticks.
+	P99 func() int64
+	// Failover is the most recent protection-switch duration in
+	// ticks (0 = no switch yet).
+	Failover func() int64
+}
+
+type sloPoint struct {
+	at             int64
+	frames, errors uint64
+}
+
+// SLO evaluates rolling error budgets and burn rates for one link.
+// Sample is called from the link's service loop; the published values
+// are atomic and may be read (or scraped) from anywhere. A burn rate
+// of 1.0 means the objective is being consumed exactly at target; 4x
+// sustained exhausts a budget 4x early and raises the alarm.
+type SLO struct {
+	name string
+	cfg  SLOConfig
+	src  Sources
+
+	// rolling checkpoints, Window/8 apart, oldest first
+	points []sloPoint
+
+	lossBurnM atomic.Int64 // milli-units
+	p99BurnM  atomic.Int64
+	failBurnM atomic.Int64
+	worstM    atomic.Int64
+	budgetM   atomic.Int64 // remaining lifetime error budget, 0..1000
+	p99Ticks  atomic.Int64
+	failTicks atomic.Int64
+	alarmed   atomic.Bool
+
+	// OnAlarm, when set, fires once on each rising alarm edge with the
+	// worst-burning objective's name. Set before sampling starts.
+	OnAlarm func(objective string)
+}
+
+// NewSLO builds an evaluator named for its link and registers its
+// gauges (slo_* family, labelled slo=name) in reg; reg may be nil.
+func NewSLO(reg *telemetry.Registry, name string, cfg SLOConfig, src Sources) *SLO {
+	s := &SLO{name: name, cfg: cfg.withDefaults(), src: src}
+	s.budgetM.Store(1000)
+	if reg != nil {
+		lk := telemetry.L("slo", name)
+		milli := func(v *atomic.Int64) func() float64 {
+			return func() float64 { return float64(v.Load()) / 1000 }
+		}
+		reg.GaugeFunc("slo_burn_rate", "rolling error-budget burn rate",
+			milli(&s.lossBurnM), lk, telemetry.L("objective", "frame_loss"))
+		reg.GaugeFunc("slo_burn_rate", "rolling error-budget burn rate",
+			milli(&s.p99BurnM), lk, telemetry.L("objective", "p99_latency"))
+		reg.GaugeFunc("slo_burn_rate", "rolling error-budget burn rate",
+			milli(&s.failBurnM), lk, telemetry.L("objective", "failover"))
+		reg.GaugeFunc("slo_worst_burn_rate", "max burn rate across objectives", milli(&s.worstM), lk)
+		reg.GaugeFunc("slo_error_budget_remaining", "lifetime frame-loss budget left (1 = untouched)", milli(&s.budgetM), lk)
+		reg.GaugeFunc("slo_alarm", "1 while the worst burn rate exceeds the alarm threshold",
+			func() float64 {
+				if s.alarmed.Load() {
+					return 1
+				}
+				return 0
+			}, lk)
+		reg.GaugeFunc("slo_p99_latency_ticks", "current end-to-end p99 estimate", func() float64 { return float64(s.p99Ticks.Load()) }, lk)
+	}
+	return s
+}
+
+// Name returns the SLO's link name.
+func (s *SLO) Name() string { return s.name }
+
+// Config returns the effective (defaulted) objective configuration.
+func (s *SLO) Config() SLOConfig { return s.cfg }
+
+func milliClamp(v float64) int64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > math.MaxInt64/2048 {
+		return math.MaxInt64 / 2048
+	}
+	return int64(v * 1000)
+}
+
+// Sample re-evaluates the objectives at virtual time now. Cheap when
+// called often: checkpoints advance only every Window/8 ticks, but the
+// instantaneous gauges refresh on every call.
+func (s *SLO) Sample(now int64) {
+	frames, errors := uint64(0), uint64(0)
+	if s.src.Frames != nil {
+		frames = s.src.Frames()
+	}
+	if s.src.Errors != nil {
+		errors = s.src.Errors()
+	}
+
+	gran := s.cfg.Window / 8
+	if gran < 1 {
+		gran = 1
+	}
+	if len(s.points) == 0 || now-s.points[len(s.points)-1].at >= gran {
+		s.points = append(s.points, sloPoint{at: now, frames: frames, errors: errors})
+		// Keep one point older than the window as the subtrahend.
+		for len(s.points) > 2 && now-s.points[1].at >= s.cfg.Window {
+			s.points = s.points[1:]
+		}
+	}
+	base := s.points[0]
+
+	// Frame-loss burn: windowed loss ratio over target.
+	dF := frames - base.frames
+	dE := errors - base.errors
+	lossRatio := 0.0
+	if dF > 0 {
+		lossRatio = float64(dE) / float64(dF)
+	} else if dE > 0 {
+		lossRatio = 1
+	}
+	lossBurn := lossRatio / s.cfg.FrameLossTarget
+	s.lossBurnM.Store(milliClamp(lossBurn))
+
+	// p99 latency burn: current estimate over budget.
+	p99 := int64(0)
+	if s.src.P99 != nil {
+		p99 = s.src.P99()
+	}
+	s.p99Ticks.Store(p99)
+	p99Burn := float64(p99) / float64(s.cfg.P99BudgetTicks)
+	s.p99BurnM.Store(milliClamp(p99Burn))
+
+	// Failover burn: last switch duration over the 50 ms budget.
+	fo := int64(0)
+	if s.src.Failover != nil {
+		fo = s.src.Failover()
+	}
+	s.failTicks.Store(fo)
+	failBurn := float64(fo) / float64(s.cfg.FailoverBudgetTicks)
+	s.failBurnM.Store(milliClamp(failBurn))
+
+	worst, objective := lossBurn, "frame_loss"
+	if p99Burn > worst {
+		worst, objective = p99Burn, "p99_latency"
+	}
+	if failBurn > worst {
+		worst, objective = failBurn, "failover"
+	}
+	s.worstM.Store(milliClamp(worst))
+
+	// Lifetime error budget: fraction of the allowed loss not yet
+	// consumed.
+	budget := 1.0
+	if frames > 0 {
+		allowed := s.cfg.FrameLossTarget * float64(frames)
+		if allowed > 0 {
+			budget = 1 - float64(errors)/allowed
+		}
+		if budget < 0 {
+			budget = 0
+		}
+	}
+	s.budgetM.Store(milliClamp(budget))
+
+	// Alarm with hysteresis: raise at AlarmBurn, clear below half.
+	if worst >= s.cfg.AlarmBurn {
+		if !s.alarmed.Swap(true) && s.OnAlarm != nil {
+			s.OnAlarm(objective)
+		}
+	} else if worst < s.cfg.AlarmBurn/2 {
+		s.alarmed.Store(false)
+	}
+}
+
+// WorstBurnMilli returns the worst objective's burn rate in
+// milli-units (1000 = burning exactly at target) — the value the OAM
+// block exposes in RegSLOBurn.
+func (s *SLO) WorstBurnMilli() int64 { return s.worstM.Load() }
+
+// Alarmed reports whether the SLO alarm is currently raised.
+func (s *SLO) Alarmed() bool { return s.alarmed.Load() }
+
+// snapshot renders the SLO for the /slo board.
+func (s *SLO) snapshot() SLOJSON {
+	return SLOJSON{
+		Name:            s.name,
+		WindowTicks:     s.cfg.Window,
+		LossTarget:      s.cfg.FrameLossTarget,
+		P99BudgetTicks:  s.cfg.P99BudgetTicks,
+		FailBudgetTicks: s.cfg.FailoverBudgetTicks,
+		LossBurn:        float64(s.lossBurnM.Load()) / 1000,
+		P99Burn:         float64(s.p99BurnM.Load()) / 1000,
+		FailoverBurn:    float64(s.failBurnM.Load()) / 1000,
+		WorstBurn:       float64(s.worstM.Load()) / 1000,
+		BudgetRemaining: float64(s.budgetM.Load()) / 1000,
+		P99Ticks:        s.p99Ticks.Load(),
+		FailoverTicks:   s.failTicks.Load(),
+		Alarm:           s.alarmed.Load(),
+	}
+}
+
+// SLOJSON is one SLO's entry in the /slo board document.
+type SLOJSON struct {
+	Name            string  `json:"name"`
+	WindowTicks     int64   `json:"window_ticks"`
+	LossTarget      float64 `json:"loss_target"`
+	P99BudgetTicks  int64   `json:"p99_budget_ticks"`
+	FailBudgetTicks int64   `json:"failover_budget_ticks"`
+	LossBurn        float64 `json:"loss_burn"`
+	P99Burn         float64 `json:"p99_burn"`
+	FailoverBurn    float64 `json:"failover_burn"`
+	WorstBurn       float64 `json:"worst_burn"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	P99Ticks        int64   `json:"p99_ticks"`
+	FailoverTicks   int64   `json:"failover_ticks"`
+	Alarm           bool    `json:"alarm"`
+}
+
+// LinkJSON is one recorder's entry in the /slo board document.
+type LinkJSON struct {
+	Link      string     `json:"link"`
+	Tracked   uint64     `json:"tracked"`
+	Lost      uint64     `json:"lost"`
+	InFlight  int        `json:"in_flight"`
+	P99Ticks  int64      `json:"p99_ticks"`
+	Captures  uint64     `json:"captures"`
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// BoardJSON is the /slo document: every SLO and every recorder
+// attached to the board.
+type BoardJSON struct {
+	SLOs  []SLOJSON  `json:"slos"`
+	Links []LinkJSON `json:"links"`
+}
+
+// Board aggregates recorders and SLOs for the /slo endpoint.
+type Board struct {
+	mu   sync.Mutex
+	recs []*Recorder
+	slos []*SLO
+}
+
+// NewBoard returns an empty board.
+func NewBoard() *Board { return &Board{} }
+
+// Attach adds a recorder to the board.
+func (b *Board) Attach(r *Recorder) {
+	b.mu.Lock()
+	b.recs = append(b.recs, r)
+	b.mu.Unlock()
+}
+
+// AttachSLO adds an SLO to the board.
+func (b *Board) AttachSLO(s *SLO) {
+	b.mu.Lock()
+	b.slos = append(b.slos, s)
+	b.mu.Unlock()
+}
+
+// Snapshot renders the board document.
+func (b *Board) Snapshot() BoardJSON {
+	b.mu.Lock()
+	recs := append([]*Recorder(nil), b.recs...)
+	slos := append([]*SLO(nil), b.slos...)
+	b.mu.Unlock()
+	doc := BoardJSON{SLOs: []SLOJSON{}, Links: []LinkJSON{}}
+	for _, s := range slos {
+		doc.SLOs = append(doc.SLOs, s.snapshot())
+	}
+	for _, r := range recs {
+		doc.Links = append(doc.Links, LinkJSON{
+			Link:      r.Name(),
+			Tracked:   r.Tracked(),
+			Lost:      r.Lost(),
+			InFlight:  r.InFlight(),
+			P99Ticks:  r.P99(),
+			Captures:  r.Captures(),
+			Exemplars: r.Exemplars(),
+		})
+	}
+	return doc
+}
+
+// WriteJSON writes the board document to w.
+func (b *Board) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(b.Snapshot())
+}
+
+// Handler serves the board as JSON — mount it at /slo on a
+// telemetry.Mux.
+func (b *Board) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		b.WriteJSON(w)
+	})
+}
+
+// ReadBoard decodes a board document previously served by Handler —
+// the p5stat -slo input.
+func ReadBoard(r io.Reader) (BoardJSON, error) {
+	var doc BoardJSON
+	err := json.NewDecoder(r).Decode(&doc)
+	return doc, err
+}

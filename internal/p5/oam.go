@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/aps"
 	"repro/internal/crc"
+	"repro/internal/flight"
 	"repro/internal/hdlc"
 	"repro/internal/ppp"
 	"repro/internal/sonet"
@@ -52,6 +53,10 @@ const (
 	RegAPSRx       = 0x88 // accepted far-end K1<<8 | K2 (RO)
 	RegAPSTx       = 0x8C // transmitted K1<<8 | K2 (RO)
 	RegAPSSwitches = 0x90 // selector movements (RO, saturating)
+
+	// Flight recorder / SLO block (AttachFlight).
+	RegFlightCtrl = 0x94 // write bit 0: dump the black box now; read: capture count
+	RegSLOBurn    = 0x98 // worst SLO burn rate in milli-units; bit 31 = alarm (RO)
 )
 
 // RegAPSCtrl command encodings (lower two bits of a host write).
@@ -117,6 +122,9 @@ const (
 	IntSFail       = 1 << 7 // signal fail threshold crossed
 	IntDefectClear = 1 << 8 // any defect cleared (alarm register updated)
 	IntAPSSwitch   = 1 << 9 // protection selector moved (AttachAPS)
+
+	IntFlightDump = 1 << 10 // the flight recorder dumped a capture (AttachFlight)
+	IntSLOBurn    = 1 << 11 // an SLO burn-rate alarm was raised (AttachFlight)
 )
 
 // IntCauseNames maps interrupt bits to their mnemonic, for status dumps.
@@ -128,6 +136,7 @@ var IntCauseNames = []struct {
 	{IntOOF, "oof"}, {IntLOF, "lof"}, {IntLOS, "los"},
 	{IntSDeg, "sdeg"}, {IntSFail, "sfail"}, {IntDefectClear, "defect-clear"},
 	{IntAPSSwitch, "aps-switch"},
+	{IntFlightDump, "flight-dump"}, {IntSLOBurn, "slo-burn"},
 }
 
 // Regs is the OAM configuration register file. Datapath modules read it
@@ -278,6 +287,10 @@ type OAM struct {
 	// aps, when attached, supplies the protection status registers and
 	// accepts RegAPSCtrl commands.
 	aps *aps.Controller
+	// flight/slo, when attached, supply the RegFlightCtrl/RegSLOBurn
+	// block and the flight-dump / slo-burn interrupt causes.
+	flight *flight.Recorder
+	slo    *flight.SLO
 }
 
 // NewOAM assembles an OAM block over separately constructed datapath
@@ -351,6 +364,36 @@ func (o *OAM) AttachAPS(c *aps.Controller) {
 	}
 }
 
+// AttachFlight wires a flight recorder (and optionally its SLO
+// evaluator; s may be nil) into the OAM block: every black-box dump
+// raises the IntFlightDump cause, every SLO burn-rate alarm raises
+// IntSLOBurn, the host triggers a dump by writing bit 0 of
+// RegFlightCtrl, and RegFlightCtrl/RegSLOBurn read back the capture
+// count and worst burn rate. Hooks chain ahead of any existing
+// subscriber, matching AttachAPS.
+func (o *OAM) AttachFlight(rec *flight.Recorder, s *flight.SLO) {
+	o.flight = rec
+	o.slo = s
+	if rec != nil {
+		prev := rec.OnCapture
+		rec.OnCapture = func(c *flight.Capture) {
+			o.Regs.RaiseInt(IntFlightDump)
+			if prev != nil {
+				prev(c)
+			}
+		}
+	}
+	if s != nil {
+		prev := s.OnAlarm
+		s.OnAlarm = func(objective string) {
+			o.Regs.RaiseInt(IntSLOBurn)
+			if prev != nil {
+				prev(objective)
+			}
+		}
+	}
+}
+
 // Alarms returns the live alarm register as a defect set.
 func (o *OAM) Alarms() sonet.Defect {
 	o.Regs.mu.RLock()
@@ -362,6 +405,15 @@ func (o *OAM) Alarms() sonet.Defect {
 // unknown or read-only addresses are ignored (hardware-style).
 func (o *OAM) Write(addr uint32, v uint32) {
 	r := o.Regs
+	if addr == RegFlightCtrl {
+		// Handled before taking the register lock: the dump path
+		// re-enters RaiseInt through the capture hook, and the mutex is
+		// not reentrant.
+		if v&1 != 0 && o.flight != nil {
+			o.flight.Trigger("oam")
+		}
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	switch addr {
@@ -467,6 +519,20 @@ func (o *OAM) Read(addr uint32) uint32 {
 		case RegAPSSwitches:
 			return r.stat16(o.aps.Switches, OvfAPSSwitch)
 		}
+	}
+	if o.flight != nil && addr == RegFlightCtrl {
+		return uint32(o.flight.Captures())
+	}
+	if o.slo != nil && addr == RegSLOBurn {
+		burn := o.slo.WorstBurnMilli()
+		if burn > 0x7FFFFFFF {
+			burn = 0x7FFFFFFF
+		}
+		v := uint32(burn)
+		if o.slo.Alarmed() {
+			v |= 1 << 31
+		}
+		return v
 	}
 	if o.tx != nil {
 		switch addr {

@@ -2,6 +2,7 @@ package p5
 
 import (
 	"repro/internal/rtl"
+	"repro/internal/telemetry"
 )
 
 // Transmitter is the assembled P5 transmit block (paper Figure 3):
@@ -136,12 +137,25 @@ type System struct {
 
 	txWasBusy     bool
 	telemetrySync func()
+
+	// Fill-latency span: armed when the transmitter picks up work from
+	// idle, closed when the next word crosses the line register. The
+	// paper's four-cycle sorter claim becomes a continuously measured
+	// value instead of a one-off test observation.
+	fillPending bool
+	fillStart   int64
+	fillHist    *telemetry.Histogram
+	// FillLatency is the last measured idle→first-line-word transmit
+	// fill latency in cycles (-1 until a span completes); FillSpans
+	// counts completed measurements.
+	FillLatency int64
+	FillSpans   uint64
 }
 
 // NewSystem assembles a width-w system (w = 1 for the 8-bit P5, 4 for
 // the 32-bit P5).
 func NewSystem(w int) *System {
-	sys := &System{W: w, Sim: &rtl.Sim{}, Regs: NewRegs()}
+	sys := &System{W: w, Sim: &rtl.Sim{}, Regs: NewRegs(), FillLatency: -1}
 	sys.Tx = NewTransmitter(sys.Sim, w, sys.Regs)
 	// The line registers between Tx and Rx so that, in the kernel's
 	// downstream-first evaluation, the receiver vacates Rx.In before
@@ -177,7 +191,22 @@ func (s *System) Received() []RxFrame {
 func (s *System) Cycle() {
 	s.Tx.syncConfig(s.Regs)
 	s.Rx.syncConfig(s.Regs)
+	if !s.fillPending && !s.txWasBusy && s.Tx.Busy() {
+		s.fillPending = true
+		s.fillStart = s.Sim.Now()
+	}
+	prevWords := s.Line.Words
 	s.Sim.Cycle()
+	if s.fillPending && s.Line.Words > prevWords {
+		s.fillPending = false
+		// The line model takes the word in the cycle it becomes visible
+		// on the transmit wire, so the span matches a sink's FirstCycle.
+		s.FillLatency = s.Sim.Now() - 1 - s.fillStart
+		s.FillSpans++
+		if s.fillHist != nil {
+			s.fillHist.Observe(s.FillLatency)
+		}
+	}
 	busy := s.Tx.Busy()
 	if s.txWasBusy && !busy {
 		s.Regs.RaiseInt(IntTxDone)

@@ -515,3 +515,40 @@ func TestSystemInstrumentExportsPipelineSeries(t *testing.T) {
 		t.Errorf("clean run exported %v FCS errors", v)
 	}
 }
+
+func TestSystemFillLatencyGaugeFourCycles(t *testing.T) {
+	// The paper's four-cycle sorter claim, asserted continuously: every
+	// idle-to-busy transition of the 8-bit transmitter must measure a
+	// fill latency of exactly four cycles through the System-level span
+	// (TestTransmitterFirstWordLatencyFourCycles checks the same number
+	// once, with a sink directly on the transmit wire).
+	reg := telemetry.NewRegistry()
+	sys := NewSystem(1)
+	sys.Instrument(reg, "p5")
+	if sys.FillLatency != -1 {
+		t.Fatalf("FillLatency = %d before any span, want -1", sys.FillLatency)
+	}
+	for i := 0; i < 5; i++ {
+		sys.Send(TxJob{Protocol: ppp.ProtoIPv4, Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8}})
+		if !sys.RunUntilIdle(100000) {
+			t.Fatalf("span %d did not drain", i)
+		}
+		if sys.FillLatency != 4 {
+			t.Fatalf("span %d: fill latency %d cycles, want 4", i, sys.FillLatency)
+		}
+	}
+	if sys.FillSpans != 5 {
+		t.Errorf("FillSpans = %d, want 5", sys.FillSpans)
+	}
+	if h := sys.fillHist; h.Count() != 5 || h.Quantile(0.99) != 4 {
+		t.Errorf("histogram count=%d p99=%d, want 5 and 4", h.Count(), h.Quantile(0.99))
+	}
+	sys.SyncTelemetry()
+	snap := reg.Snapshot("final")
+	if v, ok := snap.Get("p5_tx_fill_latency_cycles"); !ok || v != 4 {
+		t.Errorf("fill gauge = %v (present=%v), want 4", v, ok)
+	}
+	if v, _ := snap.Get("p5_tx_fill_spans_total"); v != 5 {
+		t.Errorf("fill spans counter = %v, want 5", v)
+	}
+}

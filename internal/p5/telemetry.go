@@ -115,10 +115,19 @@ func (s *System) Instrument(reg *telemetry.Registry, prefix string) {
 	txSync := InstrumentTransmitter(reg, prefix, s.Sim, s.Tx)
 	rxSync := InstrumentReceiver(reg, prefix, s.Sim, s.Rx)
 	lineWords := reg.Counter(prefix+"_line_words_total", "Words carried by the line model.")
+	fillGauge := reg.Gauge(prefix+"_tx_fill_latency_cycles",
+		"Last measured idle-to-first-line-word transmit fill latency (cycles; -1 until measured).")
+	fillSpans := reg.Counter(prefix+"_tx_fill_spans_total",
+		"Completed fill-latency measurements (idle-to-busy transitions).")
+	s.fillHist = reg.Histogram(prefix+"_tx_fill_latency_cycles_dist",
+		"Distribution of transmit fill latencies — the paper's four-cycle sorter claim, continuously asserted.",
+		[]int64{1, 2, 3, 4, 5, 6, 8, 12, 16, 24, 32})
 	s.telemetrySync = func() {
 		txSync()
 		rxSync()
 		lineWords.Set(s.Line.Words)
+		fillGauge.Set(s.FillLatency)
+		fillSpans.Set(s.FillSpans)
 		s.Sim.SyncTelemetry()
 	}
 	s.telemetrySync()

@@ -18,7 +18,12 @@ import (
 //
 // The returned handler is safe to serve while probes are being written:
 // all metric state is atomic.
-func Handler(reg *Registry, tr *Tracer) http.Handler {
+func Handler(reg *Registry, tr *Tracer) http.Handler { return Mux(reg, tr) }
+
+// Mux is Handler exposed as a concrete *http.ServeMux so callers can
+// mount additional endpoints (the flight recorder's /slo board, for
+// example) next to the standard set before serving.
+func Mux(reg *Registry, tr *Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -73,14 +78,22 @@ type Server struct {
 // expvarName. It returns once the listener is bound; serving continues
 // in a background goroutine until Close.
 func Serve(addr string, reg *Registry, tr *Tracer, expvarName string) (*Server, error) {
+	if expvarName != "" {
+		Publish(reg, expvarName)
+	}
+	return ServeHandler(addr, Handler(reg, tr))
+}
+
+// ServeHandler starts an HTTP server for an arbitrary handler —
+// typically a Mux(reg, tr) with extra endpoints mounted — on addr
+// (":0" picks a free port). It returns once the listener is bound;
+// serving continues in a background goroutine until Close.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	if expvarName != "" {
-		Publish(reg, expvarName)
-	}
-	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: Handler(reg, tr)}}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: h}}
 	go s.srv.Serve(ln)
 	return s, nil
 }

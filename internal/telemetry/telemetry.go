@@ -140,6 +140,57 @@ func (h *Histogram) BucketCounts() []uint64 {
 	return out
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution from the bucket counts. The estimate is the upper bound
+// of the bucket the quantile falls in, which is the conservative
+// (pessimistic) reading for latency-style data. Observations in the
+// overflow bucket have no upper bound, so the estimate is clamped to
+// the highest finite bound rather than inventing one; a histogram whose
+// q-quantile lands in +Inf therefore reports bounds[len-1], never a
+// fabricated larger value. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	return QuantileFromBuckets(h.bounds, h.BucketCounts(), q)
+}
+
+// QuantileFromBuckets is Histogram.Quantile over externally captured
+// bucket counts (len(counts) == len(bounds)+1, last entry the +Inf
+// overflow bucket), so scraped or snapshotted histograms can be
+// summarised with the same clamping rules.
+func QuantileFromBuckets(bounds []int64, counts []uint64, q float64) int64 {
+	if len(bounds) == 0 || len(counts) != len(bounds)+1 {
+		return 0
+	}
+	total := uint64(0)
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the observation that pins the
+	// quantile (ceil(q*total), at least 1).
+	rank := uint64(q * float64(total))
+	if float64(rank) < q*float64(total) || rank == 0 {
+		rank++
+	}
+	cum := uint64(0)
+	for i, c := range counts[:len(bounds)] {
+		cum += c
+		if cum >= rank {
+			return bounds[i]
+		}
+	}
+	// Quantile falls in the +Inf bucket: clamp to the highest finite
+	// bound instead of returning an unbounded (meaningless) value.
+	return bounds[len(bounds)-1]
+}
+
 // metric is one registered series.
 type metric struct {
 	name   string // sanitized family name

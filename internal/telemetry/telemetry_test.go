@@ -45,6 +45,66 @@ func TestCounterGaugeHistogramBasics(t *testing.T) {
 	}
 }
 
+// Regression: quantiles that land in the +Inf overflow bucket must be
+// clamped to the highest finite bound — an unbounded bucket has no
+// upper bound to report, and returning one fabricated a latency that
+// was never configured, let alone observed.
+func TestHistogramQuantileClampsOverflow(t *testing.T) {
+	h := NewHistogram([]int64{1, 2, 4, 8})
+
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+
+	// All mass in the overflow bucket: every quantile clamps to 8.
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 8 {
+			t.Errorf("overflow-only q=%g = %d, want clamp to 8", q, got)
+		}
+	}
+
+	// Mixed distribution: 90 fast observations, 10 in overflow. p50
+	// resolves in a finite bucket; p99 lands in +Inf and clamps.
+	h2 := NewHistogram([]int64{1, 2, 4, 8})
+	for i := 0; i < 90; i++ {
+		h2.Observe(2)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(99)
+	}
+	if got := h2.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %d, want 2", got)
+	}
+	if got := h2.Quantile(0.99); got != 8 {
+		t.Errorf("p99 = %d, want clamp to 8", got)
+	}
+
+	// Boundary math: rank = ceil(q*total); with 4 observations ≤1 and
+	// 1 observation ≤2, p80 pins the 4th observation (bucket ≤1).
+	h3 := NewHistogram([]int64{1, 2})
+	for i := 0; i < 4; i++ {
+		h3.Observe(1)
+	}
+	h3.Observe(2)
+	if got := h3.Quantile(0.8); got != 1 {
+		t.Errorf("p80 = %d, want 1", got)
+	}
+	if got := h3.Quantile(0.81); got != 2 {
+		t.Errorf("p81 = %d, want 2", got)
+	}
+
+	// The helper over captured counts agrees with the live histogram.
+	if got := QuantileFromBuckets(h2.Bounds(), h2.BucketCounts(), 0.99); got != 8 {
+		t.Errorf("QuantileFromBuckets p99 = %d, want 8", got)
+	}
+	if got := QuantileFromBuckets(nil, nil, 0.5); got != 0 {
+		t.Errorf("QuantileFromBuckets(nil) = %d, want 0", got)
+	}
+}
+
 func TestSnapshotDeltaSemantics(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("xfers_total", "")

@@ -3,6 +3,7 @@ package gigapos
 import (
 	"errors"
 
+	"repro/internal/flight"
 	"repro/internal/hdlc"
 	"repro/internal/ipcp"
 	"repro/internal/lcp"
@@ -148,6 +149,8 @@ type Link struct {
 
 	// Telemetry (nil until Instrument).
 	tel *linkTelemetry
+	// Flight recorder (nil until ArmFlight).
+	fl  *flightState
 	now int64 // virtual time of the latest Advance, for event stamps
 }
 
@@ -282,6 +285,9 @@ func (l *Link) Advance(now int64) {
 	}
 	l.serviceEcho(now)
 	l.serviceSupervisor(now)
+	if l.fl != nil {
+		l.serviceFlight(now)
+	}
 	if l.tel != nil {
 		l.tel.sync()
 	}
@@ -396,19 +402,56 @@ func (l *Link) SendIPv4Batch(datagrams [][]byte) (int, error) {
 		return len(datagrams), nil
 	}
 	cfg := l.dataTxConfig()
+	fl := l.fl
 	for _, d := range datagrams {
 		if l.monitor != nil {
 			l.monitor.CountOutPacket(len(d))
 		}
 		f := ppp.Frame{Protocol: ppp.ProtoIPv4, Payload: d}
+		if fl != nil {
+			// Tag the departure; the wall clock is read only for the
+			// 1-in-2^SampleShift frames that stamp the encode stage.
+			var t0 int64
+			sampled := fl.rec.Sampled()
+			if sampled {
+				t0 = fl.rec.Clock()
+			}
+			l.out = ppp.AppendFrame(l.out, &f, cfg, true)
+			fl.rec.Depart(l.now)
+			if sampled {
+				fl.rec.ObserveStage(flight.StageEncode, fl.rec.Clock()-t0)
+			}
+			continue
+		}
 		l.out = ppp.AppendFrame(l.out, &f, cfg, true)
 	}
 	return len(datagrams), nil
 }
 
 // SendIPv4 queues an IPv4 datagram, applying Van Jacobson header
-// compression when IPCP has negotiated it.
+// compression when IPCP has negotiated it. With the flight recorder
+// armed the datagram is tagged at departure and, for sampled frames,
+// the encode stage is stamped.
 func (l *Link) SendIPv4(datagram []byte) error {
+	if fl := l.fl; fl != nil {
+		var t0 int64
+		sampled := fl.rec.Sampled()
+		if sampled {
+			t0 = fl.rec.Clock()
+		}
+		err := l.sendIPv4(datagram)
+		if err == nil {
+			fl.rec.Depart(l.now)
+			if sampled {
+				fl.rec.ObserveStage(flight.StageEncode, fl.rec.Clock()-t0)
+			}
+		}
+		return err
+	}
+	return l.sendIPv4(datagram)
+}
+
+func (l *Link) sendIPv4(datagram []byte) error {
 	if l.vjTx != nil && l.VJGranted() {
 		typ, out := l.vjTx.Compress(datagram)
 		switch typ {
@@ -447,10 +490,26 @@ func (l *Link) HasOutput() bool { return len(l.out) > 0 }
 // and queued datagram payloads are copies — the caller may recycle the
 // buffer immediately.
 func (l *Link) Input(stream []byte) {
-	l.toks = l.tk.Feed(l.toks[:0], stream)
+	if fl := l.fl; fl != nil {
+		// Black box: retain the raw wire octets, and stamp the
+		// tokenize stage for sampled chunks.
+		fl.rec.TapRx(stream)
+		var t0 int64
+		sampled := fl.rec.Sampled()
+		if sampled {
+			t0 = fl.rec.Clock()
+		}
+		l.toks = l.tk.Feed(l.toks[:0], stream)
+		if sampled {
+			fl.rec.ObserveStage(flight.StageTokenize, fl.rec.Clock()-t0)
+		}
+	} else {
+		l.toks = l.tk.Feed(l.toks[:0], stream)
+	}
 	for i := range l.toks {
 		if l.toks[i].Err != nil {
 			l.RxErrors++
+			l.flightNoteError()
 			continue
 		}
 		l.frame(l.toks[i].Body)
@@ -479,13 +538,28 @@ func (l *Link) frame(body []byte) {
 		}
 		return
 	}
+	fl := l.fl
+	var t0 int64
+	sampled := false
+	if fl != nil {
+		sampled = fl.rec.Sampled()
+		if sampled {
+			t0 = fl.rec.Clock()
+		}
+	}
 	var f ppp.Frame
 	if err := ppp.DecodeBodyInto(&f, body, l.rxConfig()); err != nil {
 		l.RxErrors++
+		l.flightNoteError()
 		if l.monitor != nil {
 			l.monitor.CountInError()
 		}
 		return
+	}
+	if sampled {
+		t := fl.rec.Clock()
+		fl.rec.ObserveStage(flight.StageFCS, t-t0)
+		t0 = t
 	}
 	l.RxFrames++
 	switch f.Protocol {
@@ -519,6 +593,14 @@ func (l *Link) frame(body []byte) {
 		// Copy out of the tokenizer's recycled arena: the queued
 		// datagram must survive any number of further Input calls.
 		l.rx = append(l.rx, Datagram{Protocol: f.Protocol, Payload: l.copyRx(f.Payload)})
+		if fl != nil {
+			if sampled {
+				fl.rec.ObserveStage(flight.StageDeliver, fl.rec.Clock()-t0)
+			}
+			if fl.peer != nil {
+				fl.peer.Arrive(l.now)
+			}
+		}
 	case ppp.ProtoVJC, ppp.ProtoVJU:
 		if l.vjRx == nil {
 			l.protocolReject(&f)
@@ -531,15 +613,29 @@ func (l *Link) frame(body []byte) {
 		pkt, err := l.vjRx.Decompress(typ, f.Payload)
 		if err != nil {
 			l.RxErrors++
+			l.flightNoteError()
 			if l.monitor != nil {
 				l.monitor.CountInError()
 			}
 			return
 		}
+		if sampled {
+			t := fl.rec.Clock()
+			fl.rec.ObserveStage(flight.StageVJ, t-t0)
+			t0 = t
+		}
 		if l.monitor != nil {
 			l.monitor.CountInPacket(len(pkt))
 		}
 		l.rx = append(l.rx, Datagram{Protocol: ppp.ProtoIPv4, Payload: pkt})
+		if fl != nil {
+			if sampled {
+				fl.rec.ObserveStage(flight.StageDeliver, fl.rec.Clock()-t0)
+			}
+			if fl.peer != nil {
+				fl.peer.Arrive(l.now)
+			}
+		}
 	default:
 		// Unknown protocol: Protocol-Reject (RFC 1661 §5.7).
 		l.protocolReject(&f)

@@ -15,8 +15,13 @@ type linkTelemetry struct {
 }
 
 // trace emits a structured event on the link's tracer (no-op while
-// uninstrumented).
+// uninstrumented) and mirrors it into the flight recorder's black-box
+// ring when one is armed, so captures carry the protocol history that
+// led up to the trigger.
 func (l *Link) trace(name, detail string, v1, v2 int64) {
+	if l.fl != nil {
+		l.fl.rec.Event(l.now, name, detail, v1, v2)
+	}
 	if l.tel == nil || l.tel.tracer == nil {
 		return
 	}

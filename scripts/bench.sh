@@ -3,7 +3,8 @@
 #   runs the BenchmarkSystem matrix (datapath width × telemetry
 #   on/off), the sharded line-card engine scale-out
 #   (BenchmarkEngineAggregate) and the steady-state link fast paths
-#   (BenchmarkLinkEncodeSteady / BenchmarkLinkDecodeSteady), and writes
+#   (BenchmarkLinkEncodeSteady / BenchmarkLinkEncodeSteadyFlight /
+#   BenchmarkLinkDecodeSteady), and writes
 #   BENCH_<date>.json with ns/op, MB/s, allocs/op and the custom
 #   metrics (bits/cycle, frames/s, Gbps-line) per variant, so
 #   successive PRs can be compared without scraping test logs.
@@ -16,7 +17,7 @@ out="${1:-BENCH_$(date +%Y%m%d).json}"
 benchtime="${BENCHTIME:-3x}"
 
 raw=$(go test -run '^$' \
-    -bench '^(BenchmarkSystem|BenchmarkEngineAggregate|BenchmarkLinkEncodeSteady|BenchmarkLinkDecodeSteady)$' \
+    -bench '^(BenchmarkSystem|BenchmarkEngineAggregate|BenchmarkLinkEncodeSteady|BenchmarkLinkEncodeSteadyFlight|BenchmarkLinkDecodeSteady)$' \
     -benchtime "$benchtime" -benchmem .)
 
 printf '%s\n' "$raw" | awk -v date="$(date +%Y-%m-%d)" -v go="$(go version | awk '{print $3}')" '

@@ -1,7 +1,8 @@
 #!/bin/sh
 # verify.sh — the repo's full verification gate:
-#   go vet, go build, go test -race, and a short fuzz smoke of every
-#   Fuzz* target (5s each by default; FUZZTIME overrides).
+#   go vet, go build, go test -race, the flight-recorder overhead gate,
+#   and a short fuzz smoke of every Fuzz* target (5s each by default;
+#   FUZZTIME overrides).
 #
 # Usage: ./scripts/verify.sh   (or: make verify)
 set -eu
@@ -24,6 +25,34 @@ go test -race -count 2 ./internal/telemetry
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== flight recorder overhead gate =="
+# The armed encode benchmark must stay zero-alloc and within
+# FLIGHT_OVERHEAD_PCT (default 5) percent of the unarmed baseline —
+# the recorder's contract is an invisible transmit fast path.
+FLIGHT_BENCHTIME="${FLIGHT_BENCHTIME:-5000x}"
+bench_out=$(go test -run '^$' -bench '^BenchmarkLinkEncodeSteady(Flight)?$' \
+    -benchtime "$FLIGHT_BENCHTIME" -count 3 -benchmem .)
+printf '%s\n' "$bench_out"
+printf '%s\n' "$bench_out" | awk -v tol="${FLIGHT_OVERHEAD_PCT:-5}" '
+$1 ~ /^BenchmarkLinkEncodeSteady(-[0-9]+)?$/ {
+    if (nb == 0 || $3 < base) base = $3     # best-of-count: noise floor
+    nb++
+}
+$1 ~ /^BenchmarkLinkEncodeSteadyFlight(-[0-9]+)?$/ {
+    if (na == 0 || $3 < armed) armed = $3
+    na++
+    if ($(NF-1) + 0 != 0) { bad_allocs = $(NF-1) }
+}
+END {
+    if (nb == 0 || na == 0) { print "flight gate: benchmark output missing"; exit 1 }
+    if (bad_allocs != "") { printf "flight gate: armed allocs/op = %s, want 0\n", bad_allocs; exit 1 }
+    if (armed > base * (1 + tol / 100)) {
+        printf "flight gate: armed %.0f ns/op vs base %.0f ns/op exceeds %s%%\n", armed, base, tol
+        exit 1
+    }
+    printf "flight gate: OK (armed %.0f ns/op vs base %.0f ns/op, 0 allocs, tol %s%%)\n", armed, base, tol
+}'
 
 echo "== fuzz smoke ($FUZZTIME per target) =="
 # Each fuzz target must run alone: `go test -fuzz` accepts only one

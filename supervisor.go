@@ -102,6 +102,7 @@ func (l *Link) NotifyDefects(active uint32) {
 			s.lineOK = false
 			s.DefectOutages++
 			l.trace("defect-outage", "", int64(active), 0)
+			l.flightTrigger("defect-outage")
 			l.resetTransport()
 			l.lcpA.Down()
 		}
@@ -201,6 +202,7 @@ func (l *Link) restartLCP(now int64) {
 	}
 	s.RetryTimes = append(s.RetryTimes, now)
 	l.trace("restart", "", now, s.backoff)
+	l.flightTrigger("supervisor-restart")
 	l.resetTransport()
 	l.lcpA.Down()
 	l.lcpA.Up()
@@ -219,6 +221,11 @@ func (l *Link) resetTransport() {
 	l.tk = hdlc.Tokenizer{}
 	l.echoNext = 0
 	l.echoPending = 0
+	if l.fl != nil {
+		// Frames tagged before the reset can never arrive: retire them
+		// as lost now instead of waiting out the horizon.
+		l.fl.rec.Flush()
+	}
 	if l.cfg.WantVJ {
 		l.vjRx = vj.NewDecompressor(0)
 	}
