@@ -28,6 +28,15 @@
 // frames/s and line-rate Gb/s. -frames sets the measured step count
 // and -size the datagram size.
 //
+// With -scenario FILE the run is a declarative chaos drill: the JSON
+// file describes a multi-node SONET ring (UPSR or BLSR), the circuits
+// riding it, an IMIX traffic profile, scripted faults (fibre cuts,
+// noise bursts, node failures), and SLO assertions. p5sim builds the
+// ring, runs the drill, prints the graded report, and exits non-zero
+// if any assertion fails — with the paths of the .p5fr flight
+// captures that hold the evidence. Committed drills live under
+// scenarios/.
+//
 // With -flight DIR (in the -protect and -engine modes) every link is
 // armed with the always-on flight recorder: per-frame latency
 // histograms with exemplars, SLO burn-rate gauges in /metrics, the
@@ -43,6 +52,7 @@
 //	      [-sonet] [-slip-every N] [-los-windows N] [-los-frames N] [-dup-every N]
 //	      [-protect]
 //	      [-engine N] [-shards N]
+//	      [-scenario FILE]
 package main
 
 import (
@@ -99,6 +109,11 @@ type simConfig struct {
 	engineLinks  int
 	engineShards int
 
+	// scenarioFile, when non-empty, runs a declarative chaos drill from
+	// this JSON file on a simulated SONET ring and exits non-zero if any
+	// of the drill's assertions fail.
+	scenarioFile string
+
 	// scrape, when set, is called with the endpoint base URL while the
 	// server is up; the server is then shut down instead of lingering.
 	// Test hook — nil in normal operation.
@@ -125,6 +140,7 @@ func main() {
 	flag.BoolVar(&cfg.protectMode, "protect", false, "run the 1+1 APS failover scenario (working-line cut of -los-frames frames)")
 	flag.IntVar(&cfg.engineLinks, "engine", 0, "run the sharded line-card engine with this many loopback link pairs")
 	flag.IntVar(&cfg.engineShards, "shards", 0, "engine worker goroutines (default GOMAXPROCS)")
+	flag.StringVar(&cfg.scenarioFile, "scenario", "", "run a declarative chaos drill (JSON, see scenarios/) on a simulated ring")
 	slipEvery := flag.Int("slip-every", 0, "sonet: mean octets between byte slips (0 = none)")
 	losWindows := flag.Int("los-windows", 0, "sonet: number of timed line cuts")
 	losFrames := flag.Int("los-frames", 30, "sonet: length of each line cut in STM-1 frames")
@@ -149,6 +165,9 @@ func main() {
 
 // run executes one simulation per cfg, writing the report to out.
 func run(cfg simConfig, out io.Writer) error {
+	if cfg.scenarioFile != "" {
+		return runScenario(cfg, out)
+	}
 	if cfg.engineLinks > 0 {
 		return runEngine(cfg, out)
 	}

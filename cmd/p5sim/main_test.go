@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -388,5 +389,60 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run(simConfig{engineLinks: 2, frames: 1, size: "bogus"}, &out); err == nil {
 		t.Fatal("bad engine size accepted")
+	}
+}
+
+// TestScenarioMode runs the committed fiber-cut drill through the
+// -scenario path (PASS, report names the drill) and a deliberately
+// impossible drill (FAIL, non-nil error, report points at the .p5fr
+// captures).
+func TestScenarioMode(t *testing.T) {
+	var out bytes.Buffer
+	cfg := simConfig{
+		scenarioFile: filepath.Join("..", "..", "scenarios", "fiber-cut.json"),
+		flightDir:    t.TempDir(),
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("fiber-cut drill failed: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{`Chaos drill "fiber-cut"`, "verdict          : PASS"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	// An impossible drill: assert zero switches across a fibre cut.
+	bad := filepath.Join(t.TempDir(), "impossible.json")
+	js := `{
+	  "name": "impossible", "ring": {"nodes": 4},
+	  "circuits": [{"name": "c0", "a": 0, "b": 2, "slot": 0}],
+	  "duration": 600,
+	  "events": [{"at": 100, "action": "cut", "between": [0, 1]}],
+	  "assert": {"circuits": [{"circuit": "c0", "switches": 0}]}
+	}`
+	if err := os.WriteFile(bad, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err := run(simConfig{scenarioFile: bad, flightDir: t.TempDir()}, &out)
+	if err == nil {
+		t.Fatalf("impossible drill passed:\n%s", out.String())
+	}
+	if _, ok := err.(usageError); ok {
+		t.Fatalf("assertion failure reported as usage error: %v", err)
+	}
+	report = out.String()
+	for _, want := range []string{"verdict          : FAIL", "scenario-fail", ".p5fr"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("failure report missing %q:\n%s", want, report)
+		}
+	}
+
+	// A missing file is a usage error (exit 2), not a drill failure.
+	if err := run(simConfig{scenarioFile: "no-such.json"}, &out); err == nil {
+		t.Fatal("missing scenario file accepted")
+	} else if _, ok := err.(usageError); !ok {
+		t.Fatalf("want usageError for missing file, got %T", err)
 	}
 }

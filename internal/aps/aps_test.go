@@ -251,3 +251,137 @@ func TestBothLinesFailed(t *testing.T) {
 		t.Fatal("left working while protection still failed")
 	}
 }
+
+// TestWTRCancelledBySecondSF: a working-line failure during the
+// wait-to-restore countdown must cancel the timer and keep the
+// selector on protection without an intermediate revert — and the next
+// restoral must serve a full WTR period, not the remainder of the
+// cancelled one.
+func TestWTRCancelledBySecondSF(t *testing.T) {
+	c := NewController(Config{Revertive: true, WaitToRestore: 20})
+	c.SetSignal(2, Working, true, false)
+	c.Advance(2)
+	if c.Active() != Protect {
+		t.Fatal("first SF did not switch")
+	}
+
+	// Heals at 10: WTR runs 10→30.
+	c.SetSignal(10, Working, false, false)
+	c.Advance(10)
+	if k1, _ := c.TxK1K2(); k1 != K1(ReqWaitToRestore, 1) {
+		t.Fatalf("tx K1 during WTR = %#x", k1)
+	}
+
+	// Second SF at 25, inside the countdown.
+	c.SetSignal(25, Working, true, false)
+	c.Advance(25)
+	if c.Active() != Protect {
+		t.Fatal("second SF during WTR lost the selector")
+	}
+	if k1, _ := c.TxK1K2(); k1 != K1(ReqSignalFail, 1) {
+		t.Fatalf("tx K1 after WTR cancel = %#x, want signal-fail", k1)
+	}
+	if c.Switches != 1 {
+		t.Fatalf("switches = %d, want 1 (no intermediate revert)", c.Switches)
+	}
+
+	// Heals again at 40: a FULL WTR must run (40→60); reverting at the
+	// old expiry (30) or the old remainder would be a stale timer.
+	c.SetSignal(40, Working, false, false)
+	for now := int64(40); now < 60; now++ {
+		c.Advance(now)
+		if c.Active() != Protect {
+			t.Fatalf("reverted at %d, before the re-armed WTR expired", now)
+		}
+	}
+	c.Advance(60)
+	if c.Active() != Working {
+		t.Fatal("did not revert after the re-armed WTR")
+	}
+	if c.Switches != 2 || c.ToWorking != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+// TestWTRExpiryRacesSecondSF: an SF that asserts on the very tick the
+// WTR expires must win the evaluation — the selector stays on
+// protection with no revert-and-return double transition.
+func TestWTRExpiryRacesSecondSF(t *testing.T) {
+	c := NewController(Config{Revertive: true, WaitToRestore: 20})
+	c.SetSignal(2, Working, true, false)
+	c.Advance(2)
+	c.SetSignal(10, Working, false, false)
+	c.Advance(10) // WTR expiry at 30
+
+	// The line observation for tick 30 lands before the tick's Advance,
+	// exactly as the frame loop feeds the controller.
+	c.SetSignal(30, Working, true, false)
+	c.Advance(30)
+	if c.Active() != Protect {
+		t.Fatal("selector left protection while working was failed")
+	}
+	if c.Switches != 1 {
+		t.Fatalf("switches = %d, want 1 (no flap through working)", c.Switches)
+	}
+	if k1, _ := c.TxK1K2(); k1 != K1(ReqSignalFail, 1) {
+		t.Fatalf("tx K1 = %#x, want signal-fail", k1)
+	}
+}
+
+// TestLockoutDuringWTR: a lockout command in the middle of the WTR
+// countdown pre-empts everything — the selector returns to working
+// immediately, the WTR is abandoned, and a working-line SF while
+// locked out must NOT move the selector. Clearing the lockout with the
+// failure still standing switches to protection at last.
+func TestLockoutDuringWTR(t *testing.T) {
+	c := NewController(Config{Revertive: true, WaitToRestore: 50})
+	c.SetSignal(2, Working, true, false)
+	c.Advance(2)
+	c.SetSignal(10, Working, false, false)
+	c.Advance(10) // WTR armed, expiry at 60
+
+	c.Lockout(20)
+	c.Advance(20)
+	if c.Active() != Working {
+		t.Fatal("lockout did not force the selector to working")
+	}
+	if k1, _ := c.TxK1K2(); k1 != K1(ReqLockout, 0) {
+		t.Fatalf("tx K1 under lockout = %#x", k1)
+	}
+
+	// New SF while locked out: protection is unavailable.
+	c.SetSignal(30, Working, true, false)
+	for now := int64(30); now < 70; now += 5 {
+		c.Advance(now)
+		if c.Active() != Working {
+			t.Fatalf("selector moved at %d despite lockout", now)
+		}
+	}
+
+	// Lockout clears with the failure still standing: switch now, and
+	// the switch duration dates from the command clearing, not from the
+	// 40-tick-old condition.
+	c.Clear()
+	c.Advance(70)
+	if c.Active() != Protect {
+		t.Fatal("did not switch after lockout cleared")
+	}
+	if c.Switches != 3 || c.ToProtect != 2 || c.ToWorking != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+
+	// And the eventual heal still runs a clean WTR from scratch.
+	c.SetSignal(80, Working, false, false)
+	c.Advance(80)
+	if k1, _ := c.TxK1K2(); k1 != K1(ReqWaitToRestore, 1) {
+		t.Fatalf("tx K1 = %#x, want wait-to-restore", k1)
+	}
+	c.Advance(129)
+	if c.Active() != Protect {
+		t.Fatal("reverted before the post-lockout WTR expired")
+	}
+	c.Advance(130)
+	if c.Active() != Working {
+		t.Fatal("did not revert after the post-lockout WTR")
+	}
+}

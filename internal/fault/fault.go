@@ -42,6 +42,10 @@ const (
 	// KindLOS replaces N octets starting at At with zeros — a timed
 	// line cut, the all-zeros dead line of a loss-of-signal window.
 	KindLOS
+	// KindNoise applies random bit errors at Rate over N octets starting
+	// at At, drawn from a generator seeded by the op's Seed — a timed,
+	// reproducible noise burst (the resync-under-noise drills).
+	KindNoise
 )
 
 func (k Kind) String() string {
@@ -56,6 +60,8 @@ func (k Kind) String() string {
 		return "corrupt"
 	case KindLOS:
 		return "los"
+	case KindNoise:
+		return "noise"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -63,11 +69,13 @@ func (k Kind) String() string {
 // Op is one scripted impairment, fired when the injector's input
 // position reaches At.
 type Op struct {
-	At   int64  // input-stream octet offset
-	Kind Kind   //
-	N    int    // span in octets (Delete/Duplicate/Corrupt/LOS)
-	Data []byte // octets to insert (Insert)
-	Mask byte   // XOR mask (Corrupt); 0 defaults to 0xFF
+	At   int64   // input-stream octet offset
+	Kind Kind    //
+	N    int     // span in octets (Delete/Duplicate/Corrupt/LOS/Noise)
+	Data []byte  // octets to insert (Insert)
+	Mask byte    // XOR mask (Corrupt); 0 defaults to 0xFF
+	Rate float64 // bit error rate inside the window (Noise)
+	Seed uint64  // noise generator seed (Noise)
 }
 
 // Script is an ordered fault scenario.
@@ -109,6 +117,13 @@ func (s *Script) Corrupt(at int64, n int, mask byte) *Script {
 // LOS schedules a line cut: n octets of dead (zero) line from at.
 func (s *Script) LOS(at int64, n int) *Script {
 	s.Ops = append(s.Ops, Op{At: at, Kind: KindLOS, N: n})
+	return s
+}
+
+// Noise schedules a reproducible noise burst: bit errors at rate over n
+// octets from at, drawn from a generator seeded with seed.
+func (s *Script) Noise(at int64, n int, rate float64, seed uint64) *Script {
+	s.Ops = append(s.Ops, Op{At: at, Kind: KindNoise, N: n, Rate: rate, Seed: seed})
 	return s
 }
 
@@ -183,6 +198,7 @@ type Stats struct {
 	LOSWindows uint64 // LOS ops fired
 	LOSOctets  uint64 // octets zeroed inside LOS windows
 	BitErrors  uint64 // bits flipped by the analog Model
+	NoiseBits  uint64 // bits flipped inside scripted Noise windows
 	OpsFired   int    // scripted ops consumed
 }
 
@@ -206,7 +222,9 @@ type Injector struct {
 	losEnd  int64 // input offset until which the line is dead
 	corEnd  int64 // input offset until which octets are XORed
 	corMask byte
-	hist    []byte // recent delivered octets, for Duplicate
+	noiEnd  int64        // input offset until which noise applies
+	noise   *channel.BER // active noise window's generator
+	hist    []byte       // recent delivered octets, for Duplicate
 }
 
 // NewInjector returns an injector for the given scenario.
@@ -266,6 +284,9 @@ func (in *Injector) Apply(p []byte) []byte {
 			case KindLOS:
 				in.losEnd = maxI64(in.losEnd, in.pos+int64(op.N))
 				in.Stats.LOSWindows++
+			case KindNoise:
+				in.noiEnd = maxI64(in.noiEnd, in.pos+int64(op.N))
+				in.noise = &channel.BER{Rate: op.Rate, Rand: netsim.NewRand(op.Seed)}
 			}
 		}
 		switch {
@@ -281,6 +302,11 @@ func (in *Injector) Apply(p []byte) []byte {
 			if in.pos < in.corEnd {
 				b ^= in.corMask
 				in.Stats.Corrupted++
+			}
+			if in.pos < in.noiEnd && in.noise != nil {
+				one := [1]byte{b}
+				in.Stats.NoiseBits += uint64(in.noise.Apply(one[:]))
+				b = one[0]
 			}
 			out = append(out, b)
 		}

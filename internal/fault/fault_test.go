@@ -99,6 +99,46 @@ func TestCorruptAndTruncate(t *testing.T) {
 	}
 }
 
+func TestNoiseWindowDeterministicAndBounded(t *testing.T) {
+	run := func(chunk int) ([]byte, Stats) {
+		var s Script
+		s.Noise(100, 4000, 0.01, 77)
+		in := NewInjector(s)
+		return feed(in, seq(8000), chunk), in.Stats
+	}
+	a, sa := run(17)
+	b, sb := run(512)
+	if !bytes.Equal(a, b) {
+		t.Fatal("noise window not deterministic across chunkings")
+	}
+	if sa.NoiseBits != sb.NoiseBits {
+		t.Fatalf("NoiseBits %d vs %d across chunkings", sa.NoiseBits, sb.NoiseBits)
+	}
+	if sa.NoiseBits == 0 {
+		t.Fatal("no bits flipped over a 4000-octet window at BER 1e-2")
+	}
+	clean := seq(8000)
+	for i := range a {
+		inside := i >= 100 && i < 4100
+		if !inside && a[i] != clean[i] {
+			t.Fatalf("octet %d corrupted outside the noise window", i)
+		}
+	}
+}
+
+func TestNoiseSuppressedInsideLOS(t *testing.T) {
+	var s Script
+	s.Noise(0, 2000, 0.05, 9)
+	s.LOS(500, 1000)
+	in := NewInjector(s)
+	got := feed(in, seq(2000), 64)
+	for i := 500; i < 1500; i++ {
+		if got[i] != 0 {
+			t.Fatalf("octet %d = %#x: noise applied inside the LOS window", i, got[i])
+		}
+	}
+}
+
 func TestDeterminismAcrossChunkings(t *testing.T) {
 	src := seq(4096)
 	script := Random(netsim.NewRand(42), int64(len(src)), RandomConfig{

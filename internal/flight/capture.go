@@ -66,6 +66,11 @@ type Capture struct {
 	Events []telemetry.Event
 	// Regs are register snapshots contributed by the link and OAM.
 	Regs []RegSample
+
+	// Path is the on-disk location of the capture once WriteFile has
+	// landed it (empty for in-memory captures). Not serialised; runners
+	// surface it so a failing drill points straight at its black box.
+	Path string
 }
 
 // Filename is the canonical capture file name:
@@ -291,7 +296,12 @@ func (c *Capture) WriteFile(dir string) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, c.Filename()))
+	dst := filepath.Join(dir, c.Filename())
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return err
+	}
+	c.Path = dst
+	return nil
 }
 
 // ReadFile loads and decodes a capture file.

@@ -23,6 +23,10 @@ type Deframer struct {
 	// consecutive frames (the GR-253 byte-persistence filter), so a
 	// protection controller never acts on a corrupted signalling byte.
 	OnAPS func(k1, k2 byte)
+	// OnFrame, when set, is called once per delivered frame, before that
+	// frame's payload octets are emitted. A slot demultiplexer keys on it
+	// to re-anchor its intra-frame payload position after a resync.
+	OnFrame func()
 
 	buf     []byte // accumulating candidate frame
 	aligned bool
@@ -169,6 +173,10 @@ func (d *Deframer) frame(raw []byte) {
 	// APS signalling: K1/K2 from the line overhead, gated by the
 	// persistence filter.
 	d.observeAPS(frame[apsRow*row+1], frame[apsRow*row+2])
+
+	if d.OnFrame != nil {
+		d.OnFrame()
+	}
 
 	// Extract POH column + payload.
 	var path []byte

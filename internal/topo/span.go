@@ -1,0 +1,110 @@
+package topo
+
+import (
+	"repro/internal/channel"
+	"repro/internal/fault"
+	"repro/internal/sonet"
+)
+
+// Span is one directed fibre between adjacent nodes: the source node's
+// framer, an optional fault injector, a delay/jitter line, and the
+// destination node's deframer with its defect monitor. One transport
+// frame crosses it per tick, so a fault script's octet offsets map to
+// ticks as offset = tick · FrameBytes.
+type Span struct {
+	From, To int
+	Rot      Rotation
+
+	// Inject, when set, impairs the transmitted frames (scripted cuts,
+	// slips, noise bursts). Offsets count transmitted octets from tick
+	// zero. Install with SetScript or assign directly before traffic.
+	Inject *fault.Injector
+
+	// Line models the fibre's propagation delay, jitter and reorder.
+	Line channel.Line
+
+	fr   *sonet.Framer
+	df   *sonet.Deframer
+	ring *Ring
+
+	txPos int // payload octet position within the frame being built
+	rxPos int // payload octet position within the frame being parsed
+
+	FramesSent      uint64
+	FramesDelivered uint64
+	DarkFrames      uint64 // zero frames launched while the source was failed
+}
+
+func newSpan(r *Ring, rot Rotation, from, to int) *Span {
+	s := &Span{From: from, To: to, Rot: rot, ring: r}
+	s.Line = channel.Line{
+		Delay:        r.Cfg.Delay,
+		Jitter:       r.Cfg.Jitter,
+		ReorderEvery: r.Cfg.ReorderEvery,
+		// Jitter alone must not reorder a fibre; only an explicit
+		// ReorderEvery does.
+		InOrder: r.Cfg.ReorderEvery == 0,
+	}
+	if r.Cfg.Jitter > 0 || r.Cfg.ReorderEvery > 0 {
+		s.Line.Rand = newRand(spanSeed(r.Cfg.Seed, rot, from))
+	}
+	payload := r.Cfg.Level.PayloadBytes()
+	s.fr = sonet.NewFramer(r.Cfg.Level, func() (byte, bool) {
+		b := r.nodes[from].txByte(rot, s.txPos/r.block)
+		s.txPos++
+		if s.txPos == payload {
+			s.txPos = 0
+		}
+		return b, true
+	})
+	s.df = sonet.NewDeframer(r.Cfg.Level, func(b byte) {
+		// While the line is service-affected the deframer may still
+		// deliver frames at the assumed boundary (the defect monitor's
+		// persistence contract), but their payload is meaningless — an
+		// ADM inserts path AIS downstream instead of garbage.
+		if s.df.Defects.Active()&sonet.ServiceAffecting != 0 {
+			b = aisOctet
+		}
+		r.nodes[to].rxByte(rot, s.rxPos/r.block, b)
+		s.rxPos++
+		if s.rxPos == payload {
+			s.rxPos = 0
+		}
+	})
+	// Re-anchor the slot demultiplexer at every delivered frame so a
+	// resync after a slip or cut cannot leave the slots rotated.
+	s.df.OnFrame = func() { s.rxPos = 0 }
+	return s
+}
+
+// SetScript installs a fault script on the span. nil clears.
+func (s *Span) SetScript(sc *fault.Script) {
+	if sc == nil {
+		s.Inject = nil
+		return
+	}
+	s.Inject = fault.NewInjector(*sc)
+}
+
+// Deframer exposes the receive-side deframer (defect monitor, parity
+// and resync counters) for assertions and stats.
+func (s *Span) Deframer() *sonet.Deframer { return s.df }
+
+// Framer exposes the transmit-side framer.
+func (s *Span) Framer() *sonet.Framer { return s.fr }
+
+// Defect reports whether the span currently shows a service-affecting
+// receive defect.
+func (s *Span) Defect() bool {
+	return s.df.Defects.Active()&sonet.ServiceAffecting != 0
+}
+
+// CutLOS appends a loss-of-signal window to the span's script,
+// covering ticks [fromTick, fromTick+ticks): the scripted equivalent
+// of unplugging this fibre for that long. It composes with any
+// existing injector script only if called before SetScript; prefer
+// building the whole script first.
+func CutLOS(sc *fault.Script, level sonet.Level, fromTick, ticks int64) *fault.Script {
+	fb := int64(level.FrameBytes())
+	return sc.LOS(fromTick*fb, int(ticks*fb))
+}

@@ -1,0 +1,117 @@
+package gigapos
+
+import (
+	"repro/internal/flight"
+	"repro/internal/telemetry"
+	"repro/internal/topo"
+)
+
+// RingLink is the ring-aware endpoint: a full PPP Link whose line
+// octets ride a circuit on a topo.Ring instead of a dedicated fibre
+// pair. The ring layer supplies protection (the UPSR path selector or
+// a BLSR ring switch); the RingLink bridges its outcomes into the
+// link-layer machinery — a selector movement records a failover for
+// the SLO evaluator and dumps the flight recorder, and a squelched
+// circuit (both paths dead) escalates to the supervisor exactly like
+// a dual line failure on a ProtectedLink.
+//
+// Drive pattern, once per tick, after Ring.Tick:
+//
+//	ring.Tick(now)
+//	rl.Advance(now) // protocol timers, then port exchange
+type RingLink struct {
+	*Link
+	Port *topo.Port
+
+	rxBuf   []byte
+	telSync []func()
+}
+
+// ringRestartPeriod is the default LCP/IPCP restart timer for ring
+// endpoints. A circuit crosses pass-through nodes store-and-forward,
+// so the control round trip is several ticks — far beyond the RFC
+// default of 3 — and the timer must outlast it or negotiation
+// livelocks retiring every ID before its Ack returns.
+const ringRestartPeriod = 64
+
+// NewRingLink builds a link over a ring circuit endpoint.
+func NewRingLink(cfg LinkConfig, port *topo.Port) *RingLink {
+	if cfg.RestartPeriod == 0 {
+		cfg.RestartPeriod = ringRestartPeriod
+	}
+	rl := &RingLink{Link: NewLink(cfg), Port: port}
+	prev := port.OnDown
+	port.OnDown = func(now int64, down bool) {
+		if prev != nil {
+			prev(now, down)
+		}
+		if down {
+			rl.Link.trace("ring-squelch", rl.Port.Circ.Name, 1, now)
+			rl.Link.NotifyDefects(AlarmServiceAffecting)
+		} else {
+			rl.Link.trace("ring-squelch", rl.Port.Circ.Name, 0, now)
+			rl.Link.NotifyDefects(0)
+		}
+	}
+	return rl
+}
+
+// Advance runs the link's protocol timers, then exchanges line octets
+// with the ring port: transmit output into the add queue, drain the
+// selected drop stream into the receiver.
+func (rl *RingLink) Advance(now int64) {
+	rl.Link.Advance(now)
+	if out := rl.Link.Output(); len(out) > 0 {
+		rl.Port.Send(out)
+	}
+	rl.rxBuf = rl.Port.Recv(rl.rxBuf[:0])
+	if len(rl.rxBuf) > 0 {
+		rl.Link.Input(rl.rxBuf)
+	}
+	for _, f := range rl.telSync {
+		f()
+	}
+}
+
+// ArmFlight arms the underlying link and additionally dumps the black
+// box on every ring selector movement, recording the outage the
+// switch healed as the SLO failover duration.
+func (rl *RingLink) ArmFlight(rec *flight.Recorder) {
+	rl.Link.ArmFlight(rec)
+	prev := rl.Port.OnSwitch
+	rl.Port.OnSwitch = func(now int64, from, to topo.Rotation, outage int64) {
+		if prev != nil {
+			prev(now, from, to, outage)
+		}
+		rl.Link.FlightSetFailover(outage)
+		rl.Link.trace("ring-switch", to.String(), int64(to), outage)
+		rl.Link.flightTrigger("ring-switch")
+	}
+}
+
+// Instrument exports the link's probe set under name plus the ring
+// endpoint's selector counters. Mirrors refresh on every Advance.
+func (rl *RingLink) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer, name string) {
+	rl.Link.Instrument(reg, tr, name)
+	switches := reg.Counter(name+"_ring_switches_total",
+		"Path selector movements at this ring endpoint.")
+	fill := reg.Counter(name+"_ring_fill_octets_total",
+		"Idle flag octets inserted while the add queue ran dry.")
+	drops := reg.Counter(name+"_ring_rx_drops_total",
+		"Drop-stream octets discarded to the receive depth cap.")
+	sel := reg.Gauge(name+"_ring_selected_rotation",
+		"Rotation the drop selector currently delivers (0 east, 1 west).")
+	down := reg.Gauge(name+"_ring_down",
+		"1 while the circuit is squelched (no rotation delivers).")
+	rl.telSync = append(rl.telSync, func() {
+		switches.Set(rl.Port.Switches)
+		fill.Set(rl.Port.FillOctets)
+		drops.Set(rl.Port.RxDrops)
+		sel.Set(int64(rl.Port.Selected()))
+		if rl.Port.Down() {
+			down.Set(1)
+		} else {
+			down.Set(0)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package gigapos
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/flight"
+	"repro/internal/telemetry"
+	"repro/internal/topo"
+)
+
+// ringPair builds a 4-node UPSR ring with one circuit 0↔2 and a
+// RingLink on each end.
+func ringPair(t *testing.T, mode topo.Mode) (*topo.Ring, *RingLink, *RingLink) {
+	t.Helper()
+	r, err := topo.NewRing(topo.Config{Nodes: 4, Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb, err := r.AddCircuit(topo.Circuit{Name: "c0", A: 0, B: 2, Slot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewRingLink(LinkConfig{Magic: 0xAA, IPAddr: [4]byte{10, 0, 0, 1}}, pa)
+	b := NewRingLink(LinkConfig{Magic: 0xBB, IPAddr: [4]byte{10, 0, 0, 2}}, pb)
+	return r, a, b
+}
+
+func ringBringUp(t *testing.T, r *topo.Ring, a, b *RingLink, from int64) int64 {
+	t.Helper()
+	a.Open()
+	b.Open()
+	a.Up()
+	b.Up()
+	now := from
+	for ; now < from+2000; now++ {
+		r.Tick(now)
+		a.Advance(now)
+		b.Advance(now)
+		if a.IPReady() && b.IPReady() {
+			return now
+		}
+	}
+	t.Fatal("IPCP did not open over the ring")
+	return now
+}
+
+// cutRing injects LOS on both directions of the fibre between u and v
+// from tick at, lasting ticks.
+func cutRing(t *testing.T, r *topo.Ring, u, v int, at, ticks int64) {
+	t.Helper()
+	uv, vu, err := r.SpansBetween(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := int64(r.Cfg.Level.FrameBytes())
+	for _, s := range []*topo.Span{uv, vu} {
+		var sc fault.Script
+		sc.LOS(at*fb, int(ticks*fb))
+		s.SetScript(&sc)
+	}
+}
+
+func TestRingLinkBringUpAndTransfer(t *testing.T) {
+	r, a, b := ringPair(t, topo.UPSR)
+	now := ringBringUp(t, r, a, b, 0)
+	want := [][]byte{{0x45, 1, 2, 3}, {0x45, 9, 8, 7, 6}}
+	for _, d := range want {
+		if err := a.SendIPv4(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Datagram
+	for end := now + 50; now < end; now++ {
+		r.Tick(now)
+		a.Advance(now)
+		b.Advance(now)
+		got = append(got, b.ReceivedInto(nil)...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("received %d datagrams, want %d", len(got), len(want))
+	}
+	for i, d := range got {
+		if string(d.Payload) != string(want[i]) {
+			t.Fatalf("datagram %d = % x", i, d.Payload)
+		}
+	}
+}
+
+func TestRingLinkHitlessCutNoRenegotiation(t *testing.T) {
+	r, a, b := ringPair(t, topo.UPSR)
+
+	reg := telemetry.NewRegistry()
+	ra := flight.NewRecorder(reg, "ring_a", flight.Config{Dir: t.TempDir()})
+	rb := flight.NewRecorder(reg, "ring_b", flight.Config{Dir: t.TempDir()})
+	a.ArmFlight(ra)
+	b.ArmFlight(rb)
+	JoinFlight(a.Link, b.Link)
+
+	now := ringBringUp(t, r, a, b, 0)
+	cutAt := now + 100
+	cutRing(t, r, 0, 1, cutAt, 100000)
+
+	sent, received := 0, 0
+	lcpDrops := 0
+	for end := now + 1500; now < end; now++ {
+		if now == cutAt-1 || now%3 == 0 {
+			if err := a.SendIPv4([]byte{0x45, byte(sent), byte(sent >> 8)}); err == nil {
+				sent++
+			}
+		}
+		r.Tick(now)
+		a.Advance(now)
+		b.Advance(now)
+		if !b.Opened() {
+			lcpDrops++
+		}
+		received += len(b.ReceivedInto(nil))
+	}
+	if lcpDrops != 0 {
+		t.Fatalf("LCP dropped for %d ticks across the switch — not hitless", lcpDrops)
+	}
+	if b.Port.Switches != 1 {
+		t.Fatalf("switches = %d, want 1", b.Port.Switches)
+	}
+	if d := b.Port.LastSwitchAt - cutAt; d < 0 || d > 400 {
+		t.Fatalf("switch %+d ticks from cut, budget 400", d)
+	}
+	if rb.CapturesFor("ring-switch") == 0 {
+		t.Fatal("no ring-switch flight capture on the switching end")
+	}
+	if received < sent*9/10 {
+		t.Fatalf("received %d of %d datagrams", received, sent)
+	}
+}
+
+func TestRingLinkSquelchEscalatesToSupervisor(t *testing.T) {
+	r, err := topo.NewRing(topo.Config{Nodes: 4, Mode: topo.UPSR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb, err := r.AddCircuit(topo.Circuit{Name: "c0", A: 0, B: 2, Slot: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewRingLink(LinkConfig{Magic: 0xAA, IPAddr: [4]byte{10, 0, 0, 1}, Supervise: true}, pa)
+	b := NewRingLink(LinkConfig{Magic: 0xBB, IPAddr: [4]byte{10, 0, 0, 2}, Supervise: true}, pb)
+	now := ringBringUp(t, r, a, b, 0)
+	// Isolate node 2 (b's node): both of its fibres die.
+	cutRing(t, r, 1, 2, now+50, 100000)
+	cutRing(t, r, 2, 3, now+50, 100000)
+	for end := now + 800; now < end; now++ {
+		r.Tick(now)
+		a.Advance(now)
+		b.Advance(now)
+	}
+	if !a.Port.Down() {
+		t.Fatal("surviving end's port not squelched")
+	}
+	if a.Link.Supervisor().DefectOutages == 0 {
+		t.Fatal("squelch did not escalate to the supervisor")
+	}
+}

@@ -54,6 +54,23 @@ END {
     printf "flight gate: OK (armed %.0f ns/op vs base %.0f ns/op, 0 allocs, tol %s%%)\n", armed, base, tol
 }'
 
+echo "== chaos scenario smoke =="
+# Run the committed protection drills end-to-end through the p5sim
+# -scenario mode: a failed SLO assertion makes p5sim exit non-zero
+# and names the .p5fr captures, failing this gate.
+scen_bin="$(mktemp -d)/p5sim"
+go build -o "$scen_bin" ./cmd/p5sim
+for drill in fiber-cut dual-cut noise-resync; do
+    echo "-- scenarios/$drill.json"
+    "$scen_bin" -scenario "scenarios/$drill.json"
+done
+rm -rf "$(dirname "$scen_bin")"
+
+echo "== benchmark trend =="
+# Compare the two newest BENCH_*.json snapshots; >10% ns/op regression
+# fails. With fewer than two snapshots this is a no-op.
+./scripts/bench-trend
+
 echo "== fuzz smoke ($FUZZTIME per target) =="
 # Each fuzz target must run alone: `go test -fuzz` accepts only one
 # match per package invocation.
