@@ -34,6 +34,7 @@ import (
 	"repro/internal/p5"
 	"repro/internal/pos"
 	"repro/internal/ppp"
+	"repro/internal/prof"
 	"repro/internal/rtl"
 	"repro/internal/sonet"
 	"repro/internal/synth"
@@ -532,6 +533,45 @@ func BenchmarkEngineAggregate(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineAggregateProfiled is the armed twin of
+// BenchmarkEngineAggregate: the same engine step loop with stage cost
+// accounting enabled (prof.Collector, default 1-in-32 sampling).
+// verify.sh compares its shards=1 ns/op against the disarmed bench and
+// fails if the observatory costs more than PROF_OVERHEAD_PCT (2%).
+// allocs/op must stay 0 — stamps are atomics into preallocated rings.
+func BenchmarkEngineAggregateProfiled(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("links=8/shards=%d", shards), func(b *testing.B) {
+			e := NewEngine(EngineConfig{Links: 8, Shards: shards, PayloadSize: 512, Batch: 8})
+			defer e.Close()
+			col := e.ArmProfile(telemetry.NewRegistry(), "bench", prof.Config{})
+			if !e.BringUp(512) {
+				b.Fatal("engine bring-up failed")
+			}
+			e.Run(32) // reach steady-state buffer capacities
+			start := e.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			e.Run(b.N)
+			b.StopTimer()
+			st := e.Stats()
+			delivered := float64(st.Datagrams - start.Datagrams)
+			line := float64(st.LineBytes - start.LineBytes)
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(delivered/secs, "frames/s")
+				b.ReportMetric(line*8/secs/1e9, "Gbps-line")
+			}
+			b.ReportMetric(delivered/float64(b.N), "frames/step")
+			sum := col.Summary()
+			if sum.Sampled == 0 {
+				b.Fatal("stage profile armed but no steps sampled")
+			}
+			b.ReportMetric(float64(sum.ImbalancePerMille), "imbalance-permille")
+		})
+	}
+}
+
 // BenchmarkLinkEncodeSteady measures the steady-state transmit path of
 // one negotiated link: batch dispatch, fused single-pass CRC+stuff
 // encode, double-buffered drain. The alloc column is the point: 0 B/op.
@@ -635,11 +675,17 @@ func BenchmarkSystem(b *testing.B) {
 		for _, instrumented := range []bool{false, true} {
 			b.Run(fmt.Sprintf("width=%dbit/telemetry=%t", w*8, instrumented), func(b *testing.B) {
 				b.SetBytes(total)
+				// One registry for the whole variant: registration is
+				// get-or-create, so each fresh system re-binds the same
+				// mirrors. Building a registry per op buried the probe
+				// cost under ~40 series registrations (537 vs 171
+				// allocs/op at 8 bits) and measured setup, not probes.
+				reg := telemetry.NewRegistry()
 				var bpc float64
 				for i := 0; i < b.N; i++ {
 					sys := p5.NewSystem(w)
 					if instrumented {
-						sys.Instrument(telemetry.NewRegistry(), "p5")
+						sys.Instrument(reg, "p5")
 					}
 					for _, d := range payloads {
 						sys.Send(p5.TxJob{Protocol: ppp.ProtoIPv4, Payload: d})

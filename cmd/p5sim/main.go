@@ -45,10 +45,22 @@
 // every defect escalation, APS switch, FCS burst, or supervisor
 // restart.
 //
+// With -prof DIR the run is the performance observatory: CPU, heap,
+// allocs, mutex, block, and goroutine profiles are captured for the
+// whole run and written to DIR (inspect with go tool pprof). In the
+// -engine mode the worker loop additionally arms per-shard stage cost
+// accounting — the report gains a stage-by-stage ns/step breakdown,
+// barrier wait, and shard imbalance, and the prof_* series join
+// /metrics. Combined with -flight, every black-box capture also drops
+// a tagged profile snapshot next to its .p5fr file, and in -protect
+// the host can demand a snapshot through the OAM RegProfCtrl register.
+// Whenever telemetry is armed, runtime/metrics (GC pauses, scheduler
+// latency, goroutine count) are exported as runtime_* gauges.
+//
 // Usage:
 //
 //	p5sim [-width 8|32] [-frames N] [-size imix|N] [-density F] [-errors F] [-v]
-//	      [-telemetry ADDR] [-flight DIR]
+//	      [-telemetry ADDR] [-flight DIR] [-prof DIR]
 //	      [-sonet] [-slip-every N] [-los-windows N] [-los-frames N] [-dup-every N]
 //	      [-protect]
 //	      [-engine N] [-shards N]
@@ -70,6 +82,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/netsim"
 	"repro/internal/p5"
+	"repro/internal/prof"
 	"repro/internal/ppp"
 	"repro/internal/rtl"
 	"repro/internal/sonet"
@@ -95,6 +108,14 @@ type simConfig struct {
 	// flightDir, when non-empty, arms the flight recorder in the
 	// -protect and -engine modes and writes black-box captures there.
 	flightDir string
+
+	// profDir, when non-empty, captures runtime profiles for the whole
+	// run into this directory and (in the -engine mode) arms per-shard
+	// stage cost accounting.
+	profDir string
+	// profSession is the live capture started by run(); modes stop it
+	// through stopProf after their report.
+	profSession *prof.Session
 
 	sonetMode bool
 	faults    fault.RandomConfig
@@ -136,6 +157,7 @@ func main() {
 	flag.BoolVar(&cfg.verbose, "v", false, "print per-frame dispositions")
 	flag.StringVar(&cfg.telemetryAddr, "telemetry", "", "serve /metrics, /debug/vars, /debug/pprof/, /trace on this address after the run")
 	flag.StringVar(&cfg.flightDir, "flight", "", "arm the flight recorder (with -protect or -engine); write .p5fr captures to this directory")
+	flag.StringVar(&cfg.profDir, "prof", "", "capture CPU/heap/mutex/block profiles for the run into this directory; with -engine, arm per-shard stage accounting")
 	flag.BoolVar(&cfg.sonetMode, "sonet", false, "carry the line over an STM-1 section with fault injection")
 	flag.BoolVar(&cfg.protectMode, "protect", false, "run the 1+1 APS failover scenario (working-line cut of -los-frames frames)")
 	flag.IntVar(&cfg.engineLinks, "engine", 0, "run the sharded line-card engine with this many loopback link pairs")
@@ -165,6 +187,13 @@ func main() {
 
 // run executes one simulation per cfg, writing the report to out.
 func run(cfg simConfig, out io.Writer) error {
+	if cfg.profDir != "" {
+		s, err := prof.StartSession(cfg.profDir, prof.SessionConfig{})
+		if err != nil {
+			return fmt.Errorf("-prof: %w", err)
+		}
+		cfg.profSession = s
+	}
 	if cfg.scenarioFile != "" {
 		return runScenario(cfg, out)
 	}
@@ -178,6 +207,34 @@ func run(cfg simConfig, out io.Writer) error {
 		return runSONET(cfg, out)
 	}
 	return runLoopback(cfg, out)
+}
+
+// stopProf ends the run-wide profile capture and reports the files. It
+// runs from serveTelemetry — after every mode's report, before the
+// endpoint (which may linger forever) comes up.
+func stopProf(cfg simConfig, out io.Writer) error {
+	if cfg.profSession == nil {
+		return nil
+	}
+	files, err := cfg.profSession.Stop()
+	if err != nil {
+		return fmt.Errorf("-prof: %w", err)
+	}
+	fmt.Fprintf(out, "  profiles         : %d written to %s (go tool pprof %s/cpu.pprof)\n",
+		len(files), cfg.profDir, cfg.profDir)
+	return nil
+}
+
+// flightProfiler builds the flight-capture profile hook: every
+// black-box dump drops a tagged runtime profile snapshot next to its
+// .p5fr file. Nil when -prof is not armed.
+func flightProfiler(cfg simConfig) func(*flight.Capture) {
+	if cfg.profDir == "" {
+		return nil
+	}
+	return func(c *flight.Capture) {
+		prof.WriteSnapshot(cfg.profDir, fmt.Sprintf("flight-%s-%d", c.Reason, c.Seq))
+	}
 }
 
 // parseCommon validates the flag combinations shared by both modes and
@@ -204,7 +261,12 @@ func newTelemetry(cfg simConfig) (*telemetry.Registry, *telemetry.Tracer) {
 	if cfg.telemetryAddr == "" && cfg.scrape == nil {
 		return nil, nil
 	}
-	return telemetry.NewRegistry(), telemetry.NewTracer(4096)
+	reg := telemetry.NewRegistry()
+	// Instrumented runs always carry the Go runtime's own vitals —
+	// GC pauses, scheduler latency, goroutine count — refreshed at
+	// every scrape through the registry's sampler hook.
+	prof.ExportRuntime(reg)
+	return reg, telemetry.NewTracer(4096)
 }
 
 // serveTelemetry starts the exposition endpoint after a run, mounting
@@ -213,6 +275,9 @@ func newTelemetry(cfg simConfig) (*telemetry.Registry, *telemetry.Tracer) {
 // process is killed so the operator can attach p5stat, curl /metrics,
 // or pull a profile.
 func serveTelemetry(cfg simConfig, reg *telemetry.Registry, tr *telemetry.Tracer, board *flight.Board, out io.Writer) error {
+	if err := stopProf(cfg, out); err != nil {
+		return err
+	}
 	if reg == nil {
 		return nil
 	}
@@ -291,9 +356,13 @@ func runEngine(cfg simConfig, out io.Writer) error {
 	if reg != nil {
 		e.Instrument(reg, "linecard")
 	}
+	var col *prof.Collector
+	if cfg.profDir != "" {
+		col = e.ArmProfile(reg, "linecard", prof.Config{})
+	}
 	var board *flight.Board
 	if cfg.flightDir != "" {
-		board = e.ArmFlight(reg, flight.Config{Dir: cfg.flightDir})
+		board = e.ArmFlight(reg, flight.Config{Dir: cfg.flightDir, Profiler: flightProfiler(cfg)})
 	}
 
 	if !e.BringUp(1024) {
@@ -322,6 +391,18 @@ func runEngine(cfg simConfig, out io.Writer) error {
 		float64(delivered)/secs, float64(payload)*8/secs/1e9, float64(line)*8/secs/1e9)
 	fmt.Fprintf(out, "  paper scale      : %.2fx the 2.488 Gb/s STM-16 line rate\n",
 		float64(line)*8/secs/1e9/2.488)
+	if col != nil {
+		sum := col.Summary()
+		fmt.Fprintf(out, "  stage profile    : %d shards, %d/%d steps sampled, shard imbalance %d‰\n",
+			sum.Shards, sum.Sampled, sum.Steps, sum.ImbalancePerMille)
+		for st := prof.Stage(0); int(st) < prof.NumStages; st++ {
+			if sum.StageCount[st] == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "    %-9s: %8.0f ns/step (%d samples)\n",
+				st, sum.PerStep(st), sum.StageCount[st])
+		}
+	}
 	if board != nil {
 		flightSummary(out, board, cfg.flightDir)
 	}
@@ -588,7 +669,16 @@ func runProtect(cfg simConfig, out io.Writer) error {
 	}
 	oam := &p5.OAM{Regs: p5.NewRegs()}
 	oam.AttachAPS(b.Ctrl)
-	oam.Write(p5.RegIntMask, p5.IntAPSSwitch|p5.IntFlightDump|p5.IntSLOBurn)
+	oam.Write(p5.RegIntMask, p5.IntAPSSwitch|p5.IntFlightDump|p5.IntSLOBurn|p5.IntProfDump)
+	if cfg.profDir != "" {
+		// Host-demanded profile snapshots through the OAM register
+		// block, alongside the run-wide session capture.
+		profDir := cfg.profDir
+		oam.AttachProfiler(func() error {
+			_, err := prof.WriteSnapshot(profDir, "oam")
+			return err
+		})
+	}
 
 	// Flight recorder: arm both endpoints so a→b latency resolves, put
 	// the SLO on the receiving side, and expose dumps through the OAM
@@ -596,7 +686,7 @@ func runProtect(cfg simConfig, out io.Writer) error {
 	var board *flight.Board
 	var recA, recB *flight.Recorder
 	if cfg.flightDir != "" {
-		fcfg := flight.Config{Dir: cfg.flightDir}
+		fcfg := flight.Config{Dir: cfg.flightDir, Profiler: flightProfiler(cfg)}
 		recA = flight.NewRecorder(reg, "prot_a", fcfg)
 		recB = flight.NewRecorder(reg, "prot_b", fcfg)
 		a.ArmFlight(recA)

@@ -376,6 +376,61 @@ func TestEngineModeScrape(t *testing.T) {
 	}
 }
 
+// TestEngineProfMode runs the -engine line card with the performance
+// observatory armed: the profile files land in the directory, the
+// report carries the stage breakdown, and the prof_* and runtime_*
+// series join the exposition.
+func TestEngineProfMode(t *testing.T) {
+	profDir := t.TempDir()
+	var series map[string]float64
+	cfg := simConfig{
+		engineLinks: 4, engineShards: 2,
+		frames: 200, size: "256",
+		telemetryAddr: "127.0.0.1:0",
+		profDir:       profDir,
+		scrape:        func(base string) { series = seriesMap(t, base) },
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if series == nil {
+		t.Fatal("scrape hook never ran")
+	}
+	for _, name := range []string{
+		`prof_stage_ns_total{engine="linecard",shard="0",stage="encode"}`,
+		`prof_stage_ns_total{engine="linecard",shard="1",stage="tokenize"}`,
+		`prof_barrier_wait_ns_total{engine="linecard",shard="0"}`,
+		`prof_sampled_steps_total{engine="linecard"}`,
+		`runtime_goroutines`,
+		`runtime_heap_bytes`,
+	} {
+		if v, ok := series[name]; !ok || v == 0 {
+			t.Errorf("series %s = %v (present=%v), want nonzero", name, v, ok)
+		}
+	}
+	report := out.String()
+	for _, want := range []string{
+		"stage profile    : 2 shards,",
+		"tokenize :",
+		"barrier  :",
+		"profiles         : 6 written to " + profDir,
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	for _, f := range []string{"cpu.pprof", "heap.pprof", "mutex.pprof",
+		"block.pprof", "allocs.pprof", "goroutine.pprof"} {
+		st, err := os.Stat(filepath.Join(profDir, f))
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+		} else if st.Size() == 0 {
+			t.Errorf("%s: empty profile", f)
+		}
+	}
+}
+
 // TestRunRejectsBadFlags pins the usage-error path.
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out bytes.Buffer

@@ -54,6 +54,9 @@ func runScenario(cfg simConfig, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "  slo              : worst-burn=%.2f alarm=%v captures=%d dir=%s\n",
 		worst, alarm, len(res.CapturePaths), dir)
+	if err := stopProf(cfg, out); err != nil {
+		return err
+	}
 
 	if res.Pass {
 		fmt.Fprintf(out, "  verdict          : PASS (%d assertions held)\n", s.Assert.Count())

@@ -2,14 +2,22 @@ package gigapos
 
 import (
 	"bytes"
+	"os"
 	"testing"
 
+	"repro/internal/prof"
 	"repro/internal/telemetry"
 )
 
 // TestEngineSoak is the race gate: a multi-link engine with more links
 // than shards, brought up and run long enough that every shard worker
 // moves real traffic concurrently. Run it under -race.
+//
+// When SOAK_PROF_DIR is set the soak runs with the performance
+// observatory armed: a prof.Session captures CPU/heap/mutex/block
+// profiles into that directory (written even when the test fails — CI
+// uploads them as artifacts on soak failure), and the engine's stage
+// cost accounting runs alongside the race detector.
 func TestEngineSoak(t *testing.T) {
 	e := NewEngine(EngineConfig{
 		Links:       8,
@@ -20,6 +28,20 @@ func TestEngineSoak(t *testing.T) {
 	defer e.Close()
 	reg := telemetry.NewRegistry()
 	e.Instrument(reg, "soak")
+	if dir := os.Getenv("SOAK_PROF_DIR"); dir != "" {
+		s, err := prof.StartSession(dir, prof.SessionConfig{})
+		if err != nil {
+			t.Fatalf("SOAK_PROF_DIR=%s: %v", dir, err)
+		}
+		defer func() {
+			files, err := s.Stop()
+			if err != nil {
+				t.Errorf("profile session stop: %v", err)
+			}
+			t.Logf("soak profiles: %d written to %s", len(files), dir)
+		}()
+		e.ArmProfile(reg, "soak", prof.Config{})
+	}
 
 	if !e.BringUp(512) {
 		t.Fatalf("engine failed to negotiate: %v", e.String())

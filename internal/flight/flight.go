@@ -109,6 +109,12 @@ type Config struct {
 	// Clock supplies wall-clock nanoseconds for stage stamps (default
 	// time.Now().UnixNano).
 	Clock func() int64
+	// Profiler, when set, observes every capture after it is recorded
+	// (and after any capture file is written), so a runtime profile
+	// snapshot can land next to the .p5fr evidence — p5sim -prof wires
+	// this to prof.WriteSnapshot. Called on the triggering goroutine;
+	// runs after OnCapture.
+	Profiler func(*Capture)
 }
 
 func (c Config) withDefaults() Config {
@@ -510,6 +516,9 @@ func (r *Recorder) Trigger(reason string) *Capture {
 	r.events.Emit(r.now, r.name, "capture", reason, int64(seq), int64(len(c.RxWire)))
 	if r.OnCapture != nil {
 		r.OnCapture(c)
+	}
+	if r.cfg.Profiler != nil {
+		r.cfg.Profiler(c)
 	}
 	return c
 }

@@ -252,6 +252,32 @@ func TestTriggerBookkeeping(t *testing.T) {
 	}
 }
 
+// TestTriggerProfilerHook: the Config.Profiler hook observes every
+// capture after OnCapture and after the capture file is written, so a
+// runtime profile snapshot can land next to the .p5fr evidence.
+func TestTriggerProfilerHook(t *testing.T) {
+	cfg := testCfg()
+	cfg.Dir = t.TempDir()
+	order := []string{}
+	cfg.Profiler = func(c *Capture) {
+		if c.Reason != "aps-switch" {
+			t.Errorf("profiler saw reason %q", c.Reason)
+		}
+		order = append(order, "profiler")
+	}
+	r := NewRecorder(nil, "a", cfg)
+	r.OnCapture = func(c *Capture) { order = append(order, "capture") }
+	c := r.Trigger("aps-switch")
+	if len(order) != 2 || order[0] != "capture" || order[1] != "profiler" {
+		t.Fatalf("hook order = %v, want [capture profiler]", order)
+	}
+	// The .p5fr file exists by the time the profiler runs, so tagged
+	// snapshots written beside it always pair up.
+	if c.Path == "" {
+		t.Error("capture file not on disk before the profiler hook ran")
+	}
+}
+
 func TestBurstDetectorFiresOncePerBurst(t *testing.T) {
 	b := BurstDetector{Window: 10, Threshold: 3}
 	if b.Note(0) || b.Note(1) {

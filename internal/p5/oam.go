@@ -57,6 +57,9 @@ const (
 	// Flight recorder / SLO block (AttachFlight).
 	RegFlightCtrl = 0x94 // write bit 0: dump the black box now; read: capture count
 	RegSLOBurn    = 0x98 // worst SLO burn rate in milli-units; bit 31 = alarm (RO)
+
+	// Performance observatory block (AttachProfiler).
+	RegProfCtrl = 0x9C // write bit 0: snapshot runtime profiles now; read: dump count
 )
 
 // RegAPSCtrl command encodings (lower two bits of a host write).
@@ -125,6 +128,7 @@ const (
 
 	IntFlightDump = 1 << 10 // the flight recorder dumped a capture (AttachFlight)
 	IntSLOBurn    = 1 << 11 // an SLO burn-rate alarm was raised (AttachFlight)
+	IntProfDump   = 1 << 12 // a runtime profile snapshot was written (AttachProfiler)
 )
 
 // IntCauseNames maps interrupt bits to their mnemonic, for status dumps.
@@ -137,6 +141,7 @@ var IntCauseNames = []struct {
 	{IntSDeg, "sdeg"}, {IntSFail, "sfail"}, {IntDefectClear, "defect-clear"},
 	{IntAPSSwitch, "aps-switch"},
 	{IntFlightDump, "flight-dump"}, {IntSLOBurn, "slo-burn"},
+	{IntProfDump, "prof-dump"},
 }
 
 // Regs is the OAM configuration register file. Datapath modules read it
@@ -291,6 +296,10 @@ type OAM struct {
 	// block and the flight-dump / slo-burn interrupt causes.
 	flight *flight.Recorder
 	slo    *flight.SLO
+	// profiler, when attached, services RegProfCtrl dump requests;
+	// profDumps counts the successful ones for RegProfCtrl reads.
+	profiler  func() error
+	profDumps atomic.Uint32
 }
 
 // NewOAM assembles an OAM block over separately constructed datapath
@@ -394,6 +403,15 @@ func (o *OAM) AttachFlight(rec *flight.Recorder, s *flight.SLO) {
 	}
 }
 
+// AttachProfiler wires a runtime profile dumper into the OAM block:
+// the host writes bit 0 of RegProfCtrl to snapshot heap/mutex/block/
+// goroutine profiles on demand (p5sim -prof wires this to
+// prof.WriteSnapshot), each successful dump raises the IntProfDump
+// cause, and RegProfCtrl reads back the dump count.
+func (o *OAM) AttachProfiler(dump func() error) {
+	o.profiler = dump
+}
+
 // Alarms returns the live alarm register as a defect set.
 func (o *OAM) Alarms() sonet.Defect {
 	o.Regs.mu.RLock()
@@ -411,6 +429,14 @@ func (o *OAM) Write(addr uint32, v uint32) {
 		// not reentrant.
 		if v&1 != 0 && o.flight != nil {
 			o.flight.Trigger("oam")
+		}
+		return
+	}
+	if addr == RegProfCtrl {
+		// Before the lock for the same reason: RaiseInt re-takes it.
+		if v&1 != 0 && o.profiler != nil && o.profiler() == nil {
+			o.profDumps.Add(1)
+			o.Regs.RaiseInt(IntProfDump)
 		}
 		return
 	}
@@ -522,6 +548,9 @@ func (o *OAM) Read(addr uint32) uint32 {
 	}
 	if o.flight != nil && addr == RegFlightCtrl {
 		return uint32(o.flight.Captures())
+	}
+	if o.profiler != nil && addr == RegProfCtrl {
+		return o.profDumps.Load()
 	}
 	if o.slo != nil && addr == RegSLOBurn {
 		burn := o.slo.WorstBurnMilli()

@@ -1,0 +1,62 @@
+package p5
+
+import (
+	"testing"
+
+	"repro/internal/ppp"
+	"repro/internal/telemetry"
+)
+
+// TestInstrumentedSyncZeroAlloc pins the probe design BenchmarkSystem
+// gates: once a system is instrumented, the periodic mirror refresh
+// (counter taps, gauge taps, busy watches, kernel wire mirrors) runs
+// without touching the allocator, so instrumentation cost is a few
+// atomic stores — not garbage.
+func TestInstrumentedSyncZeroAlloc(t *testing.T) {
+	sys := NewSystem(1)
+	sys.Instrument(telemetry.NewRegistry(), "p5")
+	// Real traffic first so every tap reads nonzero, post-warm-up state.
+	sys.Send(TxJob{Protocol: ppp.ProtoIPv4, Payload: make([]byte, 512)})
+	if !sys.RunUntilIdle(1_000_000) {
+		t.Fatal("system did not drain")
+	}
+	if allocs := testing.AllocsPerRun(100, sys.SyncTelemetry); allocs != 0 {
+		t.Errorf("SyncTelemetry allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestInstrumentedIdleCycleZeroAlloc covers the in-loop path: idle
+// cycles spanning several telemetrySyncInterval boundaries must not
+// allocate either — the sync hook rides System.Cycle, so a leak here
+// would tax every instrumented run per cycle, not per scrape.
+func TestInstrumentedIdleCycleZeroAlloc(t *testing.T) {
+	sys := NewSystem(1)
+	sys.Instrument(telemetry.NewRegistry(), "p5")
+	sys.Send(TxJob{Protocol: ppp.ProtoIPv4, Payload: make([]byte, 512)})
+	if !sys.RunUntilIdle(1_000_000) {
+		t.Fatal("system did not drain")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 4*telemetrySyncInterval; i++ {
+			sys.Cycle()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented idle cycles allocate %.1f allocs per 4 sync intervals, want 0", allocs)
+	}
+}
+
+// TestInstrumentReusesRegistry pins the get-or-create contract the
+// system benchmark relies on: instrumenting a fresh system into an
+// already-populated registry re-binds the existing mirrors instead of
+// growing the series set.
+func TestInstrumentReusesRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	NewSystem(1).Instrument(reg, "p5")
+	n1 := len(reg.Snapshot("one").Samples())
+	NewSystem(1).Instrument(reg, "p5")
+	n2 := len(reg.Snapshot("two").Samples())
+	if n1 == 0 || n1 != n2 {
+		t.Errorf("series count %d -> %d after re-instrumenting, want unchanged nonzero", n1, n2)
+	}
+}

@@ -12,6 +12,7 @@ import (
 // text exposition format (version 0.0.4), in registration order. HELP
 // and TYPE headers are emitted once per metric family.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runSamplers()
 	r.mu.RLock()
 	metrics := append([]*metric(nil), r.metrics...)
 	r.mu.RUnlock()

@@ -263,9 +263,10 @@ func isNameChar(c byte, pos int) bool {
 // same series returns the same metric, so independent subsystems can
 // share counters by name.
 type Registry struct {
-	mu      sync.RWMutex
-	metrics []*metric
-	index   map[string]*metric
+	mu       sync.RWMutex
+	metrics  []*metric
+	index    map[string]*metric
+	samplers []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -327,6 +328,27 @@ func (r *Registry) Histogram(name, help string, bounds []int64, labels ...Label)
 	return m.hist
 }
 
+// AddSampler registers fn to run at the start of every Snapshot and
+// Prometheus exposition, before metric values are read. It is the hook
+// for pull-style sources (the prof package's runtime/metrics exporter)
+// that refresh mirror counters/gauges only when someone is looking,
+// keeping the instrumented process free of background polling. fn must
+// be safe for concurrent calls and must not register metrics.
+func (r *Registry) AddSampler(fn func()) {
+	r.mu.Lock()
+	r.samplers = append(r.samplers, fn)
+	r.mu.Unlock()
+}
+
+func (r *Registry) runSamplers() {
+	r.mu.RLock()
+	samplers := append([]func(){}, r.samplers...)
+	r.mu.RUnlock()
+	for _, fn := range samplers {
+		fn()
+	}
+}
+
 // Sample is one flattened series value in a snapshot.
 type Sample struct {
 	// Series is the full series identity (name plus label block).
@@ -352,6 +374,7 @@ type Snapshot struct {
 
 // Snapshot captures the current value of every registered series.
 func (r *Registry) Snapshot(name string) Snapshot {
+	r.runSamplers()
 	r.mu.RLock()
 	metrics := append([]*metric(nil), r.metrics...)
 	r.mu.RUnlock()

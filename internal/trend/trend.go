@@ -1,0 +1,421 @@
+// Package trend is the multi-snapshot benchmark analytics engine
+// behind scripts/bench-trend and p5stat -bench. It loads every
+// BENCH_<date>.json written by scripts/bench.sh, builds per-benchmark
+// time series across the snapshots, flags regressions between the two
+// newest snapshots, attributes each regression (which snapshot it
+// first appeared in, which custom metrics moved with it), and renders
+// text and markdown reports.
+//
+// Benchmarks appearing or disappearing between snapshots are normal —
+// every PR grows the bench matrix — so they are annotated, never an
+// error; only a benchmark present in both of the newest snapshots can
+// regress. Regressions carry the benchmark's name so a CI gate can
+// fail with a concrete culprit, not just a threshold message.
+package trend
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Bench is one benchmark variant in one snapshot.
+type Bench struct {
+	// Name is the full sub-benchmark path, GOMAXPROCS suffix stripped
+	// (bench.sh does the stripping).
+	Name string
+	// NsPerOp is the headline cost; 0 when the snapshot lacks it.
+	NsPerOp float64
+	// Metrics holds every numeric field (ns_per_op, MB_per_s,
+	// allocs_per_op, frames_per_s, custom units...).
+	Metrics map[string]float64
+}
+
+// Snapshot is one parsed BENCH_*.json file.
+type Snapshot struct {
+	// File is the base filename (BENCH_20260805.json) — files sort
+	// chronologically by name.
+	File string
+	// Date and Go echo the snapshot header.
+	Date, Go string
+	// Benches lists the variants, in file order.
+	Benches []Bench
+
+	byName map[string]*Bench
+}
+
+// Bench returns the named benchmark in this snapshot (nil if absent).
+func (s *Snapshot) Bench(name string) *Bench { return s.byName[name] }
+
+// Load reads every BENCH_*.json in dir, sorted chronologically (by
+// filename). A file that fails to parse is an error naming the file.
+func Load(dir string) ([]Snapshot, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	snaps := make([]Snapshot, 0, len(paths))
+	for _, p := range paths {
+		s, err := parseFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("trend: %s: %w", filepath.Base(p), err)
+		}
+		snaps = append(snaps, s)
+	}
+	return snaps, nil
+}
+
+func parseFile(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var raw struct {
+		Date       string           `json:"date"`
+		Go         string           `json:"go"`
+		Benchmarks []map[string]any `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return Snapshot{}, err
+	}
+	s := Snapshot{
+		File:   filepath.Base(path),
+		Date:   raw.Date,
+		Go:     raw.Go,
+		byName: make(map[string]*Bench, len(raw.Benchmarks)),
+	}
+	for _, b := range raw.Benchmarks {
+		name, _ := b["name"].(string)
+		if name == "" {
+			continue
+		}
+		bench := Bench{Name: name, Metrics: make(map[string]float64, len(b))}
+		for k, v := range b {
+			if f, ok := v.(float64); ok {
+				bench.Metrics[k] = f
+			}
+		}
+		bench.NsPerOp = bench.Metrics["ns_per_op"]
+		s.Benches = append(s.Benches, bench)
+	}
+	for i := range s.Benches {
+		s.byName[s.Benches[i].Name] = &s.Benches[i]
+	}
+	return s, nil
+}
+
+// Regression is one benchmark whose ns/op worsened beyond tolerance
+// between the two newest snapshots.
+type Regression struct {
+	// Name is the regressed benchmark — the gate's exit message leads
+	// with it.
+	Name string
+	// OldNs/NewNs are ns/op in the older and newer snapshot.
+	OldNs, NewNs float64
+	// DeltaPct is the relative change in percent (positive = slower).
+	DeltaPct float64
+	// Origin is the snapshot file where the series first rose more
+	// than tolerance above its best (minimum) ns/op — the attribution:
+	// an origin predating the newest snapshot means the cost crept in
+	// earlier and only crossed the pair threshold now.
+	Origin string
+	// MovedMetrics lists non-ns metrics of this benchmark that also
+	// changed beyond tolerance between the newest pair ("allocs_per_op
+	// +214.0%"), ranked by magnitude — the usual suspects.
+	MovedMetrics []string
+}
+
+// Report is the analysis over a snapshot set.
+type Report struct {
+	Snapshots []Snapshot
+	// Names is the sorted union of benchmark names across snapshots.
+	Names []string
+	// TolPct is the regression tolerance the report was built with.
+	TolPct float64
+	// Regressions lists newest-pair regressions beyond TolPct, worst
+	// first. Nil with fewer than two snapshots.
+	Regressions []Regression
+	// Appeared/Disappeared name benchmarks present in only one of the
+	// two newest snapshots.
+	Appeared, Disappeared []string
+}
+
+// Analyze builds the report. tolPct is the regression tolerance in
+// percent (ns/op growing more than this between the two newest
+// snapshots is a regression).
+func Analyze(snaps []Snapshot, tolPct float64) *Report {
+	r := &Report{Snapshots: snaps, TolPct: tolPct}
+	seen := map[string]bool{}
+	for i := range snaps {
+		for j := range snaps[i].Benches {
+			if n := snaps[i].Benches[j].Name; !seen[n] {
+				seen[n] = true
+				r.Names = append(r.Names, n)
+			}
+		}
+	}
+	sort.Strings(r.Names)
+	if len(snaps) < 2 {
+		return r
+	}
+	old, new := &snaps[len(snaps)-2], &snaps[len(snaps)-1]
+	for _, name := range r.Names {
+		ob, nb := old.Bench(name), new.Bench(name)
+		switch {
+		case ob == nil && nb != nil:
+			r.Appeared = append(r.Appeared, name)
+		case ob != nil && nb == nil:
+			r.Disappeared = append(r.Disappeared, name)
+		case ob != nil && nb != nil && ob.NsPerOp > 0:
+			delta := 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+			if delta > tolPct {
+				r.Regressions = append(r.Regressions, Regression{
+					Name:         name,
+					OldNs:        ob.NsPerOp,
+					NewNs:        nb.NsPerOp,
+					DeltaPct:     delta,
+					Origin:       r.origin(name),
+					MovedMetrics: movedMetrics(ob, nb, tolPct),
+				})
+			}
+		}
+	}
+	sort.Slice(r.Regressions, func(i, j int) bool {
+		return r.Regressions[i].DeltaPct > r.Regressions[j].DeltaPct
+	})
+	return r
+}
+
+// origin finds the best (minimum) ns/op across the series and returns
+// the first snapshot whose ns/op sits more than tolerance above it.
+func (r *Report) origin(name string) string {
+	best := 0.0
+	for i := range r.Snapshots {
+		if b := r.Snapshots[i].Bench(name); b != nil && b.NsPerOp > 0 {
+			if best == 0 || b.NsPerOp < best {
+				best = b.NsPerOp
+			}
+		}
+	}
+	origin := r.Snapshots[len(r.Snapshots)-1].File
+	for i := range r.Snapshots {
+		b := r.Snapshots[i].Bench(name)
+		if b == nil || b.NsPerOp <= 0 {
+			continue
+		}
+		if 100*(b.NsPerOp-best)/best > r.TolPct {
+			origin = r.Snapshots[i].File
+			break
+		}
+	}
+	return origin
+}
+
+func movedMetrics(ob, nb *Bench, tolPct float64) []string {
+	type move struct {
+		name  string
+		delta float64
+	}
+	var moves []move
+	for k, nv := range nb.Metrics {
+		if k == "ns_per_op" || k == "iterations" {
+			continue
+		}
+		ov, ok := ob.Metrics[k]
+		if !ok || ov == 0 {
+			continue
+		}
+		delta := 100 * (nv - ov) / ov
+		if delta > tolPct || delta < -tolPct {
+			moves = append(moves, move{k, delta})
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool {
+		return abs(moves[i].delta) > abs(moves[j].delta)
+	})
+	out := make([]string, len(moves))
+	for i, m := range moves {
+		out[i] = fmt.Sprintf("%s %+.1f%%", m.name, m.delta)
+	}
+	return out
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// WriteText renders the per-benchmark series table plus the regression
+// findings, bench-trend style.
+func (r *Report) WriteText(w io.Writer) error {
+	if len(r.Snapshots) < 2 {
+		_, err := fmt.Fprintf(w, "trend: %d snapshot(s), need 2 — nothing to diff\n", len(r.Snapshots))
+		return err
+	}
+	old, new := r.Snapshots[len(r.Snapshots)-2], r.Snapshots[len(r.Snapshots)-1]
+	fmt.Fprintf(w, "trend: %d snapshots, newest pair %s -> %s (tolerance %g%%)\n",
+		len(r.Snapshots), old.File, new.File, r.TolPct)
+	for _, name := range r.Names {
+		ob, nb := old.Bench(name), new.Bench(name)
+		switch {
+		case ob == nil && nb == nil:
+			continue
+		case ob == nil:
+			fmt.Fprintf(w, "  new      %-62s %14.0f ns/op\n", name, nb.NsPerOp)
+		case nb == nil:
+			fmt.Fprintf(w, "  gone     %-62s %14.0f ns/op\n", name, ob.NsPerOp)
+		default:
+			delta := 0.0
+			if ob.NsPerOp > 0 {
+				delta = 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+			}
+			mark := "ok  "
+			if delta > r.TolPct {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(w, "  %s %-62s %12.0f -> %12.0f ns/op (%+.1f%%) %s\n",
+				mark, name, ob.NsPerOp, nb.NsPerOp, delta, sparkline(r.series(name)))
+		}
+	}
+	for _, reg := range r.Regressions {
+		fmt.Fprintf(w, "regressed: %s %+.1f%% (%.0f -> %.0f ns/op), since %s",
+			reg.Name, reg.DeltaPct, reg.OldNs, reg.NewNs, reg.Origin)
+		if len(reg.MovedMetrics) > 0 {
+			fmt.Fprintf(w, "; moved: %s", strings.Join(reg.MovedMetrics, ", "))
+		}
+		fmt.Fprintln(w)
+	}
+	if len(r.Regressions) == 0 {
+		fmt.Fprintln(w, "trend: OK")
+	}
+	return nil
+}
+
+// series returns the ns/op trajectory of one benchmark across every
+// snapshot (0 where absent).
+func (r *Report) series(name string) []float64 {
+	out := make([]float64, len(r.Snapshots))
+	for i := range r.Snapshots {
+		if b := r.Snapshots[i].Bench(name); b != nil {
+			out[i] = b.NsPerOp
+		}
+	}
+	return out
+}
+
+// sparkline renders a tiny unicode trajectory of the series, absent
+// snapshots as '·'. With one usable point it returns "".
+var sparkChars = []rune("▁▂▃▄▅▆▇█")
+
+func sparkline(vals []float64) string {
+	min, max := 0.0, 0.0
+	n := 0
+	for _, v := range vals {
+		if v <= 0 {
+			continue
+		}
+		if n == 0 || v < min {
+			min = v
+		}
+		if n == 0 || v > max {
+			max = v
+		}
+		n++
+	}
+	if n < 2 {
+		return ""
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		if v <= 0 {
+			b.WriteRune('·')
+			continue
+		}
+		i := 0
+		if max > min {
+			i = int((v - min) / (max - min) * float64(len(sparkChars)-1))
+		}
+		b.WriteRune(sparkChars[i])
+	}
+	return b.String()
+}
+
+// WriteMarkdown renders the trend as a markdown report: snapshot
+// header, a per-benchmark table with the full series, and regression
+// attributions.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	fmt.Fprintf(w, "# Benchmark trend\n\n")
+	if len(r.Snapshots) == 0 {
+		_, err := fmt.Fprintln(w, "No BENCH_*.json snapshots found.")
+		return err
+	}
+	fmt.Fprintf(w, "%d snapshot(s); tolerance %g%%.\n\n", len(r.Snapshots), r.TolPct)
+	fmt.Fprint(w, "| benchmark |")
+	for _, s := range r.Snapshots {
+		fmt.Fprintf(w, " %s |", strings.TrimSuffix(strings.TrimPrefix(s.File, "BENCH_"), ".json"))
+	}
+	fmt.Fprint(w, " Δ newest |\n|---|")
+	for range r.Snapshots {
+		fmt.Fprint(w, "---:|")
+	}
+	fmt.Fprint(w, "---:|\n")
+	for _, name := range r.Names {
+		fmt.Fprintf(w, "| `%s` |", name)
+		series := r.series(name)
+		for _, v := range series {
+			if v <= 0 {
+				fmt.Fprint(w, " — |")
+			} else {
+				fmt.Fprintf(w, " %.0f |", v)
+			}
+		}
+		last, prev := 0.0, 0.0
+		if n := len(series); n >= 1 {
+			last = series[n-1]
+		}
+		if n := len(series); n >= 2 {
+			prev = series[n-2]
+		}
+		if prev > 0 && last > 0 {
+			delta := 100 * (last - prev) / prev
+			mark := ""
+			if delta > r.TolPct {
+				mark = " ⚠"
+			}
+			fmt.Fprintf(w, " %+.1f%%%s |\n", delta, mark)
+		} else {
+			fmt.Fprint(w, " — |\n")
+		}
+	}
+	fmt.Fprintln(w)
+	if len(r.Regressions) > 0 {
+		fmt.Fprintf(w, "## Regressions (> %g%%)\n\n", r.TolPct)
+		for _, reg := range r.Regressions {
+			fmt.Fprintf(w, "- **%s**: %+.1f%% (%.0f → %.0f ns/op), first at this level in %s",
+				reg.Name, reg.DeltaPct, reg.OldNs, reg.NewNs, reg.Origin)
+			if len(reg.MovedMetrics) > 0 {
+				fmt.Fprintf(w, "; moved metrics: %s", strings.Join(reg.MovedMetrics, ", "))
+			}
+			fmt.Fprintln(w)
+		}
+	} else if len(r.Snapshots) >= 2 {
+		fmt.Fprintln(w, "No regressions between the two newest snapshots.")
+	}
+	if len(r.Appeared)+len(r.Disappeared) > 0 {
+		fmt.Fprintln(w)
+		for _, n := range r.Appeared {
+			fmt.Fprintf(w, "- new in newest: `%s`\n", n)
+		}
+		for _, n := range r.Disappeared {
+			fmt.Fprintf(w, "- gone in newest: `%s`\n", n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package trend
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnap(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const snapA = `{
+  "date": "2026-08-01", "go": "go1.24.0",
+  "benchmarks": [
+    {"name": "BenchmarkSystem/8bit", "iterations": 3, "ns_per_op": 1000, "allocs_per_op": 10},
+    {"name": "BenchmarkLinkEncodeSteady", "iterations": 3, "ns_per_op": 17000, "MB_per_s": 700.0},
+    {"name": "BenchmarkOldOnly", "iterations": 3, "ns_per_op": 500}
+  ]
+}`
+
+const snapB = `{
+  "date": "2026-08-05", "go": "go1.24.0",
+  "benchmarks": [
+    {"name": "BenchmarkSystem/8bit", "iterations": 3, "ns_per_op": 1500, "allocs_per_op": 40},
+    {"name": "BenchmarkLinkEncodeSteady", "iterations": 3, "ns_per_op": 17100, "MB_per_s": 698.0},
+    {"name": "BenchmarkNewOnly", "iterations": 3, "ns_per_op": 250}
+  ]
+}`
+
+func TestLoadSortsAndParses(t *testing.T) {
+	dir := t.TempDir()
+	// Written out of order; filenames must decide chronology.
+	writeSnap(t, dir, "BENCH_20260805.json", snapB)
+	writeSnap(t, dir, "BENCH_20260801.json", snapA)
+	snaps, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("loaded %d snapshots, want 2", len(snaps))
+	}
+	if snaps[0].File != "BENCH_20260801.json" || snaps[1].File != "BENCH_20260805.json" {
+		t.Fatalf("snapshot order %s, %s — not chronological", snaps[0].File, snaps[1].File)
+	}
+	b := snaps[0].Bench("BenchmarkSystem/8bit")
+	if b == nil || b.NsPerOp != 1000 || b.Metrics["allocs_per_op"] != 10 {
+		t.Fatalf("parsed bench = %+v, want ns 1000 / allocs 10", b)
+	}
+}
+
+func TestLoadBadJSONNamesFile(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_20260801.json", "{not json")
+	_, err := Load(dir)
+	if err == nil || !strings.Contains(err.Error(), "BENCH_20260801.json") {
+		t.Fatalf("err = %v, want named file", err)
+	}
+}
+
+// TestRegressionsNameBenchAndSurviveChurn is the satellite guarantee:
+// benchmarks appearing/disappearing between snapshots are annotations,
+// not crashes, and a regression carries the concrete benchmark name.
+func TestRegressionsNameBenchAndSurviveChurn(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_20260801.json", snapA)
+	writeSnap(t, dir, "BENCH_20260805.json", snapB)
+	snaps, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(snaps, 10)
+	if len(r.Regressions) != 1 {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkSystem/8bit", r.Regressions)
+	}
+	reg := r.Regressions[0]
+	if reg.Name != "BenchmarkSystem/8bit" {
+		t.Errorf("regression name = %q", reg.Name)
+	}
+	if reg.DeltaPct < 49 || reg.DeltaPct > 51 {
+		t.Errorf("delta = %.1f%%, want ~50%%", reg.DeltaPct)
+	}
+	// Attribution: allocs_per_op quadrupled alongside the slowdown.
+	if len(reg.MovedMetrics) == 0 || !strings.HasPrefix(reg.MovedMetrics[0], "allocs_per_op") {
+		t.Errorf("moved metrics = %v, want allocs_per_op first", reg.MovedMetrics)
+	}
+	if len(r.Appeared) != 1 || r.Appeared[0] != "BenchmarkNewOnly" {
+		t.Errorf("appeared = %v", r.Appeared)
+	}
+	if len(r.Disappeared) != 1 || r.Disappeared[0] != "BenchmarkOldOnly" {
+		t.Errorf("disappeared = %v", r.Disappeared)
+	}
+	// Encode moved +0.6% — inside tolerance, not a regression.
+	for _, g := range r.Regressions {
+		if g.Name == "BenchmarkLinkEncodeSteady" {
+			t.Error("sub-tolerance drift flagged as regression")
+		}
+	}
+}
+
+// TestOriginAttribution: a benchmark that regressed two snapshots ago
+// and stayed there is attributed to the snapshot where the level first
+// appeared, not the newest pair.
+func TestOriginAttribution(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_1.json", `{"benchmarks":[{"name":"X","ns_per_op":1000}]}`)
+	writeSnap(t, dir, "BENCH_2.json", `{"benchmarks":[{"name":"X","ns_per_op":1480}]}`)
+	writeSnap(t, dir, "BENCH_3.json", `{"benchmarks":[{"name":"X","ns_per_op":1500}]}`)
+	snaps, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tolerance 1.3%: the 2→3 delta of 1.35% trips the pair gate, but
+	// the series left its 1000ns best back at BENCH_2 — attribution
+	// points there.
+	r := Analyze(snaps, 1.3)
+	if len(r.Regressions) != 1 {
+		t.Fatalf("regressions = %+v", r.Regressions)
+	}
+	if got := r.Regressions[0].Origin; got != "BENCH_2.json" {
+		t.Errorf("origin = %s, want BENCH_2.json (where the level first appeared)", got)
+	}
+}
+
+func TestFewerThanTwoSnapshotsIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_only.json", snapA)
+	snaps, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(snaps, 10)
+	if r.Regressions != nil {
+		t.Fatalf("regressions on single snapshot: %+v", r.Regressions)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "need 2") {
+		t.Errorf("single-snapshot report = %q", b.String())
+	}
+}
+
+func TestWriteTextAndMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_20260801.json", snapA)
+	writeSnap(t, dir, "BENCH_20260805.json", snapB)
+	snaps, _ := Load(dir)
+	r := Analyze(snaps, 10)
+
+	var txt strings.Builder
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"FAIL BenchmarkSystem/8bit",
+		"new      BenchmarkNewOnly",
+		"gone     BenchmarkOldOnly",
+		"regressed: BenchmarkSystem/8bit",
+		"allocs_per_op +300.0%",
+	} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, txt.String())
+		}
+	}
+
+	var md strings.Builder
+	if err := r.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# Benchmark trend",
+		"| `BenchmarkSystem/8bit` | 1000 | 1500 | +50.0% ⚠ |",
+		"**BenchmarkSystem/8bit**",
+		"new in newest: `BenchmarkNewOnly`",
+	} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown report missing %q:\n%s", want, md.String())
+		}
+	}
+}
+
+// TestRealSnapshotParses reads the repo's committed snapshot so the
+// loader can never drift from what bench.sh actually writes.
+func TestRealSnapshotParses(t *testing.T) {
+	s, err := parseFile("../../BENCH_20260805.json")
+	if err != nil {
+		t.Skipf("committed snapshot unavailable: %v", err)
+	}
+	if len(s.Benches) == 0 {
+		t.Fatal("committed snapshot parsed to zero benchmarks")
+	}
+	b := s.Bench("BenchmarkEngineAggregate/links=8/shards=8")
+	if b == nil || b.NsPerOp <= 0 {
+		t.Fatalf("shard=8 bench = %+v", b)
+	}
+	if b.Metrics["Gbps_line"] <= 0 {
+		t.Error("custom Gbps_line metric not parsed")
+	}
+}

@@ -2,8 +2,9 @@
 # bench.sh — machine-readable benchmark trajectory:
 #   runs the BenchmarkSystem matrix (datapath width × telemetry
 #   on/off), the sharded line-card engine scale-out
-#   (BenchmarkEngineAggregate) and the steady-state link fast paths
-#   (BenchmarkLinkEncodeSteady / BenchmarkLinkEncodeSteadyFlight /
+#   (BenchmarkEngineAggregate, plus its stage-profiled twin
+#   BenchmarkEngineAggregateProfiled) and the steady-state link fast
+#   paths (BenchmarkLinkEncodeSteady / BenchmarkLinkEncodeSteadyFlight /
 #   BenchmarkLinkDecodeSteady), and writes
 #   BENCH_<date>.json with ns/op, MB/s, allocs/op and the custom
 #   metrics (bits/cycle, frames/s, Gbps-line) per variant, so
@@ -17,7 +18,7 @@ out="${1:-BENCH_$(date +%Y%m%d).json}"
 benchtime="${BENCHTIME:-3x}"
 
 raw=$(go test -run '^$' \
-    -bench '^(BenchmarkSystem|BenchmarkEngineAggregate|BenchmarkLinkEncodeSteady|BenchmarkLinkEncodeSteadyFlight|BenchmarkLinkDecodeSteady)$' \
+    -bench '^(BenchmarkSystem|BenchmarkEngineAggregate|BenchmarkEngineAggregateProfiled|BenchmarkLinkEncodeSteady|BenchmarkLinkEncodeSteadyFlight|BenchmarkLinkDecodeSteady)$' \
     -benchtime "$benchtime" -benchmem .)
 
 printf '%s\n' "$raw" | awk -v date="$(date +%Y-%m-%d)" -v go="$(go version | awk '{print $3}')" '

@@ -54,6 +54,36 @@ END {
     printf "flight gate: OK (armed %.0f ns/op vs base %.0f ns/op, 0 allocs, tol %s%%)\n", armed, base, tol
 }'
 
+echo "== stage-profile overhead gate =="
+# The armed engine benchmark (stage cost accounting, default 1-in-32
+# sampling) must stay zero-alloc and within PROF_OVERHEAD_PCT
+# (default 2) percent of the disarmed baseline at shards=1 — the
+# observatory's contract is that watching the hot path does not bend it.
+PROF_BENCHTIME="${PROF_BENCHTIME:-2000x}"
+prof_out=$(go test -run '^$' \
+    -bench '^BenchmarkEngineAggregate(Profiled)?$/^links=8$/^shards=1$' \
+    -benchtime "$PROF_BENCHTIME" -count 3 -benchmem .)
+printf '%s\n' "$prof_out"
+printf '%s\n' "$prof_out" | awk -v tol="${PROF_OVERHEAD_PCT:-2}" '
+$1 ~ /^BenchmarkEngineAggregate\/links=8\/shards=1(-[0-9]+)?$/ {
+    if (nb == 0 || $3 < base) base = $3     # best-of-count: noise floor
+    nb++
+}
+$1 ~ /^BenchmarkEngineAggregateProfiled\/links=8\/shards=1(-[0-9]+)?$/ {
+    if (na == 0 || $3 < armed) armed = $3
+    na++
+    if ($(NF-1) + 0 != 0) { bad_allocs = $(NF-1) }
+}
+END {
+    if (nb == 0 || na == 0) { print "prof gate: benchmark output missing"; exit 1 }
+    if (bad_allocs != "") { printf "prof gate: armed allocs/op = %s, want 0\n", bad_allocs; exit 1 }
+    if (armed > base * (1 + tol / 100)) {
+        printf "prof gate: armed %.0f ns/op vs base %.0f ns/op exceeds %s%%\n", armed, base, tol
+        exit 1
+    }
+    printf "prof gate: OK (armed %.0f ns/op vs base %.0f ns/op, 0 allocs, tol %s%%)\n", armed, base, tol
+}'
+
 echo "== chaos scenario smoke =="
 # Run the committed protection drills end-to-end through the p5sim
 # -scenario mode: a failed SLO assertion makes p5sim exit non-zero
