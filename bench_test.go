@@ -511,7 +511,7 @@ func BenchmarkEngineAggregate(b *testing.B) {
 		b.Run(fmt.Sprintf("links=8/shards=%d", shards), func(b *testing.B) {
 			e := NewEngine(EngineConfig{Links: 8, Shards: shards, PayloadSize: 512, Batch: 8})
 			defer e.Close()
-			if !e.BringUp(512) {
+			if !e.BringUp(512).Ready {
 				b.Fatal("engine bring-up failed")
 			}
 			e.Run(32) // reach steady-state buffer capacities
@@ -545,7 +545,7 @@ func BenchmarkEngineAggregateProfiled(b *testing.B) {
 			e := NewEngine(EngineConfig{Links: 8, Shards: shards, PayloadSize: 512, Batch: 8})
 			defer e.Close()
 			col := e.ArmProfile(telemetry.NewRegistry(), "bench", prof.Config{})
-			if !e.BringUp(512) {
+			if !e.BringUp(512).Ready {
 				b.Fatal("engine bring-up failed")
 			}
 			e.Run(32) // reach steady-state buffer capacities

@@ -28,6 +28,17 @@
 // frames/s and line-rate Gb/s. -frames sets the measured step count
 // and -size the datagram size.
 //
+// With -listen or -dial the engine's link pairs are split across two
+// p5sim processes interconnected by real UDP or TCP sockets (-net-transport,
+// link i on base port + i): the listener runs the A half, the dialer the
+// Z half, each supervised end-to-end — keepalive dead-peer detection
+// escalates a dark line into a transport-LOS defect and the link
+// supervisor renegotiates when the line returns. -net-stall and
+// -net-blackout script transport chaos windows; the run ends with a
+// machine-greppable NET-REPORT line, and -telemetry additionally serves
+// the transport /health and /status endpoints plus the transport_*
+// series (render with p5stat -transport).
+//
 // With -scenario FILE the run is a declarative chaos drill: the JSON
 // file describes a multi-node SONET ring (UPSR or BLSR), the circuits
 // riding it, an IMIX traffic profile, scripted faults (fibre cuts,
@@ -64,6 +75,8 @@
 //	      [-sonet] [-slip-every N] [-los-windows N] [-los-frames N] [-dup-every N]
 //	      [-protect]
 //	      [-engine N] [-shards N]
+//	      [-listen HOST:PORT | -dial HOST:PORT] [-net-transport udp|tcp]
+//	      [-net-keepalive N] [-tick-us N] [-net-stall FROM:TO] [-net-blackout FROM:TO]
 //	      [-scenario FILE]
 package main
 
@@ -71,6 +84,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"strconv"
@@ -82,8 +96,8 @@ import (
 	"repro/internal/flight"
 	"repro/internal/netsim"
 	"repro/internal/p5"
-	"repro/internal/prof"
 	"repro/internal/ppp"
+	"repro/internal/prof"
 	"repro/internal/rtl"
 	"repro/internal/sonet"
 	"repro/internal/synth"
@@ -135,6 +149,14 @@ type simConfig struct {
 	// of the drill's assertions fail.
 	scenarioFile string
 
+	// net holds the -listen/-dial socket line-card configuration; the
+	// mode is active when either address is set.
+	net netConfig
+
+	// mountExtra, when non-nil, adds mode-specific handlers (the
+	// transport /health and /status board) to the telemetry mux.
+	mountExtra func(*http.ServeMux)
+
 	// scrape, when set, is called with the endpoint base URL while the
 	// server is up; the server is then shut down instead of lingering.
 	// Test hook — nil in normal operation.
@@ -163,6 +185,13 @@ func main() {
 	flag.IntVar(&cfg.engineLinks, "engine", 0, "run the sharded line-card engine with this many loopback link pairs")
 	flag.IntVar(&cfg.engineShards, "shards", 0, "engine worker goroutines (default GOMAXPROCS)")
 	flag.StringVar(&cfg.scenarioFile, "scenario", "", "run a declarative chaos drill (JSON, see scenarios/) on a simulated ring")
+	flag.StringVar(&cfg.net.listen, "listen", "", "run the listener half of a two-process link over real sockets, binding HOST:PORT (link i uses PORT+i)")
+	flag.StringVar(&cfg.net.dial, "dial", "", "run the dialer half of a two-process link, connecting to the peer's HOST:PORT")
+	flag.StringVar(&cfg.net.proto, "net-transport", "udp", "socket transport for -listen/-dial: udp or tcp")
+	flag.Int64Var(&cfg.net.keepalive, "net-keepalive", 64, "transport keepalive probe period in virtual ticks")
+	flag.IntVar(&cfg.net.tickUS, "tick-us", 50, "wall-clock microseconds per virtual tick in network mode")
+	netStall := flag.String("net-stall", "", "hold port 0's transmit chunks in the tick window FROM:TO (after convergence), releasing them when it ends")
+	netBlackout := flag.String("net-blackout", "", "cut port 0's line completely in the tick window FROM:TO (after convergence)")
 	slipEvery := flag.Int("slip-every", 0, "sonet: mean octets between byte slips (0 = none)")
 	losWindows := flag.Int("los-windows", 0, "sonet: number of timed line cuts")
 	losFrames := flag.Int("los-frames", 30, "sonet: length of each line cut in STM-1 frames")
@@ -175,6 +204,15 @@ func main() {
 		DupEvery:   *dupEvery,
 	}
 	cfg.cutFrames = *losFrames
+	var werr error
+	if cfg.net.stallFrom, cfg.net.stallTo, werr = parseWindow(*netStall); werr != nil {
+		fmt.Fprintln(os.Stderr, "p5sim: bad -net-stall:", werr)
+		os.Exit(2)
+	}
+	if cfg.net.blackoutFrom, cfg.net.blackoutTo, werr = parseWindow(*netBlackout); werr != nil {
+		fmt.Fprintln(os.Stderr, "p5sim: bad -net-blackout:", werr)
+		os.Exit(2)
+	}
 
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "p5sim:", err)
@@ -196,6 +234,9 @@ func run(cfg simConfig, out io.Writer) error {
 	}
 	if cfg.scenarioFile != "" {
 		return runScenario(cfg, out)
+	}
+	if cfg.net.listen != "" || cfg.net.dial != "" {
+		return runNet(cfg, cfg.net, out)
 	}
 	if cfg.engineLinks > 0 {
 		return runEngine(cfg, out)
@@ -292,6 +333,10 @@ func serveTelemetry(cfg simConfig, reg *telemetry.Registry, tr *telemetry.Tracer
 		mux.Handle("/slo", board.Handler())
 		endpoints += " /slo"
 	}
+	if cfg.mountExtra != nil {
+		cfg.mountExtra(mux)
+		endpoints += " /health /status"
+	}
 	srv, err := telemetry.ServeHandler(addr, mux)
 	if err != nil {
 		return err
@@ -365,8 +410,8 @@ func runEngine(cfg simConfig, out io.Writer) error {
 		board = e.ArmFlight(reg, flight.Config{Dir: cfg.flightDir, Profiler: flightProfiler(cfg)})
 	}
 
-	if !e.BringUp(1024) {
-		return fmt.Errorf("engine bring-up failed: %v", e)
+	if bu := e.BringUp(1024); !bu.Ready {
+		return fmt.Errorf("engine bring-up failed: %s", bu)
 	}
 	e.Run(32) // settle buffers at steady-state capacity
 	start := e.Stats()

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// freeUDPPort reserves and releases a loopback UDP port for the test
+// to hand to both halves.
+func freeUDPPort(t *testing.T) int {
+	t.Helper()
+	c, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := c.LocalAddr().(*net.UDPAddr).Port
+	c.Close()
+	return port
+}
+
+// netReport extracts the NET-REPORT key=value fields from a run's
+// output.
+func netReport(t *testing.T, out string) map[string]string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "NET-REPORT ") {
+			continue
+		}
+		kv := make(map[string]string)
+		for _, f := range strings.Fields(line)[1:] {
+			k, v, ok := strings.Cut(f, "=")
+			if ok {
+				kv[k] = v
+			}
+		}
+		return kv
+	}
+	t.Fatalf("no NET-REPORT line in output:\n%s", out)
+	return nil
+}
+
+// TestNetModeUDPTwoHalves drives both halves of the -listen/-dial mode
+// in one process over real UDP loopback sockets, with a stall window
+// scripted on the listener's line. Both halves must converge, ride the
+// stall out with zero LCP renegotiations, and the listener's telemetry
+// endpoint must serve /health, /status and the transport_* series.
+func TestNetModeUDPTwoHalves(t *testing.T) {
+	addr := fmt.Sprintf("127.0.0.1:%d", freeUDPPort(t))
+	common := simConfig{frames: 600, size: "imix", engineLinks: 1}
+	common.net = netConfig{proto: "udp", keepalive: 64, tickUS: 20}
+
+	var healthCode int
+	var statusDoc struct {
+		Healthy    bool `json:"healthy"`
+		Transports []struct {
+			Name string `json:"name"`
+			Up   bool   `json:"up"`
+		} `json:"transports"`
+	}
+	var series map[string]float64
+
+	lcfg := common
+	lcfg.net.listen = addr
+	lcfg.net.stallFrom, lcfg.net.stallTo = 100, 200
+	lcfg.telemetryAddr = "127.0.0.1:0"
+	lcfg.scrape = func(base string) {
+		healthCode, _ = scrapeGet(t, base, "/health")
+		code, body := scrapeGet(t, base, "/status")
+		if code != http.StatusOK {
+			t.Errorf("/status code %d", code)
+		} else if err := json.Unmarshal(body, &statusDoc); err != nil {
+			t.Errorf("/status JSON: %v", err)
+		}
+		series = seriesMap(t, base)
+	}
+	var lout bytes.Buffer
+	lerr := make(chan error, 1)
+	go func() { lerr <- run(lcfg, &lout) }()
+
+	dcfg := common
+	dcfg.net.dial = addr
+	var dout bytes.Buffer
+	if err := run(dcfg, &dout); err != nil {
+		t.Fatalf("dialer: %v\n%s", err, dout.String())
+	}
+	if err := <-lerr; err != nil {
+		t.Fatalf("listener: %v\n%s", err, lout.String())
+	}
+
+	lr, dr := netReport(t, lout.String()), netReport(t, dout.String())
+	if lr["role"] != "A" || dr["role"] != "Z" {
+		t.Errorf("roles: listener=%s dialer=%s", lr["role"], dr["role"])
+	}
+	for name, r := range map[string]map[string]string{"listener": lr, "dialer": dr} {
+		if r["delivered"] == "0" {
+			t.Errorf("%s delivered nothing: %v", name, r)
+		}
+		if r["renegotiations"] != "0" {
+			t.Errorf("%s saw %s LCP renegotiations riding the stall, want 0", name, r["renegotiations"])
+		}
+		if r["rx_errors"] != "0" {
+			t.Errorf("%s rx_errors = %s, want 0", name, r["rx_errors"])
+		}
+	}
+
+	if healthCode != http.StatusOK {
+		t.Errorf("/health code %d, want 200", healthCode)
+	}
+	if !statusDoc.Healthy || len(statusDoc.Transports) != 1 || !statusDoc.Transports[0].Up {
+		t.Errorf("/status document: %+v", statusDoc)
+	}
+	for _, want := range []string{
+		`transport_up{line="port0_a"}`,
+		`transport_tx_chunks_total{line="port0_a"}`,
+		`transport_rx_chunks_total{line="port0_a"}`,
+		`transport_keepalive_probes_total{line="port0_a"}`,
+	} {
+		if _, ok := series[want]; !ok {
+			t.Errorf("series %s missing from /metrics", want)
+		}
+	}
+	if series[`transport_up{line="port0_a"}`] != 1 {
+		t.Errorf("transport_up = %v, want 1", series[`transport_up{line="port0_a"}`])
+	}
+	if series[`transport_tx_chunks_total{line="port0_a"}`] == 0 {
+		t.Error("transport_tx_chunks_total is zero after a measured run")
+	}
+}
+
+// TestNetModeFlagValidation covers the usage errors.
+func TestNetModeFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	cfg := simConfig{}
+	cfg.net = netConfig{listen: "127.0.0.1:1", dial: "127.0.0.1:2", proto: "udp"}
+	if err := run(cfg, &out); err == nil || !strings.Contains(err.Error(), "exactly one") {
+		t.Errorf("listen+dial: err = %v", err)
+	}
+	cfg.net = netConfig{listen: "127.0.0.1:1", proto: "sctp"}
+	if err := run(cfg, &out); err == nil || !strings.Contains(err.Error(), "udp or tcp") {
+		t.Errorf("bad proto: err = %v", err)
+	}
+	if _, _, err := parseWindow("50:40"); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if from, to, err := parseWindow("10:20"); err != nil || from != 10 || to != 20 {
+		t.Errorf("parseWindow(10:20) = %d,%d,%v", from, to, err)
+	}
+	if from, to, err := parseWindow(""); err != nil || from != 0 || to != 0 {
+		t.Errorf("parseWindow(\"\") = %d,%d,%v", from, to, err)
+	}
+}

@@ -17,6 +17,11 @@
 // frame id, and the tick it was observed — so a p99 outlier resolves
 // to a concrete frame.
 //
+// With -transport the per-line transport table is rendered after the
+// stage tables (socket-backed p5sim runs export the transport_* series):
+// liveness, chunk counters, reconnects and resets, keepalive probe and
+// miss counts, and send-queue backpressure high-water marks.
+//
 // With -bench p5stat leaves the live endpoint alone and becomes the
 // bench trend analyser: it loads every BENCH_*.json snapshot from -dir
 // (written by scripts/bench.sh), prints the per-benchmark time series
@@ -28,7 +33,7 @@
 //
 // Usage:
 //
-//	p5stat [-url http://127.0.0.1:8080] [-interval 2s] [-n 5] [-events] [-slo] [-exemplars]
+//	p5stat [-url http://127.0.0.1:8080] [-interval 2s] [-n 5] [-events] [-slo] [-exemplars] [-transport]
 //	p5stat -replay trace.json
 //	p5stat -bench [-dir .] [-trend-pct 10] [-md TREND.md]
 package main
@@ -55,6 +60,7 @@ func main() {
 	interval := flag.Duration("interval", 0, "rescrape period (0 = one snapshot report)")
 	count := flag.Int("n", 0, "stop after this many interval reports (0 = run until killed)")
 	events := flag.Bool("events", false, "dump the structured event trace from /trace after the report")
+	transportTab := flag.Bool("transport", false, "render the per-line transport table (liveness, reconnects, keepalive misses, queue high-water) from the transport_* series")
 	slo := flag.Bool("slo", false, "render the error-budget board from /slo after the report")
 	exemplars := flag.Bool("exemplars", false, "with the /slo board, list each link's latency exemplars")
 	replay := flag.String("replay", "", "format events from a saved JSON trace file instead of attaching")
@@ -71,7 +77,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(os.Stdout, *url, *interval, *count, *events, *slo, *exemplars, *replay); err != nil {
+	if err := run(os.Stdout, *url, *interval, *count, *events, *slo, *exemplars, *transportTab, *replay); err != nil {
 		fmt.Fprintln(os.Stderr, "p5stat:", err)
 		os.Exit(1)
 	}
@@ -111,7 +117,7 @@ func runBench(w io.Writer, dir string, tolPct float64, mdPath string) error {
 	return nil
 }
 
-func run(w io.Writer, url string, interval time.Duration, count int, events, slo, exemplars bool, replay string) error {
+func run(w io.Writer, url string, interval time.Duration, count int, events, slo, exemplars, transportTab bool, replay string) error {
 	if replay != "" {
 		f, err := os.Open(replay)
 		if err != nil {
@@ -131,6 +137,9 @@ func run(w io.Writer, url string, interval time.Duration, count int, events, slo
 		return err
 	}
 	trailers := func() error {
+		if transportTab {
+			writeTransport(w, cur)
+		}
 		if events {
 			if err := dumpTrace(w, url); err != nil {
 				return err
@@ -219,6 +228,55 @@ func writeBoard(w io.Writer, doc flight.BoardJSON, exemplars bool) {
 		}
 		tw.Flush()
 	}
+}
+
+// writeTransport renders the per-line transport table from the
+// transport_* series family (exported by socket-backed p5sim runs):
+// liveness, chunk counters, connection churn, keepalive health, and
+// send-queue backpressure, one row per line label.
+func writeTransport(w io.Writer, cur []telemetry.Series) {
+	type row struct{ vals map[string]float64 }
+	rows := map[string]*row{}
+	names := []string{}
+	for _, s := range cur {
+		if !strings.HasPrefix(s.Name, "transport_") {
+			continue
+		}
+		line := s.Label("line")
+		if line == "" {
+			continue
+		}
+		r := rows[line]
+		if r == nil {
+			r = &row{vals: map[string]float64{}}
+			rows[line] = r
+			names = append(names, line)
+		}
+		r.vals[s.Name] = s.Value
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(w, "transport: no transport_* series (not a socket-backed run?)")
+		return
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "transport lines:")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "\tline\tup\ttx\trx\treconn\tresets\tprobes\tmisses\ttx-drop\trx-drop\tq\tq-hw\t")
+	for _, n := range names {
+		v := rows[n].vals
+		up := "down"
+		if v["transport_up"] == 1 {
+			up = "up"
+		}
+		fmt.Fprintf(tw, "\t%s\t%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t\n",
+			n, up,
+			v["transport_tx_chunks_total"], v["transport_rx_chunks_total"],
+			v["transport_reconnects_total"], v["transport_resets_total"],
+			v["transport_keepalive_probes_total"], v["transport_keepalive_misses_total"],
+			v["transport_tx_dropped_total"], v["transport_rx_dropped_total"],
+			v["transport_queue_depth"], v["transport_queue_high_water"])
+	}
+	tw.Flush()
 }
 
 // scrape fetches and parses one Prometheus exposition.

@@ -64,7 +64,7 @@ func fixtureServer(t *testing.T) (*httptest.Server, *telemetry.Registry) {
 func TestSLOBoardReport(t *testing.T) {
 	srv, _ := fixtureServer(t)
 	var out bytes.Buffer
-	if err := run(&out, srv.URL, 0, 0, false, true, true, ""); err != nil {
+	if err := run(&out, srv.URL, 0, 0, false, true, true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -85,7 +85,7 @@ func TestSLOBoardReport(t *testing.T) {
 func TestSLOWithoutExemplarsOmitsThem(t *testing.T) {
 	srv, _ := fixtureServer(t)
 	var out bytes.Buffer
-	if err := run(&out, srv.URL, 0, 0, false, true, false, ""); err != nil {
+	if err := run(&out, srv.URL, 0, 0, false, true, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "exemplars ") {
@@ -96,7 +96,7 @@ func TestSLOWithoutExemplarsOmitsThem(t *testing.T) {
 func TestSnapshotReport(t *testing.T) {
 	srv, _ := fixtureServer(t)
 	var out bytes.Buffer
-	if err := run(&out, srv.URL, 0, 0, true, false, false, ""); err != nil {
+	if err := run(&out, srv.URL, 0, 0, true, false, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -116,7 +116,7 @@ func TestSnapshotReport(t *testing.T) {
 func TestIntervalDeltaReport(t *testing.T) {
 	srv, _ := fixtureServer(t)
 	var out bytes.Buffer
-	if err := run(&out, srv.URL, time.Millisecond, 2, false, false, false, ""); err != nil {
+	if err := run(&out, srv.URL, time.Millisecond, 2, false, false, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -200,7 +200,7 @@ func TestReplayTraceFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run(&out, "", 0, 0, false, false, false, path); err != nil {
+	if err := run(&out, "", 0, 0, false, false, false, false, path); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -208,5 +208,70 @@ func TestReplayTraceFile(t *testing.T) {
 		!strings.Contains(got, "link:a/restart") ||
 		!strings.Contains(got, "link:a/recovered") {
 		t.Errorf("replay output:\n%s", got)
+	}
+}
+
+// TestTransportTable renders the -transport column set from a
+// socket-backed run's transport_* series.
+func TestTransportTable(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	lbl := telemetry.L("line", "port0_a")
+	reg.Gauge("transport_up", "live", lbl).Set(1)
+	reg.Counter("transport_tx_chunks_total", "tx", lbl).Add(120)
+	reg.Counter("transport_rx_chunks_total", "rx", lbl).Add(118)
+	reg.Counter("transport_reconnects_total", "reconn", lbl).Add(2)
+	reg.Counter("transport_resets_total", "resets", lbl).Add(3)
+	reg.Counter("transport_keepalive_probes_total", "probes", lbl).Add(40)
+	reg.Counter("transport_keepalive_misses_total", "misses", lbl).Add(5)
+	reg.Counter("transport_tx_dropped_total", "txd", lbl).Add(7)
+	reg.Counter("transport_rx_dropped_total", "rxd", lbl).Add(1)
+	reg.Gauge("transport_queue_depth", "q", lbl).Set(4)
+	reg.Gauge("transport_queue_high_water", "qhw", lbl).Set(11)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg.WritePrometheus(w)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var out bytes.Buffer
+	if err := run(&out, srv.URL, 0, 0, false, false, false, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	i := strings.Index(got, "transport lines:")
+	if i < 0 {
+		t.Fatalf("no transport table:\n%s", got)
+	}
+	row := ""
+	for _, line := range strings.Split(got[i:], "\n") {
+		if strings.Contains(line, "port0_a") {
+			row = line
+			break
+		}
+	}
+	if row == "" {
+		t.Fatalf("no port0_a row:\n%s", got)
+	}
+	for _, want := range []string{"up", "120", "118", "2", "3", "40", "5", "7", "1", "4", "11"} {
+		if !strings.Contains(row, want) {
+			t.Errorf("row %q missing %q", row, want)
+		}
+	}
+
+	// Without any transport series the table degrades to a note.
+	empty := telemetry.NewRegistry()
+	emux := http.NewServeMux()
+	emux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		empty.WritePrometheus(w)
+	})
+	esrv := httptest.NewServer(emux)
+	defer esrv.Close()
+	out.Reset()
+	if err := run(&out, esrv.URL, 0, 0, false, false, false, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no transport_* series") {
+		t.Errorf("empty run output: %q", out.String())
 	}
 }

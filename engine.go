@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/prof"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
 // This file implements the sharded line-card engine: N independent PPP
@@ -42,7 +43,34 @@ type EngineConfig struct {
 	// Batch is how many datagrams each endpoint queues per step
 	// (default 8).
 	Batch int
+	// Transport, when non-nil, supplies the line transports carrying
+	// port i's wire octets instead of the direct in-process loopback:
+	// return both endpoints of a pair (transport.NewPipePair, or two
+	// sockets meeting on loopback), or — with Role RoleA or RoleZ —
+	// just the local side, nil for the other. The engine owns the
+	// returned transports and closes them with Close.
+	Transport func(port int) (a, z transport.LineTransport)
+	// Role selects which side of each port this engine instantiates.
+	// RoleLoopback (the default) builds both; RoleA and RoleZ build a
+	// single-ended engine whose peer runs in another process, reached
+	// through the Transport hook (required for those roles).
+	Role EngineRole
 }
+
+// EngineRole selects the engine's side of each port.
+type EngineRole int
+
+// The engine roles.
+const (
+	// RoleLoopback instantiates both endpoints of every port.
+	RoleLoopback EngineRole = iota
+	// RoleA instantiates only the a-side endpoints (magic 0xA0000001+2i,
+	// address 10.x.y.1) — the listener half of a two-process pair.
+	RoleA
+	// RoleZ instantiates only the z-side endpoints (magic 0xA0000002+2i,
+	// address 10.x.y.2) — the dialer half.
+	RoleZ
+)
 
 func (c EngineConfig) links() int {
 	if c.Links <= 0 {
@@ -95,10 +123,14 @@ type EngineStats struct {
 	RxErrors uint64
 }
 
-// enginePort is one loopback link pair plus its traffic state. It is
-// owned exclusively by one shard worker.
+// enginePort is one port's endpoints plus its traffic state: both
+// links of a loopback pair, or a single link in a remote-role engine
+// (z nil). When transports carry the wire (tpa/tpz non-nil) the direct
+// Output→Input move is replaced with Flush/Poll through them. A port
+// is owned exclusively by one shard worker.
 type enginePort struct {
-	a, z *Link
+	a, z     *Link          // z is nil in a remote-role engine
+	tpa, tpz *TransportPort // nil for the direct loopback wire
 
 	txBatch [][]byte   // batch of generated datagrams (shared template)
 	rxTmp   []Datagram // reusable drain scratch
@@ -111,27 +143,47 @@ func (p *enginePort) step(now int64, s *engineShard) {
 	// prof.Stage's doc comment maps one-to-one onto the calls here.
 	sp := s.prof
 	p.a.Advance(now)
-	p.z.Advance(now)
+	if p.z != nil {
+		p.z.Advance(now)
+	}
 	sp.Stamp(prof.StageControl)
-	if p.a.IPReady() && p.z.IPReady() {
+	if p.ready() {
 		p.a.SendIPv4Batch(p.txBatch)
-		p.z.SendIPv4Batch(p.txBatch)
+		if p.z != nil {
+			p.z.SendIPv4Batch(p.txBatch)
+		}
 	}
 	sp.Stamp(prof.StageEncode)
-	if out := p.a.Output(); len(out) > 0 {
-		s.lineBytes += uint64(len(out))
+	if p.tpa != nil {
+		n := p.tpa.Flush()
+		if p.tpz != nil {
+			n += p.tpz.Flush()
+		}
+		s.lineBytes += uint64(n)
 		sp.Stamp(prof.StageLine)
-		p.z.Input(out)
+		p.tpa.Poll(now)
+		if p.tpz != nil {
+			p.tpz.Poll(now)
+		}
 		sp.Stamp(prof.StageTokenize)
-	}
-	if out := p.z.Output(); len(out) > 0 {
-		s.lineBytes += uint64(len(out))
-		sp.Stamp(prof.StageLine)
-		p.a.Input(out)
-		sp.Stamp(prof.StageTokenize)
+	} else {
+		if out := p.a.Output(); len(out) > 0 {
+			s.lineBytes += uint64(len(out))
+			sp.Stamp(prof.StageLine)
+			p.z.Input(out)
+			sp.Stamp(prof.StageTokenize)
+		}
+		if out := p.z.Output(); len(out) > 0 {
+			s.lineBytes += uint64(len(out))
+			sp.Stamp(prof.StageLine)
+			p.a.Input(out)
+			sp.Stamp(prof.StageTokenize)
+		}
 	}
 	p.rxTmp = p.a.ReceivedInto(p.rxTmp[:0])
-	p.rxTmp = p.z.ReceivedInto(p.rxTmp)
+	if p.z != nil {
+		p.rxTmp = p.z.ReceivedInto(p.rxTmp)
+	}
 	sp.Stamp(prof.StageDrain)
 	for i := range p.rxTmp {
 		s.payloadBytes += uint64(len(p.rxTmp[i].Payload))
@@ -140,7 +192,9 @@ func (p *enginePort) step(now int64, s *engineShard) {
 	sp.Stamp(prof.StageDeliver)
 }
 
-func (p *enginePort) ready() bool { return p.a.IPReady() && p.z.IPReady() }
+func (p *enginePort) ready() bool {
+	return p.a.IPReady() && (p.z == nil || p.z.IPReady())
+}
 
 // engineShard is one worker: a private set of ports, a private clock,
 // and plain counters nobody else touches while the worker runs. The
@@ -220,25 +274,54 @@ func NewEngine(cfg EngineConfig) *Engine {
 	for i := range e.shards {
 		e.shards[i] = &engineShard{id: i, steps: make(chan int)}
 	}
+	if cfg.Role != RoleLoopback && cfg.Transport == nil {
+		panic("gigapos: EngineConfig.Role RoleA/RoleZ requires a Transport hook")
+	}
 	for i := 0; i < nLinks; i++ {
 		acfg, zcfg := cfg.Link, cfg.Link
 		// Distinct, nonzero magic numbers per endpoint: loopback
-		// negotiation must never look like a looped-back line.
+		// negotiation must never look like a looped-back line. The
+		// derivation is shared by both remote roles, so two single-ended
+		// engines meeting over sockets agree on who is who.
 		acfg.Magic = uint32(0xA0000001 + i*2)
 		zcfg.Magic = uint32(0xA0000002 + i*2)
 		if acfg.IPAddr == ([4]byte{}) {
 			acfg.IPAddr = [4]byte{10, byte(i >> 8), byte(i), 1}
 			zcfg.IPAddr = [4]byte{10, byte(i >> 8), byte(i), 2}
 		}
-		p := &enginePort{a: NewLink(acfg), z: NewLink(zcfg)}
+		if cfg.Role == RoleZ {
+			acfg = zcfg // a single-ended engine's local link sits in slot a
+		}
+		p := &enginePort{a: NewLink(acfg)}
+		if cfg.Role == RoleLoopback {
+			p.z = NewLink(zcfg)
+		}
+		if cfg.Transport != nil {
+			ta, tz := cfg.Transport(i)
+			if cfg.Role == RoleZ && tz != nil {
+				ta = tz // the z-side hook result backs the local (slot a) link
+			}
+			if ta == nil {
+				panic(fmt.Sprintf("gigapos: Transport(%d) returned no local endpoint", i))
+			}
+			p.tpa = NewTransportPort(p.a, ta)
+			if p.z != nil {
+				if tz == nil {
+					panic(fmt.Sprintf("gigapos: Transport(%d) returned no z endpoint for a loopback engine", i))
+				}
+				p.tpz = NewTransportPort(p.z, tz)
+			}
+		}
 		p.txBatch = make([][]byte, cfg.batch())
 		for j := range p.txBatch {
 			p.txBatch[j] = payload
 		}
 		p.a.Open()
 		p.a.Up()
-		p.z.Open()
-		p.z.Up()
+		if p.z != nil {
+			p.z.Open()
+			p.z.Up()
+		}
 		sh := e.shards[i%nShards]
 		sh.ports = append(sh.ports, p)
 	}
@@ -287,16 +370,60 @@ func (e *Engine) ArmProfile(reg *telemetry.Registry, name string, cfg prof.Confi
 // Profile returns the collector armed by ArmProfile (nil before).
 func (e *Engine) Profile() *prof.Collector { return e.prof }
 
-// BringUp runs the engine until every pair has negotiated LCP and IPCP
-// (at most maxSteps ticks) and reports whether all are ready.
-func (e *Engine) BringUp(maxSteps int) bool {
-	for i := 0; i < maxSteps; i += 8 {
+// PortBringUp identifies one port that missed the bring-up deadline,
+// with each side's IP readiness (ZReady is true for a single-ended
+// port — the peer's state is not observable from here).
+type PortBringUp struct {
+	Port           int
+	AReady, ZReady bool
+}
+
+// BringUpResult reports a bring-up attempt: whether every port
+// converged, how many steps were spent, and which ports (if any)
+// failed to negotiate within the deadline.
+type BringUpResult struct {
+	Ready  bool
+	Steps  int
+	Failed []PortBringUp
+}
+
+// String renders the result for logs: "ready in N steps" or the
+// failed-port list.
+func (r BringUpResult) String() string {
+	if r.Ready {
+		return fmt.Sprintf("ready in %d steps", r.Steps)
+	}
+	s := fmt.Sprintf("%d port(s) not converged after %d steps:", len(r.Failed), r.Steps)
+	for _, f := range r.Failed {
+		s += fmt.Sprintf(" port %d (a=%v z=%v)", f.Port, f.AReady, f.ZReady)
+	}
+	return s
+}
+
+// BringUp runs the engine until every port has negotiated LCP and IPCP
+// or the deadline of maxSteps ticks expires, and reports which ports
+// failed to converge.
+func (e *Engine) BringUp(maxSteps int) BringUpResult {
+	steps := 0
+	for steps < maxSteps {
 		e.Run(8)
+		steps += 8
 		if e.Ready() {
-			return true
+			return BringUpResult{Ready: true, Steps: steps}
 		}
 	}
-	return e.Ready()
+	res := BringUpResult{Ready: e.Ready(), Steps: steps}
+	if res.Ready {
+		return res
+	}
+	for i := 0; i < e.cfg.links(); i++ {
+		a, z := e.Port(i)
+		pb := PortBringUp{Port: i, AReady: a.IPReady(), ZReady: z == nil || z.IPReady()}
+		if !pb.AReady || !pb.ZReady {
+			res.Failed = append(res.Failed, pb)
+		}
+	}
+	return res
 }
 
 // Ready reports whether every pair has both directions IP-ready. Call
@@ -324,21 +451,74 @@ func (e *Engine) Stats() EngineStats {
 		st.PayloadBytes += s.payloadBytes
 		st.LineBytes += s.lineBytes
 		for _, p := range s.ports {
-			st.RxErrors += p.a.RxErrors + p.z.RxErrors
+			st.RxErrors += p.a.RxErrors
+			if p.z != nil {
+				st.RxErrors += p.z.RxErrors
+			}
 		}
 	}
 	return st
 }
 
-// Port returns the i'th link pair for inspection (a, z). Call only
-// between Runs; the pair's shard owns both links while Run executes.
+// Port returns the i'th link pair for inspection (a, z; z is nil in a
+// remote-role engine). Call only between Runs; the port's shard owns
+// the links while Run executes.
 func (e *Engine) Port(i int) (a, z *Link) {
 	s := e.shards[i%len(e.shards)]
 	p := s.ports[i/len(e.shards)]
 	return p.a, p.z
 }
 
-// Close stops the shard workers. The engine must not be Run again.
+// EachTransport visits every line transport the engine owns, named
+// port<i>_a / port<i>_z — the hook status boards and instrumentation
+// build on. Call only between Runs.
+func (e *Engine) EachTransport(fn func(name string, t transport.LineTransport)) {
+	for i := 0; i < e.cfg.links(); i++ {
+		s := e.shards[i%len(e.shards)]
+		p := s.ports[i/len(e.shards)]
+		if p.tpa != nil {
+			fn(fmt.Sprintf("port%d_a", i), p.tpa.T)
+		}
+		if p.tpz != nil {
+			fn(fmt.Sprintf("port%d_z", i), p.tpz.T)
+		}
+	}
+}
+
+// InstrumentTransports exports the transport_* series for every line
+// transport the engine owns (no-op on a direct-loopback engine).
+func (e *Engine) InstrumentTransports(reg *telemetry.Registry) {
+	e.EachTransport(func(name string, t transport.LineTransport) {
+		transport.Instrument(reg, name, t)
+	})
+}
+
+// TransportStats sums the counters of every line transport the engine
+// owns. Call only between Runs.
+func (e *Engine) TransportStats() transport.Stats {
+	var sum transport.Stats
+	e.EachTransport(func(_ string, t transport.LineTransport) {
+		st := t.Stats()
+		sum.TxChunks += st.TxChunks
+		sum.TxBytes += st.TxBytes
+		sum.RxChunks += st.RxChunks
+		sum.RxBytes += st.RxBytes
+		sum.TxDropped += st.TxDropped
+		sum.RxDropped += st.RxDropped
+		sum.Reconnects += st.Reconnects
+		sum.Resets += st.Resets
+		sum.KeepaliveProbes += st.KeepaliveProbes
+		sum.KeepaliveMisses += st.KeepaliveMisses
+		sum.QueueDepth += st.QueueDepth
+		if st.QueueHighWater > sum.QueueHighWater {
+			sum.QueueHighWater = st.QueueHighWater
+		}
+	})
+	return sum
+}
+
+// Close stops the shard workers and closes any line transports the
+// engine owns. The engine must not be Run again.
 func (e *Engine) Close() {
 	if e.closed {
 		return
@@ -346,6 +526,16 @@ func (e *Engine) Close() {
 	e.closed = true
 	for _, s := range e.shards {
 		close(s.steps)
+	}
+	for _, s := range e.shards {
+		for _, p := range s.ports {
+			if p.tpa != nil {
+				p.tpa.T.Close()
+			}
+			if p.tpz != nil {
+				p.tpz.T.Close()
+			}
+		}
 	}
 }
 

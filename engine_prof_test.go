@@ -18,7 +18,7 @@ func TestEngineProfileStageAccounting(t *testing.T) {
 	defer e.Close()
 	reg := telemetry.NewRegistry()
 	col := e.ArmProfile(reg, "test", prof.Config{SampleShift: -1}) // stamp every step
-	if !e.BringUp(512) {
+	if !e.BringUp(512).Ready {
 		t.Fatal("engine bring-up failed")
 	}
 	e.Run(64)
@@ -93,7 +93,7 @@ func TestEngineProfiledSteadyZeroAlloc(t *testing.T) {
 	defer e.Close()
 	reg := telemetry.NewRegistry()
 	e.ArmProfile(reg, "zeroalloc", prof.Config{SampleShift: -1})
-	if !e.BringUp(512) {
+	if !e.BringUp(512).Ready {
 		t.Fatal("engine bring-up failed")
 	}
 	e.Run(64) // settle buffers and lap the step ring once
@@ -109,7 +109,7 @@ func TestEngineProfileSummaryString(t *testing.T) {
 	e := NewEngine(EngineConfig{Links: 1, PayloadSize: 128, Batch: 2})
 	defer e.Close()
 	col := e.ArmProfile(nil, "s", prof.Config{SampleShift: -1})
-	if !e.BringUp(512) {
+	if !e.BringUp(512).Ready {
 		t.Fatal("engine bring-up failed")
 	}
 	e.Run(16)

@@ -43,7 +43,7 @@ func TestEngineSoak(t *testing.T) {
 		e.ArmProfile(reg, "soak", prof.Config{})
 	}
 
-	if !e.BringUp(512) {
+	if !e.BringUp(512).Ready {
 		t.Fatalf("engine failed to negotiate: %v", e.String())
 	}
 	before := e.Stats()
@@ -103,7 +103,7 @@ func TestEngineShardPartition(t *testing.T) {
 	if got := len(e.shards); got != 3 {
 		t.Fatalf("shards = %d, want 3", got)
 	}
-	if !e.BringUp(512) {
+	if !e.BringUp(512).Ready {
 		t.Fatal("engine failed to negotiate")
 	}
 	seen := map[*Link]bool{}
@@ -284,7 +284,7 @@ func TestEngineReliableMode(t *testing.T) {
 		Link:        LinkConfig{Reliable: true},
 	})
 	defer e.Close()
-	if !e.BringUp(1024) {
+	if !e.BringUp(1024).Ready {
 		t.Fatal("reliable engine failed to negotiate")
 	}
 	// Numbered mode needs SABM/UA after IPCP; give it a moment.

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// StatusBoard aggregates named transports behind the /health and
+// /status endpoints of a telemetry mux. Registration is concurrency-
+// safe; the handlers only call Up and Stats, which every transport
+// guarantees safe against its owner goroutine.
+type StatusBoard struct {
+	mu sync.Mutex
+	ts map[string]LineTransport
+}
+
+// NewStatusBoard returns an empty board.
+func NewStatusBoard() *StatusBoard {
+	return &StatusBoard{ts: make(map[string]LineTransport)}
+}
+
+// Add registers t under name (replacing any previous holder).
+func (b *StatusBoard) Add(name string, t LineTransport) {
+	b.mu.Lock()
+	b.ts[name] = t
+	b.mu.Unlock()
+}
+
+// snapshot returns the registered transports in name order.
+func (b *StatusBoard) snapshot() []struct {
+	name string
+	t    LineTransport
+} {
+	b.mu.Lock()
+	out := make([]struct {
+		name string
+		t    LineTransport
+	}, 0, len(b.ts))
+	for n, t := range b.ts {
+		out = append(out, struct {
+			name string
+			t    LineTransport
+		}{n, t})
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// TransportStatus is one transport's entry in the /status document.
+type TransportStatus struct {
+	Name  string `json:"name"`
+	Up    bool   `json:"up"`
+	Stats Stats  `json:"stats"`
+}
+
+// StatusDoc is the /status response body.
+type StatusDoc struct {
+	Healthy    bool              `json:"healthy"`
+	Transports []TransportStatus `json:"transports"`
+}
+
+// Status assembles the current status document.
+func (b *StatusBoard) Status() StatusDoc {
+	doc := StatusDoc{Healthy: true}
+	for _, e := range b.snapshot() {
+		up := e.t.Up()
+		if !up {
+			doc.Healthy = false
+		}
+		doc.Transports = append(doc.Transports, TransportStatus{
+			Name:  e.name,
+			Up:    up,
+			Stats: e.t.Stats(),
+		})
+	}
+	return doc
+}
+
+// Mount wires /health (200 when every transport is up, 503 otherwise)
+// and /status (the JSON document) onto mux.
+func (b *StatusBoard) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		doc := b.Status()
+		w.Header().Set("Content-Type", "application/json")
+		if !doc.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(map[string]bool{"healthy": doc.Healthy})
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(b.Status())
+	})
+}

@@ -1,0 +1,452 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is the stream socket transport: the same wire records as UDP,
+// concatenated on a connection. The stream gives ordering and
+// reliability; what this layer adds is *supervision* — a listener that
+// accepts replacement connections (newest wins), a dialer that re-dials
+// with capped exponential backoff and seeded jitter, a writer goroutine
+// that batches queued records into one writev (net.Buffers) so a
+// stalled peer blocks only itself while the bounded queue drops oldest,
+// and keepalive probes whose misses reset the connection so dead peers
+// are re-dialed instead of trusted forever.
+type TCP struct {
+	cfg      Config
+	dialAddr string
+	ln       net.Listener
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	muted  bool
+	st     Stats
+
+	conn      net.Conn
+	connGen   int
+	connected bool
+	everUp    bool
+
+	dialing bool
+	retryAt int64
+	tickNow int64
+	bo      backoff
+
+	sq chunkQueue
+	rq rxQueue
+
+	epoch uint32
+	seq   uint64
+
+	peerEpoch uint32
+	gotEpoch  bool
+	peerSeq   uint64
+
+	alive    bool
+	rxCount  uint64
+	kaNext   int64
+	kaLastRx uint64
+	kaMisses int
+}
+
+// TCPConfig places a TCP endpoint.
+type TCPConfig struct {
+	Config
+	// ListenAddr, when non-empty, accepts connections on this address
+	// (the server role); a newly accepted connection replaces the
+	// current one.
+	ListenAddr string
+	// DialAddr, when non-empty, is dialed (and re-dialed, with capped
+	// jittered backoff) from the Tick loop.
+	DialAddr string
+}
+
+// dialTimeout bounds one TCP connect attempt (wall clock — dials run
+// on their own goroutine, off the tick loop).
+const dialTimeout = 2 * time.Second
+
+// NewTCP opens a TCP line endpoint: a listener starts its accept loop,
+// a dialer arms an immediate first attempt at the next Tick.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	if (cfg.ListenAddr == "") == (cfg.DialAddr == "") {
+		return nil, fmt.Errorf("transport: TCP needs exactly one of ListenAddr or DialAddr")
+	}
+	t := &TCP{
+		cfg:      cfg.Config,
+		dialAddr: cfg.DialAddr,
+		epoch:    uint32(time.Now().UnixNano()) | 1,
+		bo:       newBackoff(cfg.Config),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	t.sq.limit = cfg.queueLimit()
+	if cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
+		}
+		t.ln = ln
+		go t.acceptLoop()
+	}
+	go t.writer()
+	return t, nil
+}
+
+// LocalAddr returns the listener's bound address (nil for a dialer).
+func (t *TCP) LocalAddr() net.Addr {
+	if t.ln == nil {
+		return nil
+	}
+	return t.ln.Addr()
+}
+
+// acceptLoop installs each accepted connection, newest wins.
+func (t *TCP) acceptLoop() {
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		t.install(c)
+	}
+}
+
+// install makes c the active connection, replacing (and counting a
+// reset for) any previous one, and starts its reader.
+func (t *TCP) install(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+		if n := envBuffer(t.cfg.ReadBuffer, "P5_SOCK_RBUF"); n > 0 {
+			tc.SetReadBuffer(n)
+		}
+		if n := envBuffer(t.cfg.WriteBuffer, "P5_SOCK_WBUF"); n > 0 {
+			tc.SetWriteBuffer(n)
+		}
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.Close()
+		return
+	}
+	if t.conn != nil {
+		t.conn.Close()
+		t.st.Resets++
+	}
+	t.conn = c
+	t.connGen++
+	gen := t.connGen
+	t.connected = true
+	t.alive = true
+	t.kaMisses = 0
+	if t.everUp {
+		t.st.Reconnects++
+	}
+	t.everUp = true
+	t.bo.reset()
+	t.retryAt = 0
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	go t.reader(c, gen)
+}
+
+// dropConn retires c (read/write error, keepalive give-up): the dialer
+// schedules a jittered re-dial, the listener waits for the next accept.
+func (t *TCP) dropConn(c net.Conn, gen int) {
+	t.mu.Lock()
+	if t.connGen != gen || t.conn != c {
+		t.mu.Unlock()
+		return
+	}
+	c.Close()
+	t.conn = nil
+	t.connected = false
+	t.alive = false
+	t.st.Resets++
+	if t.dialAddr != "" {
+		t.retryAt = t.tickNow + t.bo.next()
+	}
+	t.mu.Unlock()
+}
+
+// reader parses wire records off c until it fails. A magic mismatch is
+// a stream desync: the connection is reset rather than resynchronised.
+func (t *TCP) reader(c net.Conn, gen int) {
+	var hdr [HeaderLen]byte
+	payload := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			t.dropConn(c, gen)
+			return
+		}
+		h, err := DecodeHeader(hdr[:])
+		if err != nil {
+			t.mu.Lock()
+			t.st.RxDropped++
+			t.mu.Unlock()
+			t.dropConn(c, gen)
+			return
+		}
+		if cap(payload) < h.Len {
+			payload = make([]byte, 0, h.Len)
+		}
+		payload = payload[:h.Len]
+		if _, err := io.ReadFull(c, payload); err != nil {
+			t.dropConn(c, gen)
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		if t.muted {
+			// Line cut: keep parsing the stream to stay record-aligned,
+			// but the dark window hides everything from delivery and
+			// liveness accounting alike.
+			t.st.RxDropped++
+			t.mu.Unlock()
+			continue
+		}
+		t.rxCount++
+		t.alive = true
+		if !t.gotEpoch || h.Epoch != t.peerEpoch {
+			t.gotEpoch = true
+			t.peerEpoch = h.Epoch
+			t.peerSeq = 0
+		}
+		if h.Type == TypeKeepalive {
+			t.mu.Unlock()
+			continue
+		}
+		if h.Seq <= t.peerSeq {
+			// A replayed record after a reconnect race: drop rather
+			// than splice stale octets into the stream.
+			t.st.RxDropped++
+			t.mu.Unlock()
+			continue
+		}
+		t.peerSeq = h.Seq
+		t.rq.push(t.rq.get(payload))
+		t.st.RxChunks++
+		t.st.RxBytes += uint64(len(payload))
+		t.mu.Unlock()
+	}
+}
+
+// writer drains the send queue into writev batches, one goroutine for
+// the transport's lifetime.
+func (t *TCP) writer() {
+	batch := make([][]byte, 0, 32)
+	for {
+		t.mu.Lock()
+		for !t.closed && (t.conn == nil || t.muted || len(t.sq.bufs) == 0) {
+			t.cond.Wait()
+		}
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		c, gen := t.conn, t.connGen
+		batch = t.sq.drainInto(batch[:0], 32)
+		t.mu.Unlock()
+
+		nb := make(net.Buffers, len(batch))
+		var payload uint64
+		copy(nb, batch)
+		for _, b := range batch {
+			payload += uint64(len(b) - HeaderLen)
+		}
+		_, err := nb.WriteTo(c)
+
+		t.mu.Lock()
+		if err != nil {
+			t.st.TxDropped += uint64(len(batch))
+		} else {
+			t.st.TxChunks += uint64(len(batch))
+			t.st.TxBytes += payload
+		}
+		for _, b := range batch {
+			t.sq.put(b)
+		}
+		t.mu.Unlock()
+		if err != nil {
+			t.dropConn(c, gen)
+		}
+	}
+}
+
+// Mute simulates a line cut at this endpoint: the writer pauses (data
+// holds in the bounded queue, oldest dropped), keepalive probes stop,
+// and received records are parsed but discarded before liveness
+// accounting. The chaos adapter drives this for scripted blackout
+// windows.
+func (t *TCP) Mute(on bool) {
+	t.mu.Lock()
+	t.muted = on
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// Send splits p into MaxChunk records and queues them for the writer.
+func (t *TCP) Send(p []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	maxChunk := t.cfg.maxChunk()
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxChunk {
+			n = maxChunk
+		}
+		buf := t.sq.get()
+		t.seq++
+		buf = AppendHeader(buf, TypeData, n, t.epoch, t.seq)
+		buf = append(buf, p[:n]...)
+		p = p[n:]
+		t.sq.push(buf)
+	}
+	t.cond.Broadcast()
+	return nil
+}
+
+// Recv appends the record payloads received since the previous Recv.
+func (t *TCP) Recv(dst [][]byte) [][]byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append(dst, t.rq.drain()...)
+}
+
+// Tick schedules dial attempts and runs keepalive accounting.
+func (t *TCP) Tick(now int64) {
+	t.mu.Lock()
+	t.tickNow = now
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	if t.dialAddr != "" && !t.connected && !t.dialing && now >= t.retryAt {
+		t.dialing = true
+		go t.dial()
+	}
+	period := t.cfg.KeepalivePeriod
+	if period <= 0 || !t.connected {
+		t.kaNext = 0
+		t.mu.Unlock()
+		return
+	}
+	if t.kaNext == 0 {
+		t.kaNext = now + period
+		t.kaLastRx = t.rxCount
+		t.mu.Unlock()
+		return
+	}
+	if now < t.kaNext {
+		t.mu.Unlock()
+		return
+	}
+	t.kaNext = now + period
+	giveUp := false
+	var c net.Conn
+	var gen int
+	if t.rxCount == t.kaLastRx {
+		t.kaMisses++
+		t.st.KeepaliveMisses++
+		if t.kaMisses >= t.cfg.keepaliveMisses() {
+			// The connection is open but the peer is silent: treat it
+			// as dead and force a reconnect cycle.
+			giveUp, c, gen = true, t.conn, t.connGen
+		}
+	} else {
+		t.kaMisses = 0
+	}
+	t.kaLastRx = t.rxCount
+	if !giveUp && !t.muted {
+		buf := t.sq.get()
+		buf = AppendHeader(buf, TypeKeepalive, 0, t.epoch, t.seq)
+		t.sq.push(buf)
+		t.st.KeepaliveProbes++
+		t.cond.Broadcast()
+	}
+	t.mu.Unlock()
+	if giveUp {
+		t.dropConn(c, gen)
+	}
+}
+
+// dial runs one connect attempt off the tick loop.
+func (t *TCP) dial() {
+	c, err := net.DialTimeout("tcp", t.dialAddr, dialTimeout)
+	if err != nil {
+		t.mu.Lock()
+		t.dialing = false
+		t.retryAt = t.tickNow + t.bo.next()
+		closed := t.closed
+		t.mu.Unlock()
+		_ = closed
+		return
+	}
+	t.mu.Lock()
+	t.dialing = false
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		c.Close()
+		return
+	}
+	t.install(c)
+}
+
+// Up reports connection and dead-peer status.
+func (t *TCP) Up() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.connected && t.alive && !t.closed
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (t *TCP) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.st
+	st.TxDropped += t.sq.dropped
+	st.QueueDepth = len(t.sq.bufs)
+	st.QueueHighWater = t.sq.highWater
+	return st
+}
+
+// Close shuts down the listener, the connection, the writer and the
+// readers.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conn := t.conn
+	t.conn = nil
+	t.connected = false
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	if conn != nil {
+		conn.Close()
+	}
+	return nil
+}

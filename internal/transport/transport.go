@@ -1,0 +1,166 @@
+// Package transport provides pluggable line transports for the
+// software PPP stack: the layer that moves HDLC wire octets between
+// two link endpoints. Three implementations share one contract — an
+// in-process Pipe for single-process engines and tests, and UDP and
+// TCP socket transports so two p5sim instances interconnect across
+// processes and hosts.
+//
+// The socket transports are built for hostile networks, not the happy
+// path: connection supervision with capped exponential backoff and
+// seeded jitter on dial and re-dial, keepalive probes with dead-peer
+// detection (surfaced through Up so the link supervisor can escalate a
+// transport loss-of-signal defect), bounded send queues with
+// drop-oldest backpressure so a stalled socket never blocks or grows
+// the engine, and sequence/epoch-stamped datagrams so duplicated or
+// reordered packets are discarded instead of corrupting the HDLC byte
+// stream. A lost chunk surfaces to PPP as at most one damaged frame
+// (the tokenizer resyncs on the next flag and the FCS rejects the
+// partial) — never as silent corruption.
+//
+// Ownership rules, which every implementation honours:
+//
+//   - Send does not retain p: the caller may recycle the buffer (it is
+//     typically a Link.Output double buffer) immediately on return.
+//   - Recv appends received chunks to dst and returns it; the chunk
+//     payloads stay valid until the second-following Recv on the same
+//     transport, so a caller may feed them straight to Link.InputBatch
+//     and drain again next tick without copying.
+//   - Send, Recv and Tick are called from one owning goroutine (the
+//     engine shard that owns the link). Stats and Up may be called
+//     concurrently (telemetry scrapes, /status).
+package transport
+
+import "errors"
+
+// LineTransport moves wire octets between two PPP endpoints.
+type LineTransport interface {
+	// Send queues one chunk of wire bytes toward the peer. p is not
+	// retained. A down or congested transport drops rather than blocks:
+	// Send only returns an error for a closed transport.
+	Send(p []byte) error
+	// Recv appends the chunks received since the previous Recv to dst
+	// and returns it. Payloads stay valid until the second-following
+	// Recv.
+	Recv(dst [][]byte) [][]byte
+	// Tick advances transport housekeeping at virtual time now: send
+	// queue flush, keepalive probes, dead-peer accounting, dial and
+	// re-dial scheduling.
+	Tick(now int64)
+	// Up reports transport liveness: false once dead-peer detection has
+	// given up on the far end (or, for connection-oriented transports,
+	// while disconnected). The link supervisor maps a true→false
+	// transition to a transport-LOS defect.
+	Up() bool
+	// Stats returns a snapshot of the transport's counters.
+	Stats() Stats
+	// Close releases sockets and background goroutines. The transport
+	// must not be used afterwards.
+	Close() error
+}
+
+// ErrClosed is returned by Send on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Muter is implemented by transports that can simulate a full line cut
+// — no transmit, not even keepalive probes, and no receive — without
+// tearing the socket down. The UDP and TCP transports implement it;
+// the chaos adapter drives it for scripted blackout windows.
+type Muter interface {
+	Mute(on bool)
+}
+
+// Stats is the observable record of one transport endpoint.
+type Stats struct {
+	// TxChunks/TxBytes count chunks actually written to the line
+	// (queued chunks dropped by backpressure are counted in TxDropped,
+	// not here).
+	TxChunks, TxBytes uint64
+	// RxChunks/RxBytes count chunks delivered to Recv callers.
+	RxChunks, RxBytes uint64
+	// TxDropped counts chunks dropped by the bounded send queue
+	// (drop-oldest backpressure) or by socket write errors.
+	TxDropped uint64
+	// RxDropped counts received datagrams discarded before delivery:
+	// bad magic or header, duplicates, and reordered (stale-sequence)
+	// arrivals.
+	RxDropped uint64
+	// Reconnects counts successful connection establishments after the
+	// first (TCP re-dials and accepted replacement conns; UDP peer
+	// epoch changes).
+	Reconnects uint64
+	// Resets counts connection losses: read/write errors, replaced
+	// conns, and keepalive dead-peer declarations.
+	Resets uint64
+	// KeepaliveProbes/KeepaliveMisses count probe datagrams sent and
+	// silent probe periods observed.
+	KeepaliveProbes, KeepaliveMisses uint64
+	// QueueDepth and QueueHighWater observe the bounded send queue.
+	QueueDepth, QueueHighWater int
+}
+
+// Config tunes the socket transports. The zero value is usable; every
+// field has a default.
+type Config struct {
+	// QueueLimit bounds the send queue in chunks (default 256). When
+	// full the oldest queued chunk is dropped — the transport degrades,
+	// it never blocks the engine.
+	QueueLimit int
+	// MaxChunk bounds one chunk's payload octets (default 60000, under
+	// the 64 KiB UDP datagram ceiling). Oversized Sends are split.
+	MaxChunk int
+	// KeepalivePeriod, when non-zero, sends a keepalive probe every
+	// this many ticks and checks for inbound traffic; KeepaliveMisses
+	// consecutive silent periods (default 3) declare the peer dead
+	// (Up() turns false) until traffic resumes.
+	KeepalivePeriod int64
+	// KeepaliveMisses is the silent-period limit (default 3).
+	KeepaliveMisses int
+	// RetryMin and RetryMax bound the capped exponential dial/re-dial
+	// backoff in ticks (defaults 8 and 1024). Each delay carries ±20%
+	// seeded jitter so a fleet of transports sharing one dead peer does
+	// not re-dial in lockstep.
+	RetryMin, RetryMax int64
+	// JitterSeed seeds the backoff jitter (0 derives a per-process
+	// default). Distinct transports should use distinct seeds.
+	JitterSeed uint64
+	// ReadBuffer/WriteBuffer request socket buffer sizes in bytes
+	// (0 keeps the kernel default; the P5_SOCK_RBUF and P5_SOCK_WBUF
+	// environment variables override zero values, the udpx idiom of
+	// env-tuned buffers).
+	ReadBuffer, WriteBuffer int
+}
+
+func (c Config) queueLimit() int {
+	if c.QueueLimit <= 0 {
+		return 256
+	}
+	return c.QueueLimit
+}
+
+func (c Config) maxChunk() int {
+	if c.MaxChunk <= 0 {
+		return 60000
+	}
+	return c.MaxChunk
+}
+
+func (c Config) keepaliveMisses() int {
+	if c.KeepaliveMisses <= 0 {
+		return 3
+	}
+	return c.KeepaliveMisses
+}
+
+func (c Config) retryMin() int64 {
+	if c.RetryMin <= 0 {
+		return 8
+	}
+	return c.RetryMin
+}
+
+func (c Config) retryMax() int64 {
+	if c.RetryMax <= 0 {
+		return 1024
+	}
+	return c.RetryMax
+}

@@ -1,0 +1,312 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// UDP is the datagram socket transport: one chunk of wire octets per
+// UDP datagram, each stamped with the wire header so the receiver can
+// discard duplicated, reordered and foreign datagrams before they
+// scramble the HDLC stream. Loss is accepted (PPP's FCS and the
+// tokenizer's flag resync absorb it); ordering is enforced by dropping
+// stale sequence numbers.
+//
+// A UDP endpoint runs in one of two roles, the gateway/client split:
+// a listener binds ListenAddr and latches its peer from the first
+// valid datagram (re-latching whenever the peer's epoch changes, so a
+// restarted or rebound dialer reconnects transparently); a dialer
+// binds an ephemeral port and sends to DialAddr. Keepalive probes flow
+// both ways; dead-peer detection is symmetric.
+type UDP struct {
+	cfg      Config
+	conn     *net.UDPConn
+	listener bool
+
+	mu     sync.Mutex
+	closed bool
+	muted  bool
+	st     Stats
+	peer   *net.UDPAddr
+
+	sq       chunkQueue
+	rq       rxQueue
+	flushTmp [][]byte
+
+	epoch uint32
+	seq   uint64
+
+	peerEpoch uint32
+	gotEpoch  bool
+	peerSeq   uint64
+
+	alive    bool
+	rxCount  uint64
+	kaNext   int64
+	kaLastRx uint64
+	kaMisses int
+}
+
+// UDPConfig places a UDP endpoint.
+type UDPConfig struct {
+	Config
+	// ListenAddr, when non-empty, binds this address (the listener
+	// role). The peer address is learned from the first valid datagram.
+	ListenAddr string
+	// DialAddr, when non-empty, is the peer address (the dialer role).
+	// With ListenAddr empty the local port is ephemeral.
+	DialAddr string
+}
+
+// NewUDP opens a UDP line endpoint and starts its reader.
+func NewUDP(cfg UDPConfig) (*UDP, error) {
+	if cfg.ListenAddr == "" && cfg.DialAddr == "" {
+		return nil, fmt.Errorf("transport: UDP needs ListenAddr or DialAddr")
+	}
+	var laddr *net.UDPAddr
+	var err error
+	if cfg.ListenAddr != "" {
+		if laddr, err = net.ResolveUDPAddr("udp", cfg.ListenAddr); err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
+		}
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bind: %w", err)
+	}
+	if n := envBuffer(cfg.ReadBuffer, "P5_SOCK_RBUF"); n > 0 {
+		conn.SetReadBuffer(n)
+	}
+	if n := envBuffer(cfg.WriteBuffer, "P5_SOCK_WBUF"); n > 0 {
+		conn.SetWriteBuffer(n)
+	}
+	t := &UDP{
+		cfg:      cfg.Config,
+		conn:     conn,
+		listener: cfg.DialAddr == "",
+		epoch:    uint32(time.Now().UnixNano()) | 1,
+	}
+	t.sq.limit = cfg.queueLimit()
+	if cfg.DialAddr != "" {
+		raddr, err := net.ResolveUDPAddr("udp", cfg.DialAddr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: dial %s: %w", cfg.DialAddr, err)
+		}
+		t.peer = raddr
+	}
+	go t.reader()
+	return t, nil
+}
+
+// LocalAddr returns the bound socket address (useful with ":0").
+func (t *UDP) LocalAddr() net.Addr { return t.conn.LocalAddr() }
+
+// Send splits p into MaxChunk-sized datagrams and queues them; the
+// queue is flushed inline when the peer is known, so in the steady
+// state a Send is its own batched syscall burst.
+func (t *UDP) Send(p []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	maxChunk := t.cfg.maxChunk()
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxChunk {
+			n = maxChunk
+		}
+		buf := t.sq.get()
+		t.seq++
+		buf = AppendHeader(buf, TypeData, n, t.epoch, t.seq)
+		buf = append(buf, p[:n]...)
+		p = p[n:]
+		t.sq.push(buf)
+	}
+	t.flushLocked()
+	return nil
+}
+
+// Mute simulates a line cut at this endpoint: while muted nothing is
+// written to the socket — data holds in the bounded queue (oldest
+// dropped), keepalive probes are suppressed — and everything received
+// is discarded before liveness accounting, so both ends' dead-peer
+// detection sees a genuinely dark line. The chaos adapter drives this
+// for scripted blackout windows.
+func (t *UDP) Mute(on bool) {
+	t.mu.Lock()
+	t.muted = on
+	t.mu.Unlock()
+}
+
+// flushLocked writes every queued datagram to the peer (no-op while
+// the peer is unknown or the line is muted — the bounded queue holds,
+// and drops oldest).
+func (t *UDP) flushLocked() {
+	if t.muted || t.peer == nil || len(t.sq.bufs) == 0 {
+		return
+	}
+	t.flushTmp = t.sq.drainInto(t.flushTmp[:0], 0)
+	for _, buf := range t.flushTmp {
+		if _, err := t.conn.WriteToUDP(buf, t.peer); err != nil {
+			t.st.TxDropped++
+		} else {
+			t.st.TxChunks++
+			t.st.TxBytes += uint64(len(buf) - HeaderLen)
+		}
+		t.sq.put(buf)
+	}
+}
+
+// Recv appends the datagram payloads received since the previous Recv.
+func (t *UDP) Recv(dst [][]byte) [][]byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append(dst, t.rq.drain()...)
+}
+
+// Tick runs keepalive probing and dead-peer accounting, and flushes
+// anything still queued.
+func (t *UDP) Tick(now int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.flushLocked()
+	period := t.cfg.KeepalivePeriod
+	if period <= 0 {
+		return
+	}
+	if t.kaNext == 0 {
+		t.kaNext = now + period
+		t.kaLastRx = t.rxCount
+		return
+	}
+	if now < t.kaNext {
+		return
+	}
+	t.kaNext = now + period
+	if t.rxCount == t.kaLastRx {
+		t.kaMisses++
+		t.st.KeepaliveMisses++
+		if t.kaMisses >= t.cfg.keepaliveMisses() && t.alive {
+			t.alive = false
+			t.st.Resets++
+		}
+	} else {
+		t.kaMisses = 0
+	}
+	t.kaLastRx = t.rxCount
+	if t.peer != nil && !t.muted {
+		var hdr [HeaderLen]byte
+		probe := AppendHeader(hdr[:0], TypeKeepalive, 0, t.epoch, t.seq)
+		t.conn.WriteToUDP(probe, t.peer)
+		t.st.KeepaliveProbes++
+	}
+}
+
+// reader is the receive goroutine: it validates, deduplicates and
+// copies datagrams into the pooled receive queue.
+func (t *UDP) reader() {
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		h, payload, derr := DecodeDatagram(buf[:n])
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		if t.muted {
+			// The line is cut: what arrives anyway is lost in the dark
+			// window, invisible even to liveness accounting.
+			t.st.RxDropped++
+			t.mu.Unlock()
+			continue
+		}
+		if derr != nil {
+			t.st.RxDropped++
+			t.mu.Unlock()
+			continue
+		}
+		t.rxCount++
+		t.alive = true
+		epochChanged := !t.gotEpoch || h.Epoch != t.peerEpoch
+		if epochChanged {
+			if t.gotEpoch {
+				// The peer restarted (or re-bound): resynchronise and
+				// count the reconnection.
+				t.st.Reconnects++
+			}
+			t.gotEpoch = true
+			t.peerEpoch = h.Epoch
+			t.peerSeq = 0
+		}
+		if t.listener && (t.peer == nil || epochChanged) {
+			// Latch (or re-latch) the return path.
+			a := *addr
+			t.peer = &a
+		}
+		if h.Type == TypeKeepalive {
+			t.mu.Unlock()
+			continue
+		}
+		if h.Seq <= t.peerSeq {
+			// Duplicate or reordered behind the delivery cursor: a
+			// stale chunk spliced into the HDLC stream would corrupt
+			// framing, so it is dropped (loss PPP already absorbs).
+			t.st.RxDropped++
+			t.mu.Unlock()
+			continue
+		}
+		t.peerSeq = h.Seq
+		t.rq.push(t.rq.get(payload))
+		t.st.RxChunks++
+		t.st.RxBytes += uint64(len(payload))
+		t.mu.Unlock()
+	}
+}
+
+// Up reports dead-peer status: true once the peer has been heard from
+// and keepalive has not given up on it.
+func (t *UDP) Up() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.alive && !t.closed
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (t *UDP) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.st
+	st.TxDropped += t.sq.dropped // write errors + queue overflow drops
+	st.QueueDepth = len(t.sq.bufs)
+	st.QueueHighWater = t.sq.highWater
+	return st
+}
+
+// Close shuts the socket down and stops the reader.
+func (t *UDP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	return t.conn.Close()
+}

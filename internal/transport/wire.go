@@ -1,0 +1,105 @@
+package transport
+
+import "errors"
+
+// The socket transports frame every chunk with a fixed 20-octet header
+// so the receiver can reject foreign traffic (magic), resynchronise
+// after a peer restart (epoch), and discard duplicated or reordered
+// datagrams before they scramble the HDLC byte stream (seq):
+//
+//	octets 0..3   magic  "P5LT" (0x50354C54), big endian
+//	octet  4      version (wireVersion)
+//	octet  5      type: TypeData | TypeKeepalive
+//	octets 6..7   payload length, big endian
+//	octets 8..11  epoch — random per transport instance
+//	octets 12..19 seq — per-instance monotonic datagram counter
+//
+// Over UDP each datagram is one header plus payload; over TCP the same
+// records are concatenated on the stream and the magic doubles as a
+// desync detector (a mid-stream magic mismatch resets the connection).
+
+// Wire header constants.
+const (
+	Magic       = 0x50354C54 // "P5LT"
+	wireVersion = 1
+	// HeaderLen is the fixed wire header size in octets.
+	HeaderLen = 20
+)
+
+// Wire datagram types.
+const (
+	// TypeData carries a chunk of HDLC wire octets.
+	TypeData = 0
+	// TypeKeepalive is an empty liveness probe.
+	TypeKeepalive = 1
+)
+
+// Header is one decoded wire header.
+type Header struct {
+	Version byte
+	Type    byte
+	Len     int
+	Epoch   uint32
+	Seq     uint64
+}
+
+// Wire header decode errors.
+var (
+	ErrShortHeader = errors.New("transport: short wire header")
+	ErrBadMagic    = errors.New("transport: bad wire magic")
+	ErrBadVersion  = errors.New("transport: unsupported wire version")
+	ErrBadType     = errors.New("transport: unknown wire datagram type")
+	ErrBadLength   = errors.New("transport: wire length exceeds datagram")
+)
+
+// AppendHeader appends the encoded header for a payload of length n to
+// dst and returns it.
+func AppendHeader(dst []byte, typ byte, n int, epoch uint32, seq uint64) []byte {
+	return append(dst,
+		byte(Magic>>24), byte(Magic>>16&0xFF), byte(Magic>>8&0xFF), byte(Magic&0xFF),
+		wireVersion, typ,
+		byte(n>>8), byte(n),
+		byte(epoch>>24), byte(epoch>>16), byte(epoch>>8), byte(epoch),
+		byte(seq>>56), byte(seq>>48), byte(seq>>40), byte(seq>>32),
+		byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq))
+}
+
+// DecodeHeader parses the wire header at the front of p. For UDP the
+// remainder of the datagram must hold exactly the declared payload; for
+// TCP the caller reads the declared length off the stream, so only the
+// header octets are required here.
+func DecodeHeader(p []byte) (Header, error) {
+	var h Header
+	if len(p) < HeaderLen {
+		return h, ErrShortHeader
+	}
+	if uint32(p[0])<<24|uint32(p[1])<<16|uint32(p[2])<<8|uint32(p[3]) != Magic {
+		return h, ErrBadMagic
+	}
+	h.Version = p[4]
+	if h.Version != wireVersion {
+		return h, ErrBadVersion
+	}
+	h.Type = p[5]
+	if h.Type != TypeData && h.Type != TypeKeepalive {
+		return h, ErrBadType
+	}
+	h.Len = int(p[6])<<8 | int(p[7])
+	h.Epoch = uint32(p[8])<<24 | uint32(p[9])<<16 | uint32(p[10])<<8 | uint32(p[11])
+	h.Seq = uint64(p[12])<<56 | uint64(p[13])<<48 | uint64(p[14])<<40 | uint64(p[15])<<32 |
+		uint64(p[16])<<24 | uint64(p[17])<<16 | uint64(p[18])<<8 | uint64(p[19])
+	return h, nil
+}
+
+// DecodeDatagram parses one complete datagram (header plus payload, the
+// UDP shape) and returns the header and the payload span within p.
+func DecodeDatagram(p []byte) (Header, []byte, error) {
+	h, err := DecodeHeader(p)
+	if err != nil {
+		return h, nil, err
+	}
+	if h.Len > len(p)-HeaderLen {
+		return h, nil, ErrBadLength
+	}
+	return h, p[HeaderLen : HeaderLen+h.Len], nil
+}

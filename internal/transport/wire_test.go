@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWireHeaderRoundTrip(t *testing.T) {
+	buf := AppendHeader(nil, TypeData, 1234, 0xDEADBEEF, 0x0102030405060708)
+	if len(buf) != HeaderLen {
+		t.Fatalf("header length %d, want %d", len(buf), HeaderLen)
+	}
+	h, err := DecodeHeader(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.Type != TypeData || h.Len != 1234 || h.Epoch != 0xDEADBEEF || h.Seq != 0x0102030405060708 {
+		t.Fatalf("round trip mismatch: %+v", h)
+	}
+}
+
+func TestWireHeaderRejections(t *testing.T) {
+	good := AppendHeader(nil, TypeKeepalive, 0, 7, 9)
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"short", func(b []byte) []byte { return b[:HeaderLen-1] }, ErrShortHeader},
+		{"magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrBadMagic},
+		{"version", func(b []byte) []byte { b[4] = 99; return b }, ErrBadVersion},
+		{"type", func(b []byte) []byte { b[5] = 42; return b }, ErrBadType},
+	}
+	for _, tc := range cases {
+		b := tc.mut(append([]byte(nil), good...))
+		if _, err := DecodeHeader(b); err != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// A datagram whose declared length overruns the received octets.
+	b := AppendHeader(nil, TypeData, 10, 7, 9)
+	b = append(b, 1, 2, 3) // only 3 of the declared 10
+	if _, _, err := DecodeDatagram(b); err != ErrBadLength {
+		t.Errorf("overrun: got %v, want %v", err, ErrBadLength)
+	}
+}
+
+func TestDecodeDatagramPayloadSpan(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	b := AppendHeader(nil, TypeData, len(payload), 1, 2)
+	b = append(b, payload...)
+	h, got, err := DecodeDatagram(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.Len != len(payload) || !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+}
+
+// FuzzWireHeader fuzzes the UDP wire codec: no input may panic, and any
+// input that decodes must re-encode to an identical header.
+func FuzzWireHeader(f *testing.F) {
+	f.Add(AppendHeader(nil, TypeData, 5, 0xABCD, 42))
+	f.Add(AppendHeader(nil, TypeKeepalive, 0, 1, 1))
+	f.Add([]byte{})
+	f.Add([]byte{0x50, 0x35, 0x4C, 0x54})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		h, payload, err := DecodeDatagram(p)
+		if err != nil {
+			return
+		}
+		if h.Len != len(payload) {
+			t.Fatalf("declared %d octets, span %d", h.Len, len(payload))
+		}
+		re := AppendHeader(nil, h.Type, h.Len, h.Epoch, h.Seq)
+		if !bytes.Equal(re, p[:HeaderLen]) {
+			t.Fatalf("re-encode mismatch:\n in %x\nout %x", p[:HeaderLen], re)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ipcp"
 	"repro/internal/lcp"
 	"repro/internal/lqm"
+	"repro/internal/netsim"
 	"repro/internal/ppp"
 	"repro/internal/reliable"
 	"repro/internal/vj"
@@ -87,6 +88,10 @@ type LinkConfig struct {
 	// RestartOnBadLQM makes a Bad RFC 1333 verdict trigger a
 	// supervised restart (requires LQMPeriod and Supervise).
 	RestartOnBadLQM bool
+	// JitterSeed seeds the ±20% jitter applied to supervised retry
+	// scheduling, de-synchronising links that fail together (0 derives
+	// a per-link seed from Magic).
+	JitterSeed uint64
 }
 
 // Datagram is one received network-layer packet.
@@ -229,7 +234,13 @@ func NewLink(cfg LinkConfig) *Link {
 		l.initLQM()
 	}
 	if cfg.Supervise {
-		l.sup = &supervisor{lineOK: true}
+		seed := cfg.JitterSeed
+		if seed == 0 {
+			// Derive a per-link seed so sibling links sharing a config
+			// still jitter apart (Magic is unique per endpoint).
+			seed = uint64(cfg.Magic)<<32 | uint64(cfg.Magic) | 1
+		}
+		l.sup = &supervisor{lineOK: true, rng: netsim.NewRand(seed)}
 	}
 	return l
 }

@@ -94,6 +94,35 @@ for drill in fiber-cut dual-cut noise-resync; do
     echo "-- scenarios/$drill.json"
     "$scen_bin" -scenario "scenarios/$drill.json"
 done
+
+echo "== transport chaos smoke (two p5sim processes over UDP loopback) =="
+# Two p5sim halves interconnect over real UDP sockets; a 250-tick
+# stall window is scripted on the listener's line. Keepalive probes
+# keep flowing through a stall, so both halves must ride it out and
+# resynchronise losslessly: zero LCP renegotiations, zero rx errors.
+net_port=$((20000 + $$ % 20000))
+net_dir="$(dirname "$scen_bin")"
+"$scen_bin" -listen "127.0.0.1:$net_port" -engine 2 -frames 3000 \
+    -net-stall 500:750 > "$net_dir/netA.log" 2>&1 &
+net_pid=$!
+sleep 1
+"$scen_bin" -dial "127.0.0.1:$net_port" -engine 2 -frames 3000 \
+    > "$net_dir/netZ.log" 2>&1
+wait "$net_pid"
+cat "$net_dir/netA.log" "$net_dir/netZ.log"
+for log in "$net_dir/netA.log" "$net_dir/netZ.log"; do
+    grep '^NET-REPORT ' "$log" | awk '{
+        for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+        if (v["delivered"] + 0 == 0) { print "transport smoke: nothing delivered"; exit 1 }
+        if (v["renegotiations"] + 0 != 0) {
+            printf "transport smoke: %s LCP renegotiations riding the stall, want 0\n", v["renegotiations"]; exit 1
+        }
+        if (v["rx_errors"] + 0 != 0) { printf "transport smoke: rx_errors=%s, want 0\n", v["rx_errors"]; exit 1 }
+        found = 1
+    }
+    END { if (!found) { print "transport smoke: no NET-REPORT line"; exit 1 } }'
+done
+echo "transport smoke: OK (stall ridden out, zero renegotiations)"
 rm -rf "$(dirname "$scen_bin")"
 
 echo "== benchmark trend =="

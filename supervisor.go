@@ -4,6 +4,7 @@ import (
 	"repro/internal/hdlc"
 	"repro/internal/lcp"
 	"repro/internal/lqm"
+	"repro/internal/netsim"
 	"repro/internal/sonet"
 	"repro/internal/vj"
 )
@@ -22,9 +23,16 @@ const (
 	AlarmSD  = uint32(sonet.DefSD)
 	AlarmSF  = uint32(sonet.DefSF)
 
+	// AlarmTransportLOS reports loss of the line *transport* — the
+	// socket or pipe carrying the wire octets — rather than a SONET
+	// receive defect. Deliberately outside the sonet.Defect bit range;
+	// a transport port raises it when dead-peer detection gives up and
+	// clears it when the socket comes back.
+	AlarmTransportLOS = uint32(1) << 16
+
 	// AlarmServiceAffecting is the subset that makes the line unusable:
 	// the supervisor holds off re-open attempts while any is active.
-	AlarmServiceAffecting = uint32(sonet.ServiceAffecting)
+	AlarmServiceAffecting = uint32(sonet.ServiceAffecting) | AlarmTransportLOS
 )
 
 // SupervisorStats is the supervisor's observable record.
@@ -60,6 +68,19 @@ type supervisor struct {
 	retryAt   int64 // next scheduled restart (0 = none)
 	backoff   int64 // current retry interval
 	lastQ     lqm.Quality
+	rng       *netsim.Rand // jitter source for retry scheduling
+}
+
+// jitter spreads a retry delay by ±20%, so a population of links taken
+// down by the same event de-synchronises its re-open attempts instead
+// of retrying in lockstep (the thundering herd). The backoff doubling
+// itself stays deterministic; only the scheduled instant is jittered.
+func (s *supervisor) jitter(d int64) int64 {
+	j := d * int64(80+s.rng.Intn(41)) / 100
+	if j < 1 {
+		j = 1
+	}
+	return j
 }
 
 func (c LinkConfig) retryMin() int64 {
@@ -101,8 +122,12 @@ func (l *Link) NotifyDefects(active uint32) {
 		if s.lineOK {
 			s.lineOK = false
 			s.DefectOutages++
-			l.trace("defect-outage", "", int64(active), 0)
-			l.flightTrigger("defect-outage")
+			reason := "defect-outage"
+			if active&AlarmTransportLOS != 0 {
+				reason = "transport-los"
+			}
+			l.trace(reason, "", int64(active), 0)
+			l.flightTrigger(reason)
 			l.resetTransport()
 			l.lcpA.Down()
 		}
@@ -138,7 +163,7 @@ func (l *Link) serviceSupervisor(now int64) {
 		if s.backoff == 0 {
 			s.backoff = l.cfg.retryMin()
 		}
-		s.retryAt = now + s.backoff
+		s.retryAt = now + s.jitter(s.backoff)
 	}
 	s.wasOpened = opened
 
@@ -164,7 +189,7 @@ func (l *Link) serviceSupervisor(now int64) {
 		if s.backoff == 0 {
 			s.backoff = l.cfg.retryMin()
 		}
-		s.retryAt = now + s.backoff
+		s.retryAt = now + s.jitter(s.backoff)
 	}
 
 	if s.kick {
@@ -210,7 +235,7 @@ func (l *Link) restartLCP(now int64) {
 	if max := l.cfg.retryMax(); s.backoff > max {
 		s.backoff = max
 	}
-	s.retryAt = now + s.backoff
+	s.retryAt = now + s.jitter(s.backoff)
 }
 
 // resetTransport discards per-connection receive state that must not

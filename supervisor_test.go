@@ -118,21 +118,68 @@ func TestSupervisorBackoffDoubling(t *testing.T) {
 		t.Fatalf("only %d retries in 400 units: %v", len(times), times)
 	}
 	// Each cycle is the LCP give-up time (restart period) plus the
-	// supervisor backoff, so the gaps grow 4→8→16 and then hold.
+	// supervisor backoff, so the gaps grow roughly 4→8→16 and then
+	// hold; the ±20% retry jitter wobbles each gap but neither the
+	// growth trend nor the cap.
 	var gaps []int64
 	for i := 1; i < len(times); i++ {
 		gaps = append(gaps, times[i]-times[i-1])
 	}
-	for i := 1; i < len(gaps); i++ {
-		if gaps[i] < gaps[i-1] && gaps[i-1] <= 16+3 {
-			t.Fatalf("backoff shrank before the cap: gaps %v", gaps)
+	const slack = 3 // LCP give-up time per cycle
+	for _, g := range gaps {
+		if g > 16*120/100+slack {
+			t.Fatalf("gap %d exceeds jittered RetryMax: gaps %v", g, gaps)
 		}
 	}
-	if g := gaps[len(gaps)-1]; g > 16+3 {
-		t.Errorf("final gap %d exceeds RetryMax+restart period", g)
+	var capped int64
+	tail := gaps[len(gaps)/2:]
+	for _, g := range tail {
+		capped += g
 	}
-	if gaps[0] >= gaps[len(gaps)-1] {
-		t.Errorf("no exponential growth visible in gaps %v", gaps)
+	capped /= int64(len(tail))
+	if gaps[0] >= capped {
+		t.Errorf("no exponential growth visible: first gap %d, capped mean %d, gaps %v",
+			gaps[0], capped, gaps)
+	}
+}
+
+// TestSupervisorRetryJitterDesynchronizes: two links that die at the
+// same instant with the same backoff config must not retry in
+// lockstep — the seeded ±20% retry jitter (derived per link from
+// Magic when JitterSeed is 0) spreads their schedules, so a herd of
+// links orphaned by one upstream failure does not thunder back in
+// phase.
+func TestSupervisorRetryJitterDesynchronizes(t *testing.T) {
+	mk := func(magic uint32) *Link {
+		l := NewLink(LinkConfig{
+			Magic: magic, IPAddr: [4]byte{10, 0, 0, 1},
+			Supervise: true, RetryMin: 8, RetryMax: 64,
+		})
+		l.lcpA.MaxConfigure = 1 // give up after one unanswered request
+		l.Open()
+		l.Up()
+		return l
+	}
+	a, b := mk(0xA0000001), mk(0xA0000002)
+	for now := int64(1); now <= 600; now++ {
+		a.Advance(now)
+		a.Output()
+		b.Advance(now)
+		b.Output()
+	}
+	ta, tb := a.Supervisor().RetryTimes, b.Supervisor().RetryTimes
+	if len(ta) < 4 || len(tb) < 4 {
+		t.Fatalf("too few retries against a dead line: a=%v b=%v", ta, tb)
+	}
+	n := min(len(ta), len(tb))
+	same := 0
+	for i := 0; i < n; i++ {
+		if ta[i] == tb[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("retry schedules in lockstep despite jitter: a=%v b=%v", ta, tb)
 	}
 }
 

@@ -1,0 +1,88 @@
+package gigapos
+
+import "repro/internal/transport"
+
+// TransportPort binds one Link endpoint to a LineTransport: the glue
+// that takes the engine off loopback. Each tick it flushes the link's
+// pending wire output into the transport, ticks the transport's
+// housekeeping (keepalive, reconnection), maps dead-peer transitions
+// onto the supervisor's defect machinery as AlarmTransportLOS, and
+// feeds received chunks back into the link.
+//
+// The ownership contracts line up without copies on the receive side:
+// transport.Recv payloads stay valid until the second-following Recv,
+// and Link.InputBatch never retains its chunks. On transmit,
+// transport.Send does not retain the Link.Output buffer.
+//
+// Like Link, a TransportPort is driven from one goroutine.
+type TransportPort struct {
+	Link *Link
+	T    transport.LineTransport
+
+	// TxLineBytes and RxLineBytes count wire octets offered to and
+	// accepted from the transport.
+	TxLineBytes, RxLineBytes uint64
+
+	sawUp    bool // transport has been up at least once
+	wasUp    bool // liveness seen by the previous Poll
+	rxChunks [][]byte
+}
+
+// NewTransportPort binds l to t.
+func NewTransportPort(l *Link, t transport.LineTransport) *TransportPort {
+	return &TransportPort{Link: l, T: t}
+}
+
+// Flush moves the link's pending wire output into the transport and
+// returns the octet count.
+func (p *TransportPort) Flush() int {
+	out := p.Link.Output()
+	if len(out) == 0 {
+		return 0
+	}
+	p.TxLineBytes += uint64(len(out))
+	p.T.Send(out)
+	return len(out)
+}
+
+// Poll ticks the transport, escalates liveness edges into the link's
+// defect supervisor, and feeds received chunks into the link. It
+// returns the received octet count.
+//
+// The first time the transport comes up nothing is reported — the
+// supervisor starts with the line presumed healthy, and alarming a
+// still-dialing socket at startup would fire a spurious outage. After
+// that, down edges raise AlarmTransportLOS (outage, flight capture,
+// LCP Down) and up edges clear it (immediate supervised re-open).
+func (p *TransportPort) Poll(now int64) int {
+	p.T.Tick(now)
+	up := p.T.Up()
+	switch {
+	case up && !p.sawUp:
+		p.sawUp, p.wasUp = true, true
+	case p.sawUp && up != p.wasUp:
+		p.wasUp = up
+		if up {
+			p.Link.NotifyDefects(0)
+		} else {
+			p.Link.NotifyDefects(AlarmTransportLOS)
+		}
+	}
+	p.rxChunks = p.T.Recv(p.rxChunks[:0])
+	n := 0
+	for _, c := range p.rxChunks {
+		n += len(c)
+	}
+	p.RxLineBytes += uint64(n)
+	p.Link.InputBatch(p.rxChunks)
+	return n
+}
+
+// Tick runs one full port tick for standalone use (outside the engine,
+// which interleaves Flush and Poll with its stage accounting): advance
+// the link clock, flush transmit, poll receive.
+func (p *TransportPort) Tick(now int64) {
+	p.Link.Advance(now)
+	p.Flush()
+	p.Poll(now)
+}

@@ -1,0 +1,379 @@
+package gigapos
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/flight"
+	"repro/internal/transport"
+)
+
+// These are the socket-robustness soaks: links carried by real
+// transports — in-process pipes for the allocation pin, real UDP
+// sockets for the chaos drills — with the transport-level fault
+// adapter scripting blackouts, stalls, duplication and reorder.
+
+// udpPair returns connected UDP endpoints on the loopback interface.
+func udpPair(t *testing.T, cfg transport.Config) (ln, dl *transport.UDP) {
+	t.Helper()
+	ln, err := transport.NewUDP(transport.UDPConfig{Config: cfg, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err = transport.NewUDP(transport.UDPConfig{Config: cfg, DialAddr: ln.LocalAddr().String()})
+	if err != nil {
+		ln.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close(); dl.Close() })
+	return ln, dl
+}
+
+// supervisedPorts builds a supervised link pair carried by the given
+// transports.
+func supervisedPorts(ta, tz transport.LineTransport) (a, z *TransportPort) {
+	// RestartPeriod must exceed the real-socket round trip expressed in
+	// virtual ticks, or every Configure-Ack arrives after its request
+	// timed out and negotiation exhausts MaxConfigure.
+	la := NewLink(LinkConfig{
+		Magic: 0xA0000001, IPAddr: [4]byte{10, 9, 0, 1},
+		Supervise: true, RetryMin: 8, RetryMax: 64, RestartPeriod: 24,
+	})
+	lz := NewLink(LinkConfig{
+		Magic: 0xA0000002, IPAddr: [4]byte{10, 9, 0, 2},
+		Supervise: true, RetryMin: 8, RetryMax: 64, RestartPeriod: 24,
+	})
+	la.Open()
+	la.Up()
+	lz.Open()
+	lz.Up()
+	return NewTransportPort(la, ta), NewTransportPort(lz, tz)
+}
+
+// TestTransportChaosSoakUDP is the acceptance drill for the socket
+// line: two supervised links exchange traffic over real UDP loopback
+// sockets; a scripted 500-tick blackout (the fault adapter mutes the
+// line — data, keepalives and receive) must escalate into exactly one
+// transport-LOS defect outage with exactly one flight capture per end,
+// the supervisor must bring the link back once the window ends, and
+// afterwards the link must hold steady — zero further renegotiations,
+// and never a corrupted datagram delivered to IP.
+func TestTransportChaosSoakUDP(t *testing.T) {
+	kcfg := transport.Config{KeepalivePeriod: 32, KeepaliveMisses: 3}
+	ln, dl := udpPair(t, kcfg)
+
+	const blackoutFrom, blackoutTo = 1200, 1700
+	chaos := fault.WrapTransport(ln).Blackout(blackoutFrom, blackoutTo)
+	pa, pz := supervisedPorts(chaos, dl)
+
+	ra := flight.NewRecorder(nil, "chaos_a", flight.Config{})
+	rz := flight.NewRecorder(nil, "chaos_z", flight.Config{})
+	pa.Link.ArmFlight(ra)
+	pz.Link.ArmFlight(rz)
+
+	template := make([]byte, 256)
+	for i := range template {
+		template[i] = byte(i*31 + 7)
+	}
+	var rx []Datagram
+	var delivered, corrupted int
+	now := int64(0)
+	run := func(ticks int) {
+		for i := 0; i < ticks; i++ {
+			now++
+			pa.Tick(now)
+			pz.Tick(now)
+			if pa.Link.IPReady() {
+				pa.Link.SendIPv4(template)
+			}
+			if pz.Link.IPReady() {
+				pz.Link.SendIPv4(template)
+			}
+			rx = pa.Link.ReceivedInto(rx[:0])
+			rx = pz.Link.ReceivedInto(rx)
+			for j := range rx {
+				delivered++
+				if !bytes.Equal(rx[j].Payload, template) {
+					corrupted++
+				}
+			}
+			// Map virtual ticks onto a little real time so the socket
+			// reader goroutines keep pace with the tick loop.
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+
+	// Bring-up and steady traffic.
+	run(1000)
+	if !pa.Link.IPReady() || !pz.Link.IPReady() {
+		t.Fatalf("links not up over UDP: a=%v z=%v", pa.Link.IPReady(), pz.Link.IPReady())
+	}
+	if delivered == 0 {
+		t.Fatal("no datagrams delivered before the blackout")
+	}
+
+	// Through the blackout: dead-peer detection must fire on both ends
+	// and take the links down.
+	run(blackoutTo - int(now))
+	if pa.Link.Opened() || pz.Link.Opened() {
+		t.Fatalf("links survived a 500-tick blackout: a=%v z=%v",
+			pa.Link.Opened(), pz.Link.Opened())
+	}
+	supA := pa.Link.Supervisor()
+	if supA.DefectOutages != 1 {
+		t.Fatalf("a-side defect outages = %d, want exactly 1", supA.DefectOutages)
+	}
+	if n := ra.CapturesFor("transport-los"); n != 1 {
+		t.Fatalf("a-side transport-los flight captures = %d, want exactly 1", n)
+	}
+	if n := rz.CapturesFor("transport-los"); n != 1 {
+		t.Fatalf("z-side transport-los flight captures = %d, want exactly 1", n)
+	}
+
+	// Recovery: the window is over; keepalives re-establish liveness,
+	// the all-clear kicks the supervisor, LCP/IPCP renegotiate.
+	deadline := time.Now().Add(10 * time.Second)
+	for !(pa.Link.IPReady() && pz.Link.IPReady()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("links did not recover after the blackout: a=%v z=%v",
+				pa.Link.lcpA.State(), pz.Link.lcpA.State())
+		}
+		run(64)
+	}
+	supA = pa.Link.Supervisor()
+	if supA.Recoveries < 1 {
+		t.Fatalf("a-side recoveries = %d, want >= 1", supA.Recoveries)
+	}
+
+	// Steady state after restore: no further renegotiations, no
+	// further outages, no further captures.
+	restartsAfter := supA.Restarts
+	deliveredBefore := delivered
+	run(1500)
+	if !pa.Link.IPReady() || !pz.Link.IPReady() {
+		t.Fatal("links flapped after recovery")
+	}
+	supA = pa.Link.Supervisor()
+	if supA.Restarts != restartsAfter {
+		t.Fatalf("%d LCP renegotiations after restore, want 0",
+			supA.Restarts-restartsAfter)
+	}
+	if supA.DefectOutages != 1 {
+		t.Fatalf("defect outages grew to %d after restore", supA.DefectOutages)
+	}
+	if n := ra.CapturesFor("transport-los"); n != 1 {
+		t.Fatalf("transport-los captures grew to %d after restore", n)
+	}
+	if delivered == deliveredBefore {
+		t.Fatal("no traffic after recovery")
+	}
+	if corrupted != 0 {
+		t.Fatalf("%d corrupted datagrams delivered to IP (of %d)", corrupted, delivered)
+	}
+}
+
+// TestTransportDupReorderSoakUDP drives sustained random duplication
+// and reorder through the chaos adapter over real UDP sockets: the
+// sequence-number defense plus HDLC's FCS must keep every datagram
+// that reaches IP intact — impairments may cost throughput, never
+// correctness.
+func TestTransportDupReorderSoakUDP(t *testing.T) {
+	ln, dl := udpPair(t, transport.Config{})
+	// Impair both directions: dup and reorder, no outright drops, so
+	// sustained delivery is expected alongside the chaos.
+	ca := fault.WrapTransport(ln).Randomize(101, 0, 0.10, 0.10)
+	cz := fault.WrapTransport(dl).Randomize(202, 0, 0.10, 0.10)
+	pa, pz := supervisedPorts(ca, cz)
+
+	template := make([]byte, 200)
+	for i := range template {
+		template[i] = byte(i ^ 0x5A)
+	}
+	var rx []Datagram
+	var delivered, corrupted int
+	now := int64(0)
+	for tick := 0; tick < 3000; tick++ {
+		now++
+		pa.Tick(now)
+		pz.Tick(now)
+		if pa.Link.IPReady() {
+			pa.Link.SendIPv4(template)
+		}
+		if pz.Link.IPReady() {
+			pz.Link.SendIPv4(template)
+		}
+		rx = pa.Link.ReceivedInto(rx[:0])
+		rx = pz.Link.ReceivedInto(rx)
+		for j := range rx {
+			delivered++
+			if !bytes.Equal(rx[j].Payload, template) {
+				corrupted++
+			}
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	if ca.Duplicated() == 0 && cz.Duplicated() == 0 {
+		t.Fatal("soak produced no duplications")
+	}
+	if delivered < 100 {
+		t.Fatalf("only %d datagrams delivered under dup/reorder chaos", delivered)
+	}
+	if corrupted != 0 {
+		t.Fatalf("%d corrupted datagrams delivered to IP (of %d)", corrupted, delivered)
+	}
+	// The wire-level defense must have actually engaged: duplicated
+	// datagrams arrive with stale sequence numbers and are dropped
+	// before the HDLC stream.
+	if st := ln.Stats(); st.RxDropped == 0 {
+		t.Logf("note: listener saw no stale datagrams (%+v)", st)
+	}
+}
+
+// TestEngineTransportPipeZeroAlloc pins the tentpole's steady-state
+// cost: an engine whose wire is carried by in-process pipe transports
+// must still run allocation-free per step once warm — the transport
+// seam adds queue rotation and arena copies, never garbage.
+func TestEngineTransportPipeZeroAlloc(t *testing.T) {
+	e := NewEngine(EngineConfig{
+		Links: 2, Shards: 1, PayloadSize: 256, Batch: 4,
+		Transport: func(port int) (a, z transport.LineTransport) {
+			return transport.NewPipePair()
+		},
+	})
+	defer e.Close()
+	if bu := e.BringUp(1024); !bu.Ready {
+		t.Fatalf("bring-up over pipe transports failed: %s", bu)
+	}
+	// Warm every arena and queue to steady-state capacity.
+	e.Run(64)
+	if avg := testing.AllocsPerRun(100, func() { e.Run(1) }); avg != 0 {
+		t.Fatalf("steady-state transport step allocates %.1f times per run, want 0", avg)
+	}
+	st := e.Stats()
+	if st.Datagrams == 0 || st.LineBytes == 0 {
+		t.Fatalf("no traffic moved over pipe transports: %+v", st)
+	}
+	ts := e.TransportStats()
+	if ts.TxChunks == 0 || ts.RxChunks == 0 {
+		t.Fatalf("transport counters empty: %+v", ts)
+	}
+}
+
+// TestEngineRemoteUDP interconnects two single-ended engines — the
+// listener half (RoleA) and the dialer half (RoleZ) — over real UDP
+// loopback sockets: the two-process p5sim topology, in one process so
+// the test can observe both sides.
+func TestEngineRemoteUDP(t *testing.T) {
+	const nLinks = 2
+	kcfg := transport.Config{KeepalivePeriod: 64, KeepaliveMisses: 5}
+
+	listeners := make([]*transport.UDP, nLinks)
+	for i := range listeners {
+		ln, err := transport.NewUDP(transport.UDPConfig{Config: kcfg, ListenAddr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+	}
+	eA := NewEngine(EngineConfig{
+		Links: nLinks, Shards: 1, PayloadSize: 256, Batch: 2,
+		Link: LinkConfig{Supervise: true, RestartPeriod: 24},
+		Role: RoleA,
+		Transport: func(port int) (a, z transport.LineTransport) {
+			return listeners[port], nil
+		},
+	})
+	defer eA.Close()
+	eZ := NewEngine(EngineConfig{
+		Links: nLinks, Shards: 1, PayloadSize: 256, Batch: 2,
+		Link: LinkConfig{Supervise: true, RestartPeriod: 24},
+		Role: RoleZ,
+		Transport: func(port int) (a, z transport.LineTransport) {
+			dl, err := transport.NewUDP(transport.UDPConfig{
+				Config:   kcfg,
+				DialAddr: listeners[port].LocalAddr().String(),
+			})
+			if err != nil {
+				t.Fatalf("dial port %d: %v", port, err)
+			}
+			return nil, dl
+		},
+	})
+	defer eZ.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for !(eA.Ready() && eZ.Ready()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("remote engines never converged: a=%v z=%v", eA.Ready(), eZ.Ready())
+		}
+		eA.Run(1)
+		eZ.Run(1)
+		time.Sleep(50 * time.Microsecond)
+	}
+	for i := 0; i < 2000; i++ {
+		eA.Run(1)
+		eZ.Run(1)
+		time.Sleep(50 * time.Microsecond)
+	}
+	for name, e := range map[string]*Engine{"A": eA, "Z": eZ} {
+		st := e.Stats()
+		if st.Datagrams == 0 {
+			t.Errorf("engine %s delivered no datagrams: %+v", name, st)
+		}
+		ts := e.TransportStats()
+		if ts.TxChunks == 0 || ts.RxChunks == 0 {
+			t.Errorf("engine %s transport counters empty: %+v", name, ts)
+		}
+		var names []string
+		e.EachTransport(func(n string, _ transport.LineTransport) { names = append(names, n) })
+		if len(names) != nLinks {
+			t.Errorf("engine %s transports: %v, want %d", name, names, nLinks)
+		}
+	}
+	if a, z := eA.Port(0); a == nil || z != nil {
+		t.Error("RoleA engine port shape wrong: want local a, nil z")
+	}
+}
+
+// TestEngineBringUpDeadline: a single-ended engine with no peer cannot
+// converge; BringUp must come back within its deadline naming the
+// ports that failed instead of a bare false.
+func TestEngineBringUpDeadline(t *testing.T) {
+	ln, err := transport.NewUDP(transport.UDPConfig{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(EngineConfig{
+		Links: 2, Shards: 1,
+		Role: RoleA,
+		Transport: func(port int) (a, z transport.LineTransport) {
+			if port == 0 {
+				return ln, nil
+			}
+			p1, _ := transport.NewPipePair()
+			return p1, nil
+		},
+	})
+	defer e.Close()
+	bu := e.BringUp(64)
+	if bu.Ready {
+		t.Fatal("peerless engine reported Ready")
+	}
+	if bu.Steps < 64 {
+		t.Fatalf("gave up after %d steps, deadline was 64", bu.Steps)
+	}
+	if len(bu.Failed) != 2 {
+		t.Fatalf("failed ports: %+v, want both", bu.Failed)
+	}
+	for i, f := range bu.Failed {
+		if f.Port != i || f.AReady || !f.ZReady {
+			t.Fatalf("failed port %d record: %+v", i, f)
+		}
+	}
+	if s := bu.String(); s == "" || s == fmt.Sprint(false) {
+		t.Fatalf("BringUpResult.String unusable: %q", s)
+	}
+}
