@@ -91,6 +91,18 @@ func (s Size) Finish(fcs uint32) uint32 {
 	return fcs ^ 0xFFFFFFFF
 }
 
+// ResidueOK reports whether a streaming register (started by Init and
+// fed every frame octet including the trailing FCS field) landed on the
+// mode's magic residue — the fused receive-side equivalent of Check,
+// for callers that fold the CRC during destuffing instead of making a
+// second pass over the assembled body.
+func (s Size) ResidueOK(fcs uint32) bool {
+	if s == FCS16Mode {
+		return uint16(fcs) == Good16
+	}
+	return fcs == Good32
+}
+
 // Append appends the FCS of the selected size to p.
 func (s Size) Append(p []byte) []byte {
 	if s == FCS16Mode {

@@ -1,5 +1,7 @@
 package crc
 
+import "encoding/binary"
+
 // Sarwate byte-at-a-time tables, built once at package init from the
 // bitwise reference. These are the software mirror of a classic 8-bit
 // serial-in CRC unit: one table lookup consumes 8 input bits per step.
@@ -8,10 +10,10 @@ var (
 	table16 [256]uint16
 	table32 [256]uint32
 
-	// slice32 holds slicing-by-4 tables: slice32[0] is the plain Sarwate
+	// slice32 holds slicing-by-8 tables: slice32[0] is the plain Sarwate
 	// table, slice32[k][b] is the CRC contribution of byte b placed k
 	// bytes earlier in the stream.
-	slice32 [4][256]uint32
+	slice32 [8][256]uint32
 	slice16 [2][256]uint16
 )
 
@@ -39,7 +41,7 @@ func init() {
 		table32[i] = c
 	}
 	slice32[0] = table32
-	for k := 1; k < 4; k++ {
+	for k := 1; k < 8; k++ {
 		for i := 0; i < 256; i++ {
 			c := slice32[k-1][i]
 			slice32[k][i] = (c >> 8) ^ table32[byte(c)]
@@ -78,11 +80,25 @@ func Table32(fcs uint32, p []byte) uint32 {
 	return fcs
 }
 
-// Slicing32 runs slicing-by-4 over p: four input bytes are folded into the
-// register per step, the bulk software analog of the paper's 32-bit-wide
-// parallel CRC datapath.
+// Slicing32 runs slicing-by-8 over p: eight input bytes are folded into
+// the register per step, the bulk software analog of the paper's
+// parallel-CRC datapath widened to the machine word.
 func Slicing32(fcs uint32, p []byte) uint32 {
-	for len(p) >= 4 {
+	for len(p) >= 8 {
+		q := binary.LittleEndian.Uint64(p)
+		lo := fcs ^ uint32(q)
+		hi := uint32(q >> 32)
+		fcs = slice32[7][byte(lo)] ^
+			slice32[6][byte(lo>>8)] ^
+			slice32[5][byte(lo>>16)] ^
+			slice32[4][byte(lo>>24)] ^
+			slice32[3][byte(hi)] ^
+			slice32[2][byte(hi>>8)] ^
+			slice32[1][byte(hi>>16)] ^
+			slice32[0][byte(hi>>24)]
+		p = p[8:]
+	}
+	if len(p) >= 4 {
 		fcs ^= uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
 		fcs = slice32[3][byte(fcs)] ^
 			slice32[2][byte(fcs>>8)] ^

@@ -3,6 +3,8 @@ package hdlc
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/crc"
 )
 
 // FuzzTokenizer feeds arbitrary line bytes; the tokenizer must never
@@ -27,6 +29,89 @@ func FuzzTokenizer(f *testing.F) {
 			if len(toks2) != 1 || toks2[0].Err != nil || !bytes.Equal(toks2[0].Body, tok.Body) {
 				t.Fatalf("re-encode mismatch for body % x", tok.Body)
 			}
+		}
+	})
+}
+
+// FuzzFusedDecode is the receive-side differential fuzzer, the twin of
+// ppp.FuzzFusedEncode: the fused span-scanning destuff+CRC Tokenizer and
+// the retained byte-at-a-time ReferenceTokenizer must produce identical
+// token sequences — bodies, errors, fused FCS verdicts — and identical
+// OAM counters for any wire bytes, any chunk split, and any FCS mode.
+func FuzzFusedDecode(f *testing.F) {
+	good := crc.FCS32Mode.Append([]byte{0xFF, 0x03, 0x00, 0x21, 1, 2, 3})
+	f.Add(Encode(nil, good, ACCMNone, false), 3, byte(2))
+	f.Add(bytes.Repeat([]byte{0x7D}, 48), 1, byte(1))             // all-escape
+	f.Add(bytes.Repeat([]byte{0x7E}, 48), 5, byte(2))             // flag-storm
+	f.Add([]byte{0x7E, 0x7D, 0x7E, 0x7E, 0x01, 0x7E}, 2, byte(0)) // abort, runt
+	f.Add([]byte{0x7E, 1, 2, 3}, 1, byte(3))                      // unterminated
+	f.Fuzz(func(t *testing.T, stream []byte, chunk int, mode byte) {
+		if chunk <= 0 {
+			chunk = 1
+		}
+		var cfg Tokenizer
+		switch mode & 3 {
+		case 1:
+			cfg.FCS = crc.FCS16Mode
+		case 2, 3:
+			cfg.FCS = crc.FCS32Mode
+		}
+		if mode&4 != 0 {
+			cfg.MinFrame = 5
+		}
+		if mode&8 != 0 {
+			cfg.MaxFrame = 40
+		}
+		fused := cfg
+		ref := ReferenceTokenizer{Tokenizer: cfg}
+
+		type rec struct {
+			body  []byte
+			err   error
+			fcsOK bool
+		}
+		var got, want []rec
+		var toks []Token
+		// Fused tokenizer sees the fuzzer's chunking; the reference sees
+		// the whole stream at once. Token sequences must not depend on
+		// where chunks split (bodies are copied out before the arena is
+		// recycled by the next Feed).
+		for off := 0; off < len(stream); off += chunk {
+			end := off + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			toks = fused.Feed(toks[:0], stream[off:end])
+			for _, tok := range toks {
+				got = append(got, rec{bytes.Clone(tok.Body), tok.Err, tok.FCSOK})
+			}
+		}
+		for _, tok := range ref.Feed(nil, stream) {
+			want = append(want, rec{bytes.Clone(tok.Body), tok.Err, tok.FCSOK})
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("token count divergence: fused %d, reference %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].err != want[i].err || got[i].fcsOK != want[i].fcsOK ||
+				!bytes.Equal(got[i].body, want[i].body) {
+				t.Fatalf("token %d divergence: fused {% x %v %v}, reference {% x %v %v}",
+					i, got[i].body, got[i].err, got[i].fcsOK,
+					want[i].body, want[i].err, want[i].fcsOK)
+			}
+			if got[i].err == nil && cfg.FCS != 0 {
+				if check := cfg.FCS.Check(got[i].body); check != got[i].fcsOK {
+					t.Fatalf("token %d fused verdict %v contradicts two-pass Check %v for % x",
+						i, got[i].fcsOK, check, got[i].body)
+				}
+			}
+		}
+		if fused.Frames != ref.Frames || fused.Aborts != ref.Aborts ||
+			fused.Runts != ref.Runts || fused.Oversize != ref.Oversize {
+			t.Fatalf("counter divergence: fused %d/%d/%d/%d, reference %d/%d/%d/%d",
+				fused.Frames, fused.Aborts, fused.Runts, fused.Oversize,
+				ref.Frames, ref.Aborts, ref.Runts, ref.Oversize)
 		}
 	})
 }

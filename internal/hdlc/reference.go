@@ -1,0 +1,41 @@
+package hdlc
+
+// ReferenceTokenizer is the retained byte-at-a-time frame delineator: the
+// pre-fusion Tokenizer.Feed loop, kept as the differential-fuzz model for
+// the span-based fused kernel (FuzzFusedDecode). It shares the Tokenizer
+// state machine, push and closeFrame — so the CRC fold goes through the
+// per-octet table path where the fused kernel uses span slicing, making
+// the two genuinely independent where it matters — and must produce an
+// identical token sequence (bodies, errors, FCS verdicts, counters) for
+// any input under any chunking.
+type ReferenceTokenizer struct {
+	Tokenizer
+}
+
+// Feed consumes raw stream octets one at a time, appending any complete
+// frame tokens to out. Same contract as Tokenizer.Feed.
+func (t *ReferenceTokenizer) Feed(out []Token, chunk []byte) []Token {
+	if t.start > 0 {
+		n := copy(t.arena, t.arena[t.start:])
+		t.arena = t.arena[:n]
+		t.start = 0
+	}
+	for _, b := range chunk {
+		switch {
+		case b == Flag:
+			out = t.closeFrame(out)
+		case !t.inFrame:
+			// Hunting: ignore inter-frame fill.
+		case t.drop:
+			// Discarding an oversize frame.
+		case t.esc:
+			t.esc = false
+			t.push(b ^ XorBit)
+		case b == Escape:
+			t.esc = true
+		default:
+			t.push(b)
+		}
+	}
+	return out
+}

@@ -100,6 +100,30 @@ func EscapeSpan(src []byte, m ACCM) int {
 	return off + len(src)
 }
 
+// DelimiterSpan returns the length of the maximal prefix of src
+// containing neither a Flag nor an Escape octet, scanning eight lanes
+// per step — the receive-side twin of EscapeSpan. The fused
+// destuff+CRC kernel alternates DelimiterSpan with single-octet
+// delimiter handling, so runs of ordinary line bytes are bulk-copied
+// into the arena with one copy instead of a per-byte loop.
+func DelimiterSpan(src []byte) int {
+	off := 0
+	for len(src) >= 8 {
+		x := binary.LittleEndian.Uint64(src)
+		if lanes := matchLanes(x, Flag) | matchLanes(x, Escape); lanes != 0 {
+			return off + bits.TrailingZeros64(lanes)/8
+		}
+		src = src[8:]
+		off += 8
+	}
+	for i, b := range src {
+		if b == Flag || b == Escape {
+			return off + i
+		}
+	}
+	return off + len(src)
+}
+
 // DestuffSWAR appends the decoded form of a stuffed sequence to dst,
 // scanning eight lanes per step for escape octets. esc threads streaming
 // state exactly as Destuff does.

@@ -1,6 +1,10 @@
 package hdlc
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/crc"
+)
 
 // Errors reported per frame by the Tokenizer.
 var (
@@ -23,13 +27,29 @@ var (
 type Token struct {
 	Body []byte
 	Err  error
+	// FCSOK is the fused frame-check verdict: with the Tokenizer's FCS
+	// mode armed, every destuffed octet was folded into a streaming CRC
+	// register as it landed in the arena, and FCSOK reports whether the
+	// register closed on the mode's magic residue (equivalently,
+	// crc.Size.Check over Body). Meaningful only on complete-frame
+	// tokens (Err == nil) of an FCS-armed tokenizer; false otherwise.
+	FCSOK bool
 }
 
 // Tokenizer performs streaming frame delineation on a raw octet stream:
-// flag hunting, abort detection, destuffing, and size policing. It holds
-// state across Feed calls so frames may straddle arbitrary chunk (or
+// flag hunting, abort detection, destuffing, size policing and —
+// with FCS armed — frame checking, all in one pass. It holds state
+// across Feed calls so frames may straddle arbitrary chunk (or
 // datapath-word) boundaries — the condition that forces the 32-bit P5 to
 // handle flags in any byte lane.
+//
+// Feed is the fused receive kernel, the twin of the fused CRC+stuff
+// transmit path (ppp.AppendFrame over EscapeSpan): delimiter-free spans
+// are located eight lanes per step by DelimiterSpan and bulk-copied
+// into the arena, with the streaming CRC folded over each span as it
+// lands — so checking the FCS costs no second pass over the body.
+// ReferenceTokenizer retains the byte-at-a-time loop as the
+// differential-fuzz model.
 //
 // Destuffed bytes land in a single reusable arena (compacted at each
 // Feed), so the steady-state receive path allocates nothing once the
@@ -44,12 +64,18 @@ type Tokenizer struct {
 	// reported with ErrRunt. Zero-length spans (back-to-back flags) are
 	// always silently skipped.
 	MinFrame int
+	// FCS, when non-zero, arms the fused frame check: each destuffed
+	// octet is folded into a streaming register of the selected size
+	// during tokenization and complete-frame tokens carry the verdict
+	// in Token.FCSOK. Zero leaves checking to the consumer.
+	FCS crc.Size
 
 	arena   []byte // destuffed bytes; the in-progress frame is arena[start:]
 	start   int    // arena offset of the in-progress frame
 	esc     bool   // escape octet pending
 	inFrame bool   // seen an opening flag
 	drop    bool   // discarding until next flag (after oversize)
+	fcsReg  uint32 // streaming FCS register of the in-progress frame
 
 	// Counters for the OAM status registers.
 	Frames   uint64 // complete frames emitted
@@ -68,42 +94,79 @@ func (t *Tokenizer) Feed(out []Token, chunk []byte) []Token {
 		t.arena = t.arena[:n]
 		t.start = 0
 	}
-	for _, b := range chunk {
-		if b == Flag {
+	for len(chunk) > 0 {
+		if !t.inFrame || t.drop {
+			// Hunting (inter-frame idle fill is ignored; HDLC links may
+			// idle with flags or 0xFF fill) or discarding an oversize
+			// frame: nothing lands in the arena until the next flag, so
+			// the word-parallel flag hunt skips the span in bulk.
+			i := FindFlagSWAR(chunk)
+			if i < 0 {
+				return out
+			}
 			out = t.closeFrame(out)
+			chunk = chunk[i+1:]
 			continue
 		}
-		if !t.inFrame {
-			// Octets between frames (idle fill) are ignored; HDLC
-			// links may idle with flags or 0xFF fill.
-			continue
-		}
-		if t.drop {
-			continue
-		}
-		if t.esc {
+		switch b := chunk[0]; {
+		case b == Flag:
+			out = t.closeFrame(out)
+			chunk = chunk[1:]
+		case t.esc:
 			t.esc = false
-			t.arena = append(t.arena, b^XorBit)
-		} else if b == Escape {
+			t.push(b ^ XorBit)
+			chunk = chunk[1:]
+		case b == Escape:
 			t.esc = true
-			continue
-		} else {
-			t.arena = append(t.arena, b)
-		}
-		if t.MaxFrame > 0 && len(t.arena)-t.start > t.MaxFrame {
-			t.drop = true
-			t.Oversize++
+			chunk = chunk[1:]
+		default:
+			// Ordinary bytes up to the next delimiter: one bulk copy
+			// into the arena, one streaming-CRC fold over the span.
+			n := DelimiterSpan(chunk)
+			t.pushSpan(chunk[:n])
+			chunk = chunk[n:]
 		}
 	}
 	return out
 }
 
+// push appends one destuffed octet to the in-progress frame, folding it
+// into the fused CRC register and policing MaxFrame.
+func (t *Tokenizer) push(b byte) {
+	t.arena = append(t.arena, b)
+	if t.FCS != 0 {
+		t.fcsReg = t.FCS.UpdateByte(t.fcsReg, b)
+	}
+	if t.MaxFrame > 0 && len(t.arena)-t.start > t.MaxFrame {
+		t.drop = true
+		t.Oversize++
+	}
+}
+
+// pushSpan appends a delimiter-free span in bulk. The CRC fold uses the
+// slicing (span) form of the streaming API — byte-identical to folding
+// octet by octet, verified by the FuzzFusedDecode differential fuzzer.
+func (t *Tokenizer) pushSpan(p []byte) {
+	t.arena = append(t.arena, p...)
+	if t.FCS != 0 {
+		t.fcsReg = t.FCS.Update(t.fcsReg, p)
+	}
+	if t.MaxFrame > 0 && len(t.arena)-t.start > t.MaxFrame {
+		t.drop = true
+		t.Oversize++
+	}
+}
+
 // closeFrame handles a Flag octet: emit, skip, or report the span ended.
 func (t *Tokenizer) closeFrame(out []Token) []Token {
 	wasEsc, wasDrop, wasIn := t.esc, t.drop, t.inFrame
+	reg := t.fcsReg
 	t.esc = false
 	t.drop = false
 	t.inFrame = true // a flag both closes and opens a frame
+	if t.FCS != 0 {
+		t.fcsReg = t.FCS.Init()
+	}
 	if !wasIn {
 		return out
 	}
@@ -127,7 +190,11 @@ func (t *Tokenizer) closeFrame(out []Token) []Token {
 	default:
 		t.Frames++
 		t.start = len(t.arena)
-		return append(out, Token{Body: body})
+		tok := Token{Body: body}
+		if t.FCS != 0 {
+			tok.FCSOK = len(body) >= t.FCS.Bytes() && t.FCS.ResidueOK(reg)
+		}
+		return append(out, tok)
 	}
 }
 

@@ -50,14 +50,15 @@ func (c *fcsCore) step(f rtl.Flit) {
 	}
 }
 
-// fcsBytes returns the complemented FCS field, LSB first.
-func (c *fcsCore) fcsBytes() []byte {
+// appendFCS appends the complemented FCS field, LSB first. Callers pass
+// a fixed scratch array so the append phase allocates nothing per frame.
+func (c *fcsCore) appendFCS(dst []byte) []byte {
 	if c.mode == crc.FCS16Mode {
 		v := c.st16 ^ 0xFFFF
-		return []byte{byte(v), byte(v >> 8)}
+		return append(dst, byte(v), byte(v>>8))
 	}
 	v := c.st32 ^ 0xFFFFFFFF
-	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
 // good reports whether the register sits on the magic residue (receiver
@@ -81,8 +82,9 @@ type TxCRC struct {
 
 	core *fcsCore
 	// FCS octets still to transmit; non-empty means the unit is in the
-	// append phase and upstream naturally stalls.
+	// append phase and upstream naturally stalls. pending aliases tail.
 	pending []byte
+	tail    [4]byte
 
 	Frames uint64
 }
@@ -119,7 +121,7 @@ func (t *TxCRC) Eval() {
 	}
 	t.core.step(f)
 	if f.EOF {
-		t.pending = t.core.fcsBytes()
+		t.pending = t.core.appendFCS(t.tail[:0])
 		t.Frames++
 		f.EOF = false
 		if f.Err || f.Abort {

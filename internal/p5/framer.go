@@ -35,7 +35,9 @@ type Framer struct {
 	Ring *Ring[TxJob]
 
 	queue []TxJob
+	head  int // index of the next queued job; queue[:head] is consumed
 	cur   []byte
+	free  [][]byte // recycled body buffers, refilled at EOF
 	abort bool
 	off   int
 
@@ -48,18 +50,26 @@ type Framer struct {
 func (fr *Framer) Enqueue(jobs ...TxJob) { fr.queue = append(fr.queue, jobs...) }
 
 // Pending returns queued jobs not yet started.
-func (fr *Framer) Pending() int { return len(fr.queue) }
+func (fr *Framer) Pending() int { return len(fr.queue) - fr.head }
 
 // Busy reports whether a frame is mid-transmission or queued.
 func (fr *Framer) Busy() bool {
-	return fr.cur != nil || len(fr.queue) > 0 || (fr.Ring != nil && fr.Ring.Len() > 0)
+	return fr.cur != nil || fr.head < len(fr.queue) || (fr.Ring != nil && fr.Ring.Len() > 0)
 }
 
 // nextJob pulls from the direct queue first, then the descriptor ring.
+// The queue is consumed by head index — the backing array keeps its
+// capacity and is rewound once drained, so a steady enqueue/drain cycle
+// stops allocating queue headers.
 func (fr *Framer) nextJob() (TxJob, bool) {
-	if len(fr.queue) > 0 {
-		job := fr.queue[0]
-		fr.queue = fr.queue[1:]
+	if fr.head < len(fr.queue) {
+		job := fr.queue[fr.head]
+		fr.queue[fr.head] = TxJob{} // drop the payload reference
+		fr.head++
+		if fr.head == len(fr.queue) {
+			fr.queue = fr.queue[:0]
+			fr.head = 0
+		}
 		return job, true
 	}
 	if fr.Ring != nil {
@@ -99,19 +109,29 @@ func (fr *Framer) Eval() {
 	fr.OctetsRead += uint64(f.N)
 	fr.off = end
 	if f.EOF {
+		// The flit pipeline copies octets lane by lane, so the body
+		// buffer is free for the next job the moment EOF is pushed.
+		fr.free = append(fr.free, fr.cur)
 		fr.cur = nil
 	}
 	fr.Out.Push(f)
 }
 
 // buildBody assembles the uncompressed header plus payload (the FCS is
-// appended downstream by the CRC unit).
+// appended downstream by the CRC unit). Buffers come from a free list
+// refilled at EOF, so the steady state stops allocating per frame.
 func (fr *Framer) buildBody(job *TxJob) []byte {
 	addr := job.Address
 	if addr == 0 {
 		addr = fr.Regs.Address()
 	}
-	body := make([]byte, 0, 4+len(job.Payload))
+	var body []byte
+	if n := len(fr.free); n > 0 {
+		body = fr.free[n-1][:0]
+		fr.free = fr.free[:n-1]
+	} else {
+		body = make([]byte, 0, 4+len(job.Payload))
+	}
 	body = append(body, addr, fr.Regs.Control(),
 		byte(job.Protocol>>8), byte(job.Protocol))
 	return append(body, job.Payload...)

@@ -187,6 +187,20 @@ func (s *System) Received() []RxFrame {
 	return q
 }
 
+// ReceivedInto appends the drained receive queue to dst and returns it —
+// the batch-drain form: the queue's backing array keeps its capacity, so
+// a steady send/drain cycle stops allocating queue headers. Frame
+// payloads still belong to the drained frames themselves.
+func (s *System) ReceivedInto(dst []RxFrame) []RxFrame {
+	q := s.Rx.Control.Queue
+	dst = append(dst, q...)
+	for i := range q {
+		q[i] = RxFrame{} // drop body/frame references from the queue
+	}
+	s.Rx.Control.Queue = q[:0]
+	return dst
+}
+
 // Cycle advances the whole system one clock.
 func (s *System) Cycle() {
 	s.Tx.syncConfig(s.Regs)

@@ -109,7 +109,26 @@ func DecodeBodyInto(f *Frame, body []byte, c Config) error {
 	if !c.fcs().Check(body) {
 		return ErrBadFCS
 	}
-	p := body[:len(body)-fcsN]
+	return decodeChecked(f, body[:len(body)-fcsN], c)
+}
+
+// DecodeVerifiedBodyInto parses a destuffed frame body whose FCS has
+// already been verified upstream — by the fused destuff+CRC tokenizer,
+// which folds the frame check into delineation (hdlc.Token.FCSOK) — so
+// the body is not traversed a second time here. Callers must only pass
+// bodies with a true fused verdict; semantics otherwise match
+// DecodeBodyInto.
+func DecodeVerifiedBodyInto(f *Frame, body []byte, c Config) error {
+	fcsN := c.fcs().Bytes()
+	if len(body) < fcsN+1 {
+		return ErrTooShort
+	}
+	return decodeChecked(f, body[:len(body)-fcsN], c)
+}
+
+// decodeChecked parses the header and payload of p, a frame body with
+// the FCS field already verified and stripped.
+func decodeChecked(f *Frame, p []byte, c Config) error {
 	// Address/control, possibly compressed away (ACFC). A compressed
 	// frame cannot begin with 0xFF: that would be ambiguous with the
 	// address octet, so 0xFF always means "uncompressed header".

@@ -140,6 +140,12 @@ type Report struct {
 	// Regressions lists newest-pair regressions beyond TolPct, worst
 	// first. Nil with fewer than two snapshots.
 	Regressions []Regression
+	// Improvements lists newest-pair ns/op drops beyond TolPct, biggest
+	// first — the favourable twin of Regressions, so a large speed-up
+	// (with its moved metrics, e.g. MB_per_s) is attributed instead of
+	// passing silently, and so renames/splits of a fast benchmark are
+	// never mistaken for regressions of the survivors.
+	Improvements []Regression
 	// Appeared/Disappeared name benchmarks present in only one of the
 	// two newest snapshots.
 	Appeared, Disappeared []string
@@ -173,7 +179,8 @@ func Analyze(snaps []Snapshot, tolPct float64) *Report {
 			r.Disappeared = append(r.Disappeared, name)
 		case ob != nil && nb != nil && ob.NsPerOp > 0:
 			delta := 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
-			if delta > tolPct {
+			switch {
+			case delta > tolPct:
 				r.Regressions = append(r.Regressions, Regression{
 					Name:         name,
 					OldNs:        ob.NsPerOp,
@@ -182,11 +189,23 @@ func Analyze(snaps []Snapshot, tolPct float64) *Report {
 					Origin:       r.origin(name),
 					MovedMetrics: movedMetrics(ob, nb, tolPct),
 				})
+			case delta < -tolPct:
+				r.Improvements = append(r.Improvements, Regression{
+					Name:         name,
+					OldNs:        ob.NsPerOp,
+					NewNs:        nb.NsPerOp,
+					DeltaPct:     delta,
+					Origin:       new.File,
+					MovedMetrics: movedMetrics(ob, nb, tolPct),
+				})
 			}
 		}
 	}
 	sort.Slice(r.Regressions, func(i, j int) bool {
 		return r.Regressions[i].DeltaPct > r.Regressions[j].DeltaPct
+	})
+	sort.Slice(r.Improvements, func(i, j int) bool {
+		return r.Improvements[i].DeltaPct < r.Improvements[j].DeltaPct
 	})
 	return r
 }
@@ -289,6 +308,14 @@ func (r *Report) WriteText(w io.Writer) error {
 			reg.Name, reg.DeltaPct, reg.OldNs, reg.NewNs, reg.Origin)
 		if len(reg.MovedMetrics) > 0 {
 			fmt.Fprintf(w, "; moved: %s", strings.Join(reg.MovedMetrics, ", "))
+		}
+		fmt.Fprintln(w)
+	}
+	for _, imp := range r.Improvements {
+		fmt.Fprintf(w, "improved: %s %+.1f%% (%.0f -> %.0f ns/op)",
+			imp.Name, imp.DeltaPct, imp.OldNs, imp.NewNs)
+		if len(imp.MovedMetrics) > 0 {
+			fmt.Fprintf(w, "; moved: %s", strings.Join(imp.MovedMetrics, ", "))
 		}
 		fmt.Fprintln(w)
 	}
@@ -407,6 +434,17 @@ func (r *Report) WriteMarkdown(w io.Writer) error {
 		}
 	} else if len(r.Snapshots) >= 2 {
 		fmt.Fprintln(w, "No regressions between the two newest snapshots.")
+	}
+	if len(r.Improvements) > 0 {
+		fmt.Fprintf(w, "\n## Improvements (> %g%% faster)\n\n", r.TolPct)
+		for _, imp := range r.Improvements {
+			fmt.Fprintf(w, "- **%s**: %+.1f%% (%.0f → %.0f ns/op)",
+				imp.Name, imp.DeltaPct, imp.OldNs, imp.NewNs)
+			if len(imp.MovedMetrics) > 0 {
+				fmt.Fprintf(w, "; moved metrics: %s", strings.Join(imp.MovedMetrics, ", "))
+			}
+			fmt.Fprintln(w)
+		}
 	}
 	if len(r.Appeared)+len(r.Disappeared) > 0 {
 		fmt.Fprintln(w)

@@ -126,6 +126,80 @@ func TestOriginAttribution(t *testing.T) {
 	}
 }
 
+// TestLargeFavourableDeltaIsImprovement is the satellite guarantee for
+// the fused RX kernel landing: a benchmark speeding up far beyond
+// tolerance (decode dropping ~60% ns/op with MB_per_s rising) must be
+// reported as an improvement with moved-metric attribution — and must
+// never appear among the regressions, no matter how large the delta.
+func TestLargeFavourableDeltaIsImprovement(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_1.json", `{"benchmarks":[
+	  {"name":"BenchmarkLinkDecodeSteady","ns_per_op":30342,"MB_per_s":375.0,"allocs_per_op":0}]}`)
+	writeSnap(t, dir, "BENCH_2.json", `{"benchmarks":[
+	  {"name":"BenchmarkLinkDecodeSteady","ns_per_op":11000,"MB_per_s":1090.0,"allocs_per_op":0}]}`)
+	snaps, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(snaps, 10)
+	if len(r.Regressions) != 0 {
+		t.Fatalf("favourable delta flagged as regression: %+v", r.Regressions)
+	}
+	if len(r.Improvements) != 1 {
+		t.Fatalf("improvements = %+v, want BenchmarkLinkDecodeSteady", r.Improvements)
+	}
+	imp := r.Improvements[0]
+	if imp.Name != "BenchmarkLinkDecodeSteady" || imp.DeltaPct > -60 {
+		t.Errorf("improvement = %+v, want ~-64%%", imp)
+	}
+	if len(imp.MovedMetrics) == 0 || !strings.HasPrefix(imp.MovedMetrics[0], "MB_per_s") {
+		t.Errorf("moved metrics = %v, want MB_per_s attributed", imp.MovedMetrics)
+	}
+	var txt strings.Builder
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "improved: BenchmarkLinkDecodeSteady") ||
+		!strings.Contains(txt.String(), "trend: OK") {
+		t.Errorf("text report should note the improvement and still pass:\n%s", txt.String())
+	}
+	var md strings.Builder
+	if err := r.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "## Improvements") {
+		t.Errorf("markdown report missing improvements section:\n%s", md.String())
+	}
+}
+
+// TestRenamedBenchmarkIsChurnNotRegression: a benchmark renamed (or
+// split) between snapshots shows up as one disappearance plus one (or
+// more) appearances — never as a regression or improvement of either
+// name, even when the new variant's ns/op differs wildly.
+func TestRenamedBenchmarkIsChurnNotRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_1.json", `{"benchmarks":[
+	  {"name":"BenchmarkDecode","ns_per_op":30000}]}`)
+	writeSnap(t, dir, "BENCH_2.json", `{"benchmarks":[
+	  {"name":"BenchmarkLinkDecodeSteady","ns_per_op":11000},
+	  {"name":"BenchmarkTokenizerFeed/escape=0%","ns_per_op":9000}]}`)
+	snaps, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(snaps, 10)
+	if len(r.Regressions) != 0 || len(r.Improvements) != 0 {
+		t.Fatalf("rename treated as delta: regressions %+v improvements %+v",
+			r.Regressions, r.Improvements)
+	}
+	if len(r.Disappeared) != 1 || r.Disappeared[0] != "BenchmarkDecode" {
+		t.Errorf("disappeared = %v", r.Disappeared)
+	}
+	if len(r.Appeared) != 2 {
+		t.Errorf("appeared = %v, want both new names", r.Appeared)
+	}
+}
+
 func TestFewerThanTwoSnapshotsIsNoop(t *testing.T) {
 	dir := t.TempDir()
 	writeSnap(t, dir, "BENCH_only.json", snapA)

@@ -173,6 +173,9 @@ var ErrLinkDown = errors.New("gigapos: link not opened")
 // NewLink creates an endpoint with the given configuration.
 func NewLink(cfg LinkConfig) *Link {
 	l := &Link{cfg: cfg}
+	// Arm the fused destuff+CRC kernel: the tokenizer folds the frame
+	// check into delineation, so decode never re-walks the body.
+	l.tk.FCS = cfg.fcs()
 	l.lcpPol = lcp.NewLCPPolicy(cfg.Magic)
 	l.lcpPol.WantMRU = cfg.MRU
 	l.lcpPol.WantPFC = cfg.WantPFC
@@ -532,7 +535,7 @@ func (l *Link) Input(stream []byte) {
 			l.flightNoteError()
 			continue
 		}
-		l.frame(l.toks[i].Body)
+		l.frame(l.toks[i].Body, l.toks[i].FCSOK)
 	}
 }
 
@@ -546,12 +549,12 @@ func (l *Link) InputBatch(chunks [][]byte) {
 	}
 }
 
-func (l *Link) frame(body []byte) {
+func (l *Link) frame(body []byte, fcsOK bool) {
 	// Numbered-mode frames carry an I/S/U control octet instead of UI;
 	// they belong to the station (0x03 itself is the UI encoding, so
 	// the dispatch is unambiguous).
 	if l.station != nil && len(body) >= 2 && body[0] == ppp.AddrAllStations && body[1] != ppp.CtrlUI {
-		if l.decodeNumbered(body) {
+		if l.decodeNumbered(body, fcsOK) {
 			l.RxFrames++
 		} else {
 			l.RxErrors++
@@ -567,8 +570,14 @@ func (l *Link) frame(body []byte) {
 			t0 = fl.rec.Clock()
 		}
 	}
+	// The FCS verdict comes fused from the tokenizer; decode itself
+	// only parses the header, with no second pass over the body.
 	var f ppp.Frame
-	if err := ppp.DecodeBodyInto(&f, body, l.rxConfig()); err != nil {
+	err := ppp.ErrBadFCS
+	if fcsOK {
+		err = ppp.DecodeVerifiedBodyInto(&f, body, l.rxConfig())
+	}
+	if err != nil {
 		l.RxErrors++
 		l.flightNoteError()
 		if l.monitor != nil {

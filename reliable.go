@@ -87,14 +87,15 @@ func (l *Link) encodeNumbered(dst []byte, f reliable.Frame) []byte {
 }
 
 // decodeNumbered handles a frame whose control octet is not UI: it
-// belongs to the numbered-mode station. Returns false if the frame is
-// not a valid numbered frame (caller counts the error).
-func (l *Link) decodeNumbered(body []byte) bool {
+// belongs to the numbered-mode station. fcsOK is the tokenizer's fused
+// frame-check verdict. Returns false if the frame is not a valid
+// numbered frame (caller counts the error).
+func (l *Link) decodeNumbered(body []byte, fcsOK bool) bool {
 	if l.station == nil {
 		return false
 	}
 	fcsN := l.cfg.fcs().Bytes()
-	if len(body) < 2+fcsN || !l.cfg.fcs().Check(body) {
+	if len(body) < 2+fcsN || !fcsOK {
 		return false
 	}
 	if body[0] != ppp.AddrAllStations {

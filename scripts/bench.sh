@@ -1,11 +1,12 @@
 #!/bin/sh
 # bench.sh — machine-readable benchmark trajectory:
-#   runs the BenchmarkSystem matrix (datapath width × telemetry
+#   runs the BenchmarkSystemSteady matrix (datapath width × telemetry
 #   on/off), the sharded line-card engine scale-out
 #   (BenchmarkEngineAggregate, plus its stage-profiled twin
-#   BenchmarkEngineAggregateProfiled) and the steady-state link fast
+#   BenchmarkEngineAggregateProfiled), the steady-state link fast
 #   paths (BenchmarkLinkEncodeSteady / BenchmarkLinkEncodeSteadyFlight /
-#   BenchmarkLinkDecodeSteady), and writes
+#   BenchmarkLinkDecodeSteady) and the fused RX kernel escape-density
+#   sweep (BenchmarkTokenizerFeed), and writes
 #   BENCH_<date>.json with ns/op, MB/s, allocs/op and the custom
 #   metrics (bits/cycle, frames/s, Gbps-line) per variant, so
 #   successive PRs can be compared without scraping test logs.
@@ -18,7 +19,7 @@ out="${1:-BENCH_$(date +%Y%m%d).json}"
 benchtime="${BENCHTIME:-3x}"
 
 raw=$(go test -run '^$' \
-    -bench '^(BenchmarkSystem|BenchmarkEngineAggregate|BenchmarkEngineAggregateProfiled|BenchmarkLinkEncodeSteady|BenchmarkLinkEncodeSteadyFlight|BenchmarkLinkDecodeSteady)$' \
+    -bench '^(BenchmarkSystemSteady|BenchmarkEngineAggregate|BenchmarkEngineAggregateProfiled|BenchmarkLinkEncodeSteady|BenchmarkLinkEncodeSteadyFlight|BenchmarkLinkDecodeSteady|BenchmarkTokenizerFeed)$' \
     -benchtime "$benchtime" -benchmem .)
 
 printf '%s\n' "$raw" | awk -v date="$(date +%Y-%m-%d)" -v go="$(go version | awk '{print $3}')" '
@@ -26,8 +27,8 @@ BEGIN {
     printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, go
     n = 0
 }
-/^Benchmark(System|EngineAggregate|LinkEncodeSteady|LinkDecodeSteady)/ {
-    # BenchmarkSystem/width=8bit/telemetry=false-8  5  17448822 ns/op  1.72 MB/s  7.779 bits/cycle  0 B/op  0 allocs/op
+/^Benchmark(System|EngineAggregate|LinkEncodeSteady|LinkDecodeSteady|TokenizerFeed)/ {
+    # BenchmarkSystemSteady/width=8bit/telemetry=false-8  5  17448822 ns/op  1.72 MB/s  7.779 bits/cycle  0 B/op  0 allocs/op
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix
     if (n++) printf ","

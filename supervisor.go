@@ -243,7 +243,7 @@ func (l *Link) restartLCP(now int64) {
 // bookkeeping, and VJ compression slots (RFC 1144 state is per
 // connection establishment).
 func (l *Link) resetTransport() {
-	l.tk = hdlc.Tokenizer{}
+	l.tk = hdlc.Tokenizer{FCS: l.cfg.fcs()}
 	l.echoNext = 0
 	l.echoPending = 0
 	if l.fl != nil {
