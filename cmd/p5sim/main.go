@@ -225,6 +225,14 @@ func main() {
 
 // run executes one simulation per cfg, writing the report to out.
 func run(cfg simConfig, out io.Writer) error {
+	if cfg.flightDir != "" {
+		// Capture writes land in Recorder.LastErr, not the report —
+		// create the directory up front so a missing one is a loud
+		// startup error instead of silently lost captures.
+		if err := os.MkdirAll(cfg.flightDir, 0o755); err != nil {
+			return fmt.Errorf("-flight: %w", err)
+		}
+	}
 	if cfg.profDir != "" {
 		s, err := prof.StartSession(cfg.profDir, prof.SessionConfig{})
 		if err != nil {

@@ -191,6 +191,9 @@ func runNet(cfg simConfig, nc netConfig, out io.Writer) error {
 	if cfg.flightDir != "" {
 		board = e.ArmFlight(reg, flight.Config{Dir: cfg.flightDir, Profiler: flightProfiler(cfg)})
 	}
+	// Socket transports always speak the v2 latency-tracing header, so
+	// the fleet board can trust the armed flags it scrapes.
+	status.SetInfo(cfg.flightDir != "", cfg.profDir != "", true)
 
 	// Bring-up against the live peer: wall-clock bounded, since the
 	// peer process may still be starting.
@@ -252,13 +255,22 @@ func runNet(cfg simConfig, nc netConfig, out io.Writer) error {
 		ts.TxDropped, ts.RxDropped, ts.QueueHighWater)
 	fmt.Fprintf(out, "  session          : lcp-renegotiations=%d rx-errors=%d\n",
 		renegotiations, st.RxErrors)
+	// Wire-level latency from port 0's transport: one-way percentiles
+	// from the sampled wall stamps, RTT from keepalive probes.
+	var lat transport.Latency
+	if lm, ok := endpoints[0].(transport.LatencyMeter); ok {
+		lat = lm.Latency()
+		fmt.Fprintf(out, "  latency          : oneway p50=%dµs p99=%dµs (%d samples); rtt p50=%dµs (%d probes); clock offset %+dns\n",
+			lat.OneWayP50US, lat.OneWayP99US, lat.Samples, lat.RTTP50US, lat.RTTSamples, lat.ClockOffsetNS)
+	}
 	if board != nil {
 		flightSummary(out, board, cfg.flightDir)
 	}
 	// The one-line machine-readable summary: scripts assert on this.
-	fmt.Fprintf(out, "NET-REPORT role=%s transport=%s links=%d steps=%d delivered=%d rx_errors=%d renegotiations=%d reconnects=%d resets=%d tx_dropped=%d rx_dropped=%d captures=%d\n",
+	fmt.Fprintf(out, "NET-REPORT role=%s transport=%s links=%d steps=%d delivered=%d rx_errors=%d renegotiations=%d reconnects=%d resets=%d tx_dropped=%d rx_dropped=%d captures=%d oneway_p50_us=%d oneway_p99_us=%d rtt_p50_us=%d\n",
 		roleName, nc.proto, links, steps, delivered, st.RxErrors,
-		renegotiations, ts.Reconnects, ts.Resets, ts.TxDropped, ts.RxDropped, captures)
+		renegotiations, ts.Reconnects, ts.Resets, ts.TxDropped, ts.RxDropped, captures,
+		lat.OneWayP50US, lat.OneWayP99US, lat.RTTP50US)
 	return serveTelemetry(cfg, reg, tr, board, out)
 }
 

@@ -56,7 +56,13 @@ func TestNetModeUDPTwoHalves(t *testing.T) {
 
 	var healthCode int
 	var statusDoc struct {
-		Healthy    bool `json:"healthy"`
+		Healthy bool `json:"healthy"`
+		Info    struct {
+			Start          string `json:"start"`
+			WireVersion    int    `json:"wire_version"`
+			FlightArmed    bool   `json:"flight_armed"`
+			LatencyTracing bool   `json:"latency_tracing"`
+		} `json:"info"`
 		Transports []struct {
 			Name string `json:"name"`
 			Up   bool   `json:"up"`
@@ -114,11 +120,26 @@ func TestNetModeUDPTwoHalves(t *testing.T) {
 	if !statusDoc.Healthy || len(statusDoc.Transports) != 1 || !statusDoc.Transports[0].Up {
 		t.Errorf("/status document: %+v", statusDoc)
 	}
+	// The fleet-facing identity block: wire version for skew detection,
+	// armed flags, and a parseable start stamp.
+	if statusDoc.Info.WireVersion != 2 || !statusDoc.Info.LatencyTracing || statusDoc.Info.FlightArmed {
+		t.Errorf("/status info block: %+v", statusDoc.Info)
+	}
+	if statusDoc.Info.Start == "" {
+		t.Error("/status info.start is empty")
+	}
+	for _, k := range []string{"oneway_p50_us", "oneway_p99_us", "rtt_p50_us"} {
+		if _, ok := lr[k]; !ok {
+			t.Errorf("NET-REPORT missing %s: %v", k, lr)
+		}
+	}
 	for _, want := range []string{
 		`transport_up{line="port0_a"}`,
 		`transport_tx_chunks_total{line="port0_a"}`,
 		`transport_rx_chunks_total{line="port0_a"}`,
 		`transport_keepalive_probes_total{line="port0_a"}`,
+		`transport_oneway_latency_us_count{line="port0_a"}`,
+		`transport_rtt_us_count{line="port0_a"}`,
 	} {
 		if _, ok := series[want]; !ok {
 			t.Errorf("series %s missing from /metrics", want)

@@ -58,8 +58,17 @@ func runScenario(cfg simConfig, out io.Writer) error {
 		return err
 	}
 
+	// Distributed SLO block: grade the live fleet after the drill.
+	if s.Fleet != nil {
+		fleetFails := s.GradeFleet()
+		fmt.Fprintf(out, "  fleet            : %d instances scraped, %d violations\n",
+			len(s.Fleet.Instances), len(fleetFails))
+		res.Failures = append(res.Failures, fleetFails...)
+		res.Pass = len(res.Failures) == 0
+	}
+
 	if res.Pass {
-		fmt.Fprintf(out, "  verdict          : PASS (%d assertions held)\n", s.Assert.Count())
+		fmt.Fprintf(out, "  verdict          : PASS (%d assertions held)\n", s.Assert.Count()+s.Fleet.Count())
 		return nil
 	}
 	fmt.Fprintf(out, "  verdict          : FAIL\n")

@@ -31,9 +31,18 @@
 // report. Benchmarks appearing or disappearing between snapshots are
 // annotated, never an error; fewer than two snapshots is a no-op.
 //
+// With -fleet ADDR,ADDR,... p5stat becomes the fleet board: every
+// address's /metrics and /status are scraped, merged under per-instance
+// labels, and rendered as one columnar view — instance identity
+// (health, uptime, wire version, armed subsystems), per-line transport
+// state with one-way latency p50/p99 and RTT p50, and the SLO
+// burn-rate/alarm rows across all instances. Unreachable instances
+// render as DOWN rows instead of failing the board.
+//
 // Usage:
 //
 //	p5stat [-url http://127.0.0.1:8080] [-interval 2s] [-n 5] [-events] [-slo] [-exemplars] [-transport]
+//	p5stat -fleet 127.0.0.1:8080,127.0.0.1:8081
 //	p5stat -replay trace.json
 //	p5stat -bench [-dir .] [-trend-pct 10] [-md TREND.md]
 package main
@@ -51,6 +60,7 @@ import (
 	"time"
 
 	"repro/internal/flight"
+	"repro/internal/obsnet"
 	"repro/internal/telemetry"
 	"repro/internal/trend"
 )
@@ -64,6 +74,7 @@ func main() {
 	slo := flag.Bool("slo", false, "render the error-budget board from /slo after the report")
 	exemplars := flag.Bool("exemplars", false, "with the /slo board, list each link's latency exemplars")
 	replay := flag.String("replay", "", "format events from a saved JSON trace file instead of attaching")
+	fleet := flag.String("fleet", "", "comma-separated telemetry addresses; render the cross-instance fleet board instead of attaching to one endpoint")
 	bench := flag.Bool("bench", false, "analyse BENCH_*.json trend snapshots instead of attaching")
 	dir := flag.String("dir", ".", "with -bench, directory holding the BENCH_*.json snapshots")
 	trendPct := flag.Float64("trend-pct", 10, "with -bench, ns/op growth beyond this percent is a regression")
@@ -77,10 +88,47 @@ func main() {
 		}
 		return
 	}
+	if *fleet != "" {
+		if err := runFleet(os.Stdout, *fleet); err != nil {
+			fmt.Fprintln(os.Stderr, "p5stat:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdout, *url, *interval, *count, *events, *slo, *exemplars, *transportTab, *replay); err != nil {
 		fmt.Fprintln(os.Stderr, "p5stat:", err)
 		os.Exit(1)
 	}
+}
+
+// runFleet is the fleet-board mode: scrape every listed instance and
+// render the cross-instance board. A fully dark fleet is an error (a
+// typo'd address list should not exit 0); partial reachability is the
+// board's job to show.
+func runFleet(w io.Writer, addrList string) error {
+	var addrs []string
+	for _, a := range strings.Split(addrList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("-fleet: no addresses")
+	}
+	instances := obsnet.ScrapeAll(addrs)
+	if err := obsnet.WriteFleetBoard(w, instances); err != nil {
+		return err
+	}
+	alive := 0
+	for _, in := range instances {
+		if in.Err == nil {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return fmt.Errorf("no instance reachable (%d scraped)", len(instances))
+	}
+	return nil
 }
 
 // runBench is the trend-analytics mode. A regression is an error — the
@@ -232,8 +280,10 @@ func writeBoard(w io.Writer, doc flight.BoardJSON, exemplars bool) {
 
 // writeTransport renders the per-line transport table from the
 // transport_* series family (exported by socket-backed p5sim runs):
-// liveness, chunk counters, connection churn, keepalive health, and
-// send-queue backpressure, one row per line label.
+// liveness, chunk counters, connection churn, keepalive health,
+// send-queue backpressure, and wire-level latency (one-way p50/p99 from
+// the sampled wall stamps, RTT p50 from keepalive probes), one row per
+// line label.
 func writeTransport(w io.Writer, cur []telemetry.Series) {
 	type row struct{ vals map[string]float64 }
 	rows := map[string]*row{}
@@ -259,18 +309,30 @@ func writeTransport(w io.Writer, cur []telemetry.Series) {
 		return
 	}
 	sort.Strings(names)
+	// Latency columns come from the per-line histograms rather than the
+	// flattened gauge map — quantiles need the bucket structure.
+	quant := func(line, name string, q float64) string {
+		v, ok := telemetry.SeriesQuantile(cur, name, q, telemetry.L("line", line))
+		if !ok {
+			return "-"
+		}
+		return fmt.Sprintf("%d", v)
+	}
 	fmt.Fprintln(w, "transport lines:")
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(tw, "\tline\tup\ttx\trx\treconn\tresets\tprobes\tmisses\ttx-drop\trx-drop\tq\tq-hw\t")
+	fmt.Fprintln(tw, "\tline\tup\ttx\trx\toneway-p50µs\toneway-p99µs\trtt-p50µs\treconn\tresets\tprobes\tmisses\ttx-drop\trx-drop\tq\tq-hw\t")
 	for _, n := range names {
 		v := rows[n].vals
 		up := "down"
 		if v["transport_up"] == 1 {
 			up = "up"
 		}
-		fmt.Fprintf(tw, "\t%s\t%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t\n",
+		fmt.Fprintf(tw, "\t%s\t%s\t%.0f\t%.0f\t%s\t%s\t%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t\n",
 			n, up,
 			v["transport_tx_chunks_total"], v["transport_rx_chunks_total"],
+			quant(n, "transport_oneway_latency_us", 0.50),
+			quant(n, "transport_oneway_latency_us", 0.99),
+			quant(n, "transport_rtt_us", 0.50),
 			v["transport_reconnects_total"], v["transport_resets_total"],
 			v["transport_keepalive_probes_total"], v["transport_keepalive_misses_total"],
 			v["transport_tx_dropped_total"], v["transport_rx_dropped_total"],

@@ -7,12 +7,17 @@
 //
 //	p5trace [-fig 5|6] [-cycles N] [-vcd file.vcd]
 //	p5trace -capture FILE [-fcs 16|32]
+//	p5trace -join A.p5fr B.p5fr
 //
 // With -vcd, a Value Change Dump of the traced signals is also written,
 // viewable in GTKWave. With -capture, a flight-recorder black-box dump
 // (.p5fr) is decoded instead: trigger metadata, register snapshot,
 // trace events, and the captured wire streams re-tokenized into
-// annotated HDLC frames.
+// annotated HDLC frames. With -join, two captures sharing one incident
+// ID (the correlated pair a distributed trigger dumps on both ends of a
+// line) are merged: their tick domains are aligned using the clock and
+// tick offsets estimated by the transport's latency tracing, and both
+// black boxes render as one two-sided incident timeline.
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/flight"
+	"repro/internal/obsnet"
 	"repro/internal/p5"
 	"repro/internal/rtl"
 )
@@ -51,9 +58,17 @@ func main() {
 	cycles := flag.Int("cycles", 16, "cycles to trace")
 	vcdPath := flag.String("vcd", "", "also write a Value Change Dump to this file")
 	capture := flag.String("capture", "", "decode a flight-recorder capture file (.p5fr) and exit")
+	join := flag.Bool("join", false, "merge the two correlated .p5fr captures given as arguments into one incident timeline")
 	fcsBits := flag.Int("fcs", 32, "FCS mode used when re-framing captured wire bytes (16 or 32)")
 	flag.Parse()
 
+	if *join {
+		if err := joinCaptures(os.Stdout, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "p5trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *capture != "" {
 		if err := dumpCapture(os.Stdout, *capture, *fcsBits); err != nil {
 			fmt.Fprintln(os.Stderr, "p5trace:", err)
@@ -84,6 +99,28 @@ func main() {
 	if vcd != nil {
 		fmt.Printf("\nVCD written to %s\n", *vcdPath)
 	}
+}
+
+// joinCaptures loads a correlated capture pair and renders the merged
+// two-sided incident timeline.
+func joinCaptures(w *os.File, paths []string) error {
+	if len(paths) != 2 {
+		return fmt.Errorf("-join needs exactly two capture files, got %d", len(paths))
+	}
+	a, err := flight.ReadFile(paths[0])
+	if err != nil {
+		return fmt.Errorf("%s: %v", paths[0], err)
+	}
+	b, err := flight.ReadFile(paths[1])
+	if err != nil {
+		return fmt.Errorf("%s: %v", paths[1], err)
+	}
+	j, err := obsnet.Join(a, b)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "joined captures %s + %s\n", paths[0], paths[1])
+	return j.WriteTimeline(w)
 }
 
 // trace5 reproduces Figure 5: the word 7E 12 34 56 enters the Escape

@@ -505,6 +505,7 @@ func (e *Engine) TransportStats() transport.Stats {
 		sum.RxBytes += st.RxBytes
 		sum.TxDropped += st.TxDropped
 		sum.RxDropped += st.RxDropped
+		sum.RxBadVersion += st.RxBadVersion
 		sum.Reconnects += st.Reconnects
 		sum.Resets += st.Resets
 		sum.KeepaliveProbes += st.KeepaliveProbes

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -166,6 +167,49 @@ func (t *Transport) Tick(now int64) {
 
 // Up passes through to the wrapped transport.
 func (t *Transport) Up() bool { return t.inner.Up() }
+
+// SendFreeze forwards to the wrapped transport when it carries the
+// freeze side channel (no-op otherwise). Defining the method makes the
+// wrapper satisfy transport.Freezer unconditionally, so each forward
+// asserts the inner transport itself.
+func (t *Transport) SendFreeze(info transport.FreezeInfo) {
+	if fz, ok := t.inner.(transport.Freezer); ok {
+		fz.SendFreeze(info)
+	}
+}
+
+// Freezes forwards to the wrapped transport (dst unchanged otherwise).
+func (t *Transport) Freezes(dst []transport.FreezeInfo) []transport.FreezeInfo {
+	if fz, ok := t.inner.(transport.Freezer); ok {
+		return fz.Freezes(dst)
+	}
+	return dst
+}
+
+// CorrelationLeader forwards to the wrapped transport (true otherwise,
+// matching a one-sided line's default).
+func (t *Transport) CorrelationLeader() bool {
+	if fz, ok := t.inner.(transport.Freezer); ok {
+		return fz.CorrelationLeader()
+	}
+	return true
+}
+
+// Latency forwards to the wrapped transport (zero otherwise).
+func (t *Transport) Latency() transport.Latency {
+	if lm, ok := t.inner.(transport.LatencyMeter); ok {
+		return lm.Latency()
+	}
+	return transport.Latency{}
+}
+
+// LatencyHist forwards to the wrapped transport (nils otherwise).
+func (t *Transport) LatencyHist() (oneWay, jitter, rtt *telemetry.Histogram) {
+	if lm, ok := t.inner.(transport.LatencyMeter); ok {
+		return lm.LatencyHist()
+	}
+	return nil, nil, nil
+}
 
 // Stats passes through to the wrapped transport.
 func (t *Transport) Stats() transport.Stats { return t.inner.Stats() }

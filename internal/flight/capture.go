@@ -18,21 +18,26 @@ import (
 //
 // all integers little-endian. Section types:
 //
-//	1 meta    seq u64, now i64, wallns i64, link str16, reason str16
-//	2 wire    dir u8 (0 rx, 1 tx), pad[7], base u64, octets...
-//	3 events  JSON event array (telemetry.Event encoding)
-//	4 regs    count u32, { name str16, value u64 }*
+//	1 meta     seq u64, now i64, wallns i64, link str16, reason str16
+//	2 wire     dir u8 (0 rx, 1 tx), pad[7], base u64, octets...
+//	3 events   JSON event array (telemetry.Event encoding)
+//	4 regs     count u32, { name str16, value u64 }*
+//	5 incident incident u64, origin u8 (1 = peer-triggered), pad[7],
+//	           peernow i64, peerwall i64, clockoff i64, tickoff i64
 //
 // str16 is u16 length + bytes. Unknown section types are skipped on
-// decode, so the format is self-describing and forward-compatible.
+// decode, so the format is self-describing and forward-compatible —
+// the incident section (distributed correlation, DESIGN.md §16) rides
+// under version 1 for exactly that reason.
 const (
 	captureMagic   = "P5FR"
 	captureVersion = 1
 
-	secMeta   = 1
-	secWire   = 2
-	secEvents = 3
-	secRegs   = 4
+	secMeta     = 1
+	secWire     = 2
+	secEvents   = 3
+	secRegs     = 4
+	secIncident = 5
 )
 
 // RegSample is one named register value snapshotted into a capture.
@@ -66,6 +71,25 @@ type Capture struct {
 	Events []telemetry.Event
 	// Regs are register snapshots contributed by the link and OAM.
 	Regs []RegSample
+
+	// Incident is the shared correlation ID stamped across the capture
+	// pair a distributed trigger produces (0 = uncorrelated). The
+	// correlation leader mints it; the peer adopts it from the freeze
+	// ping.
+	Incident uint64
+	// FromPeer marks a capture whose trigger arrived over the wire (a
+	// peer freeze ping) rather than from local detection.
+	FromPeer bool
+	// PeerNow/PeerWallNs are the peer's virtual time and wall clock at
+	// its trigger, as carried by the freeze ping (0 when local).
+	PeerNow    int64
+	PeerWallNs int64
+	// ClockOffsetNS is the transport's estimated peer-minus-local wall
+	// clock offset at the dump, the p5trace -join alignment input.
+	ClockOffsetNS int64
+	// TickOffset is the estimated peer-minus-local virtual tick offset
+	// (a lower bound from the max filter; 0 when unknown).
+	TickOffset int64
 
 	// Path is the on-disk location of the capture once WriteFile has
 	// landed it (empty for in-memory captures). Not serialised; runners
@@ -163,6 +187,22 @@ func (c *Capture) Encode() ([]byte, error) {
 			w.u64(r.Value)
 		}
 		out.section(secRegs, w.buf)
+	}
+
+	if c.Incident != 0 || c.ClockOffsetNS != 0 || c.TickOffset != 0 {
+		var w sectionWriter
+		w.u64(c.Incident)
+		origin := uint8(0)
+		if c.FromPeer {
+			origin = 1
+		}
+		w.u8(origin)
+		w.pad(7)
+		w.i64(c.PeerNow)
+		w.i64(c.PeerWallNs)
+		w.i64(c.ClockOffsetNS)
+		w.i64(c.TickOffset)
+		out.section(secIncident, w.buf)
 	}
 	return out.buf, nil
 }
@@ -270,6 +310,17 @@ func Decode(data []byte) (*Capture, error) {
 				}
 				c.Regs = append(c.Regs, RegSample{Name: name, Value: body.u64()})
 			}
+		case secIncident:
+			if !body.need(48) {
+				return nil, fmt.Errorf("flight: short incident section")
+			}
+			c.Incident = body.u64()
+			c.FromPeer = body.u8() == 1
+			body.skip(7)
+			c.PeerNow = int64(body.u64())
+			c.PeerWallNs = int64(body.u64())
+			c.ClockOffsetNS = int64(body.u64())
+			c.TickOffset = int64(body.u64())
 		}
 	}
 	return c, nil

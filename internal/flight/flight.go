@@ -34,6 +34,7 @@ package flight
 
 import (
 	"math"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -257,6 +258,13 @@ type Recorder struct {
 	byReason map[string]uint64
 	lastErr  error
 
+	// Correlate, when set, stamps correlation metadata onto every
+	// capture — incident ID, clock/tick offset estimates, peer trigger
+	// context — before the capture file is written, so the .p5fr a
+	// distributed trigger leaves behind carries everything p5trace
+	// -join needs. The TransportPort wires this to its freeze channel.
+	// Set before arming; called on the triggering goroutine.
+	Correlate func(*Capture)
 	// OnCapture, when set, observes every capture after it is recorded
 	// (the OAM block raises its interrupt here). Set before arming.
 	OnCapture func(*Capture)
@@ -500,6 +508,9 @@ func (r *Recorder) Trigger(reason string) *Capture {
 		c.Regs = r.RegDump(c.Regs)
 	}
 	r.capsC.Inc()
+	if r.Correlate != nil {
+		r.Correlate(c)
+	}
 
 	var err error
 	if r.cfg.Dir != "" {
@@ -521,6 +532,77 @@ func (r *Recorder) Trigger(reason string) *Capture {
 		r.cfg.Profiler(c)
 	}
 	return c
+}
+
+// AdoptIncident back-stamps a shared incident ID onto the most recent
+// correlatable capture when a peer's freeze ping lands within the loss
+// horizon. Three cases resolve, newest-first within the horizon:
+//
+//  1. An uncorrelated capture with the freeze's reason — a correlation
+//     follower held its Incident at 0 for exactly this (or the local
+//     trigger simply raced the ping); adopt the ID onto it.
+//  2. Failing that, the newest uncorrelated capture of any reason.
+//  3. A same-reason capture that already minted its own ID locally
+//     (crossed pings: both ends triggered for one symmetric event and
+//     both thought they led). The pair converges deterministically on
+//     the smaller ID — the end holding the larger rewrites, the other
+//     ignores the ping. Either way the ping is consumed.
+//
+// An on-disk capture is rewritten in place so the file pair matches.
+// Returns false when no capture qualified (the caller should trigger a
+// fresh peer capture instead). Must run on the owning goroutine, like
+// Trigger.
+func (r *Recorder) AdoptIncident(incident uint64, reason string, peerNow, peerWall int64) bool {
+	r.capMu.Lock()
+	var target, fallback, crossed *Capture
+	for i := len(r.recent) - 1; i >= 0; i-- {
+		c := r.recent[i]
+		if r.now-c.Now > r.cfg.Horizon {
+			continue
+		}
+		if c.Incident == 0 {
+			if c.Reason == reason {
+				target = c
+				break
+			}
+			if fallback == nil {
+				fallback = c
+			}
+			continue
+		}
+		if crossed == nil && !c.FromPeer && c.Reason == reason && c.Incident != incident {
+			crossed = c
+		}
+	}
+	if target == nil {
+		target = fallback
+	}
+	if target == nil {
+		if crossed == nil {
+			r.capMu.Unlock()
+			return false
+		}
+		if incident >= crossed.Incident {
+			// The peer holds the larger ID and converges to ours.
+			r.capMu.Unlock()
+			return true
+		}
+		target = crossed
+	}
+	target.Incident = incident
+	target.PeerNow = peerNow
+	target.PeerWallNs = peerWall
+	path := target.Path
+	r.capMu.Unlock()
+
+	if path != "" {
+		err := target.WriteFile(filepath.Dir(path))
+		r.capMu.Lock()
+		r.lastErr = err
+		r.capMu.Unlock()
+	}
+	r.events.Emit(r.now, r.name, "incident-adopted", target.Reason, int64(target.Seq), int64(incident))
+	return true
 }
 
 // Captures returns the total number of triggers since arming.

@@ -38,6 +38,10 @@ type Scenario struct {
 
 	Events []Event    `json:"events,omitempty"`
 	Assert Assertions `json:"assert"`
+
+	// Fleet, when present, adds distributed SLO assertions graded by
+	// scraping live p5sim instances after the drill (fleet.go).
+	Fleet *FleetSpec `json:"fleet,omitempty"`
 }
 
 // RingSpec parameterises the topo.Ring under the drill.
@@ -262,6 +266,9 @@ func (s *Scenario) Validate() error {
 		if !names[a.Circuit] {
 			return fmt.Errorf("scenario %s: assertion references unknown circuit %q", s.Name, a.Circuit)
 		}
+	}
+	if s.Fleet != nil && len(s.Fleet.Instances) == 0 {
+		return fmt.Errorf("scenario %s: fleet block with no instances", s.Name)
 	}
 	return nil
 }

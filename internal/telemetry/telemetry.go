@@ -328,6 +328,17 @@ func (r *Registry) Histogram(name, help string, bounds []int64, labels ...Label)
 	return m.hist
 }
 
+// AttachHistogram adopts an externally created histogram into the
+// registry under name+labels, so subsystems that own their histograms
+// (the transport latency meter) expose them without copying. Asking
+// again for the same series keeps the first attached histogram.
+func (r *Registry) AttachHistogram(name, help string, h *Histogram, labels ...Label) {
+	m := r.register(name, help, KindHistogram, labels)
+	if m.hist == nil {
+		m.hist = h
+	}
+}
+
 // AddSampler registers fn to run at the start of every Snapshot and
 // Prometheus exposition, before metric values are read. It is the hook
 // for pull-style sources (the prof package's runtime/metrics exporter)

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // TCP is the stream socket transport: the same wire records as UDP,
@@ -53,6 +55,9 @@ type TCP struct {
 	kaNext   int64
 	kaLastRx uint64
 	kaMisses int
+
+	lm meter
+	fz freezeBox
 }
 
 // TCPConfig places a TCP endpoint.
@@ -82,6 +87,7 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 		dialAddr: cfg.DialAddr,
 		epoch:    uint32(time.Now().UnixNano()) | 1,
 		bo:       newBackoff(cfg.Config),
+		lm:       newMeter(cfg.LatencySampleShift),
 	}
 	t.cond = sync.NewCond(&t.mu)
 	t.sq.limit = cfg.queueLimit()
@@ -193,6 +199,12 @@ func (t *TCP) reader(c net.Conn, gen int) {
 		h, err := DecodeHeader(hdr[:])
 		if err != nil {
 			t.mu.Lock()
+			if err == ErrBadVersion {
+				// A version-skewed peer resets on its first record and
+				// never comes up — the clean rejection path, counted so
+				// fleet scrapes can name the cause.
+				t.st.RxBadVersion++
+			}
 			t.st.RxDropped++
 			t.mu.Unlock()
 			t.dropConn(c, gen)
@@ -206,6 +218,7 @@ func (t *TCP) reader(c net.Conn, gen int) {
 			t.dropConn(c, gen)
 			return
 		}
+		rxWall := time.Now().UnixNano()
 		t.mu.Lock()
 		if t.closed {
 			t.mu.Unlock()
@@ -226,7 +239,33 @@ func (t *TCP) reader(c net.Conn, gen int) {
 			t.peerEpoch = h.Epoch
 			t.peerSeq = 0
 		}
-		if h.Type == TypeKeepalive {
+		t.lm.noteTick(h.Tick, t.tickNow)
+		switch h.Type {
+		case TypeKeepalive:
+			// Answer through the send queue. t3 is stamped at queue
+			// time, so writer-queue delay lands in the measured RTT —
+			// honest for a stream transport, where queued data delays
+			// everything else too.
+			if h.Wall != 0 {
+				buf := t.sq.get()
+				buf = AppendHeader(buf, TypeKeepaliveReply, KeepaliveReplyLen,
+					t.epoch, t.seq, t.tickNow, 0)
+				buf = AppendKeepaliveReplyPayload(buf, h.Wall, rxWall, time.Now().UnixNano())
+				t.sq.push(buf)
+				t.cond.Broadcast()
+			}
+			t.mu.Unlock()
+			continue
+		case TypeKeepaliveReply:
+			if t1, t2, t3, perr := DecodeKeepaliveReply(payload); perr == nil {
+				t.lm.noteReply(t1, t2, t3, rxWall)
+			}
+			t.mu.Unlock()
+			continue
+		case TypeFreeze:
+			if inc, trigTick, trigWall, reason, perr := DecodeFreeze(payload); perr == nil {
+				t.fz.note(FreezeInfo{Incident: inc, Reason: reason, Tick: trigTick, WallNs: trigWall})
+			}
 			t.mu.Unlock()
 			continue
 		}
@@ -314,7 +353,11 @@ func (t *TCP) Send(p []byte) error {
 		}
 		buf := t.sq.get()
 		t.seq++
-		buf = AppendHeader(buf, TypeData, n, t.epoch, t.seq)
+		wall := int64(0)
+		if t.lm.stampWall(t.seq) {
+			wall = time.Now().UnixNano()
+		}
+		buf = AppendHeader(buf, TypeData, n, t.epoch, t.seq, t.tickNow, wall)
 		buf = append(buf, p[:n]...)
 		p = p[n:]
 		t.sq.push(buf)
@@ -342,6 +385,7 @@ func (t *TCP) Tick(now int64) {
 		t.dialing = true
 		go t.dial()
 	}
+	t.flushFreezeLocked(now)
 	period := t.cfg.KeepalivePeriod
 	if period <= 0 || !t.connected {
 		t.kaNext = 0
@@ -376,7 +420,8 @@ func (t *TCP) Tick(now int64) {
 	t.kaLastRx = t.rxCount
 	if !giveUp && !t.muted {
 		buf := t.sq.get()
-		buf = AppendHeader(buf, TypeKeepalive, 0, t.epoch, t.seq)
+		// The probe's wall stamp is the NTP t1 origin.
+		buf = AppendHeader(buf, TypeKeepalive, 0, t.epoch, t.seq, now, time.Now().UnixNano())
 		t.sq.push(buf)
 		t.st.KeepaliveProbes++
 		t.cond.Broadcast()
@@ -408,6 +453,64 @@ func (t *TCP) dial() {
 		return
 	}
 	t.install(c)
+}
+
+// flushFreezeLocked queues one due pending freeze for the writer.
+// Retries are gated on the line being alive, so a freeze raised while
+// disconnected waits for the reconnect instead of exhausting its
+// tries into a dead stream.
+func (t *TCP) flushFreezeLocked(now int64) {
+	fi := t.fz.due(now, t.connected && t.alive && !t.muted, t.cfg.KeepalivePeriod)
+	if fi == nil {
+		return
+	}
+	reason := fi.Reason
+	if len(reason) > freezeReasonMax {
+		reason = reason[:freezeReasonMax]
+	}
+	buf := t.sq.get()
+	buf = AppendHeader(buf, TypeFreeze, 25+len(reason), t.epoch, t.seq, now, 0)
+	buf = AppendFreezePayload(buf, fi.Incident, fi.Tick, fi.WallNs, reason)
+	t.sq.push(buf)
+	t.cond.Broadcast()
+}
+
+// SendFreeze queues a capture-correlation freeze toward the peer.
+func (t *TCP) SendFreeze(info FreezeInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.fz.queue(info)
+	t.flushFreezeLocked(t.tickNow)
+}
+
+// Freezes appends and returns the freezes received since the last call.
+func (t *TCP) Freezes(dst []FreezeInfo) []FreezeInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fz.drain(dst)
+}
+
+// CorrelationLeader reports whether this end assigns shared incident
+// IDs (epoch comparison; the listener wins ties).
+func (t *TCP) CorrelationLeader() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return leader(t.epoch, t.peerEpoch, t.gotEpoch, t.ln != nil)
+}
+
+// Latency returns the endpoint's latency summary.
+func (t *TCP) Latency() Latency {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lm.latency()
+}
+
+// LatencyHist returns the live latency histograms (µs).
+func (t *TCP) LatencyHist() (oneWay, jitter, rtt *telemetry.Histogram) {
+	return t.lm.oneWay, t.lm.jitter, t.lm.rtt
 }
 
 // Up reports connection and dead-peer status.

@@ -84,6 +84,9 @@ type Stats struct {
 	// bad magic or header, duplicates, and reordered (stale-sequence)
 	// arrivals.
 	RxDropped uint64
+	// RxBadVersion counts arrivals rejected for a wire-version mismatch
+	// (also included in RxDropped) — the fleet's version-skew signal.
+	RxBadVersion uint64
 	// Reconnects counts successful connection establishments after the
 	// first (TCP re-dials and accepted replacement conns; UDP peer
 	// epoch changes).
@@ -128,7 +131,15 @@ type Config struct {
 	// environment variables override zero values, the udpx idiom of
 	// env-tuned buffers).
 	ReadBuffer, WriteBuffer int
+	// LatencySampleShift controls the one-way latency wall-stamp rate:
+	// one data datagram in 2^shift carries a transmit wall stamp
+	// (default 6, 1 in 64). Sampling keeps the stamp cost off most of
+	// the hot path while the histograms still converge in seconds.
+	LatencySampleShift int
 }
+
+// defaultLatencySampleShift is the 1-in-64 default sampling rate.
+const defaultLatencySampleShift = 6
 
 func (c Config) queueLimit() int {
 	if c.QueueLimit <= 0 {

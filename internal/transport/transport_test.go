@@ -347,7 +347,7 @@ func TestUDPSeqDedup(t *testing.T) {
 
 	const epoch = 0xBEEF
 	send := func(seq uint64, payload string) {
-		b := AppendHeader(nil, TypeData, len(payload), epoch, seq)
+		b := AppendHeader(nil, TypeData, len(payload), epoch, seq, 0, 0)
 		b = append(b, payload...)
 		if _, err := raw.Write(b); err != nil {
 			t.Fatal(err)
@@ -390,5 +390,201 @@ func TestUDPSeqDedup(t *testing.T) {
 	}
 	if st := ln.Stats(); st.RxDropped != 2 {
 		t.Fatalf("RxDropped = %d, want 2 (one dup, one stale)", st.RxDropped)
+	}
+}
+
+// TestUDPBadVersionRejected: a datagram carrying an unknown wire
+// version is counted and dropped without latching the sender as a live
+// peer — the clean failure mode for version skew across a fleet.
+func TestUDPBadVersionRejected(t *testing.T) {
+	ln, err := NewUDP(UDPConfig{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	raw, err := net.Dial("udp", ln.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	b := AppendHeader(nil, TypeData, 2, 1, 1, 0, 0)
+	b[4] = 1 // the v1 header a stale peer would send
+	b = append(b, 'h', 'i')
+	if _, err := raw.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ln.Stats().RxBadVersion == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("bad-version datagram never counted")
+		}
+		ln.Tick(0)
+		time.Sleep(100 * time.Microsecond)
+	}
+	st := ln.Stats()
+	if st.RxBadVersion != 1 || st.RxDropped != 1 {
+		t.Fatalf("stats after version skew: %+v", st)
+	}
+	if ln.Up() || len(ln.Recv(nil)) != 0 {
+		t.Fatal("skewed peer latched as alive")
+	}
+}
+
+// TestUDPLatencyExchange drives a real loopback pair and asserts the
+// latency meter fills from both channels: one-way samples from sampled
+// wall stamps on data chunks, RTT samples from the keepalive
+// probe/reply exchange.
+func TestUDPLatencyExchange(t *testing.T) {
+	cfg := Config{KeepalivePeriod: 2, LatencySampleShift: 1}
+	ln, err := NewUDP(UDPConfig{Config: cfg, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	dl, err := NewUDP(UDPConfig{Config: cfg, DialAddr: ln.LocalAddr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dl.Close()
+
+	now := int64(0)
+	for i := 0; i < 16; i++ {
+		dl.Send([]byte("tick"))
+	}
+	collect(t, ln, dl, 16, &now)
+	if lat := ln.Latency(); lat.Samples == 0 {
+		t.Fatalf("no one-way samples after 16 stamped chunks: %+v", lat)
+	}
+
+	// Reverse traffic marks the dialer's peer alive, after which its
+	// keepalive probes (wall-stamped) earn RTT samples from replies.
+	ln.Send([]byte("back"))
+	collect(t, dl, ln, 1, &now)
+	deadline := time.Now().Add(5 * time.Second)
+	for dl.Latency().RTTSamples == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no RTT samples: %+v", dl.Latency())
+		}
+		now++
+		dl.Tick(now)
+		ln.Tick(now)
+		time.Sleep(100 * time.Microsecond)
+	}
+	lat := dl.Latency()
+	if lat.ClockOffsetNS > 1e9 || lat.ClockOffsetNS < -1e9 {
+		t.Fatalf("loopback clock offset estimate off by >1s: %+v", lat)
+	}
+}
+
+// TestUDPFreezeExchange: a freeze ping queued on one end surfaces on
+// the peer exactly once — retransmissions are deduplicated by incident.
+func TestUDPFreezeExchange(t *testing.T) {
+	cfg := Config{KeepalivePeriod: 2}
+	ln, err := NewUDP(UDPConfig{Config: cfg, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	dl, err := NewUDP(UDPConfig{Config: cfg, DialAddr: ln.LocalAddr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dl.Close()
+
+	// Two-way traffic so both ends see a live peer.
+	now := int64(0)
+	dl.Send([]byte("fwd"))
+	collect(t, ln, dl, 1, &now)
+	ln.Send([]byte("rev"))
+	collect(t, dl, ln, 1, &now)
+
+	want := FreezeInfo{Incident: 0xC0FFEE, Reason: "transport-los", Tick: 41, WallNs: 1234}
+	dl.SendFreeze(want)
+	var got []FreezeInfo
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("freeze never arrived")
+		}
+		now++
+		dl.Tick(now)
+		ln.Tick(now)
+		got = ln.Freezes(got)
+		time.Sleep(100 * time.Microsecond)
+	}
+	if got[0] != want {
+		t.Fatalf("freeze round trip: got %+v, want %+v", got[0], want)
+	}
+	// Let every retransmission land; dedup must keep the count at one.
+	for i := 0; i < 4*int(cfg.KeepalivePeriod)+4; i++ {
+		now++
+		dl.Tick(now)
+		ln.Tick(now)
+		time.Sleep(100 * time.Microsecond)
+	}
+	if extra := ln.Freezes(nil); len(extra) != 0 {
+		t.Fatalf("retransmitted freeze delivered twice: %+v", extra)
+	}
+	if len(got) != 1 {
+		t.Fatalf("freeze count %d, want 1", len(got))
+	}
+}
+
+// TestCorrelationLeader pins the freeze leader election: higher epoch
+// wins, the listener breaks ties, and an end that never heard a peer
+// epoch leads by default.
+func TestCorrelationLeader(t *testing.T) {
+	cases := []struct {
+		local, peer        uint32
+		gotEpoch, listener bool
+		want               bool
+	}{
+		{5, 3, true, false, true},  // higher epoch leads
+		{3, 5, true, true, false},  // lower epoch follows even as listener
+		{7, 7, true, true, true},   // tie: listener leads
+		{7, 7, true, false, false}, // tie: dialer follows
+		{1, 9, false, false, true}, // no peer epoch yet: lead
+	}
+	for i, tc := range cases {
+		if got := leader(tc.local, tc.peer, tc.gotEpoch, tc.listener); got != tc.want {
+			t.Errorf("case %d (%+v): leader = %v", i, tc, got)
+		}
+	}
+}
+
+// TestMeterEstimates pins the meter arithmetic against hand-computed
+// NTP timestamps: RTT excludes peer hold time, the first offset sample
+// seeds the EWMA, and the tick offset is a max-filter.
+func TestMeterEstimates(t *testing.T) {
+	m := newMeter(1)
+	if !m.stampWall(2) || m.stampWall(3) {
+		t.Fatal("sample mask wrong for shift 1")
+	}
+	// t1=0 t2=600µs t3=700µs t4=300µs: RTT = 300µs - 100µs hold = 200µs,
+	// offset θ = ((t2-t1)+(t3-t4))/2 = 500µs.
+	m.noteReply(0, 600_000, 700_000, 300_000)
+	lat := m.latency()
+	if lat.RTTSamples != 1 || lat.ClockOffsetNS != 500_000 {
+		t.Fatalf("after reply: %+v", lat)
+	}
+	if lat.RTTP50US != 250 {
+		t.Fatalf("RTT p50 bucket = %d, want 250 (200µs sample)", lat.RTTP50US)
+	}
+	// One-way: rx-tx = -400µs, corrected by the +500µs offset to 100µs.
+	m.noteData(1_000_000, 600_000)
+	lat = m.latency()
+	if lat.Samples != 1 || lat.OneWayP50US != 100 {
+		t.Fatalf("after data: %+v", lat)
+	}
+	m.noteTick(10, 3)
+	m.noteTick(5, 3)
+	if lat := m.latency(); lat.TickOffset != 7 {
+		t.Fatalf("tick offset = %d, want max-filtered 7", lat.TickOffset)
+	}
+	// A zero wall stamp (unsampled chunk) must be ignored.
+	m.noteData(0, 999)
+	if lat := m.latency(); lat.Samples != 1 {
+		t.Fatalf("unsampled chunk counted: %+v", lat)
 	}
 }

@@ -3,8 +3,11 @@ package transport
 import (
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // UDP is the datagram socket transport: one chunk of wire octets per
@@ -19,7 +22,12 @@ import (
 // valid datagram (re-latching whenever the peer's epoch changes, so a
 // restarted or rebound dialer reconnects transparently); a dialer
 // binds an ephemeral port and sends to DialAddr. Keepalive probes flow
-// both ways; dead-peer detection is symmetric.
+// both ways; dead-peer detection is symmetric. Probes double as the
+// NTP-style clock-offset exchange (the peer answers each with a
+// TypeKeepaliveReply), and sampled data headers carry a transmit wall
+// stamp, so the endpoint measures one-way latency, jitter, RTT and
+// clock offset against its peer (LatencyMeter). It also carries the
+// capture-correlation freeze channel (Freezer).
 type UDP struct {
 	cfg      Config
 	conn     *net.UDPConn
@@ -29,7 +37,7 @@ type UDP struct {
 	closed bool
 	muted  bool
 	st     Stats
-	peer   *net.UDPAddr
+	peer   netip.AddrPort
 
 	sq       chunkQueue
 	rq       rxQueue
@@ -42,11 +50,22 @@ type UDP struct {
 	gotEpoch  bool
 	peerSeq   uint64
 
-	alive    bool
-	rxCount  uint64
+	alive   bool
+	rxCount uint64
+	tickNow int64
+
 	kaNext   int64
 	kaLastRx uint64
 	kaMisses int
+
+	lm meter
+	fz freezeBox
+
+	// probeBuf and replyBuf are preallocated so the keepalive exchange
+	// never allocates (stack arrays would escape into the socket write).
+	probeBuf  [HeaderLen]byte
+	replyBuf  [HeaderLen + KeepaliveReplyLen]byte
+	freezeBuf [HeaderLen + 64]byte
 }
 
 // UDPConfig places a UDP endpoint.
@@ -87,6 +106,7 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 		conn:     conn,
 		listener: cfg.DialAddr == "",
 		epoch:    uint32(time.Now().UnixNano()) | 1,
+		lm:       newMeter(cfg.LatencySampleShift),
 	}
 	t.sq.limit = cfg.queueLimit()
 	if cfg.DialAddr != "" {
@@ -95,7 +115,7 @@ func NewUDP(cfg UDPConfig) (*UDP, error) {
 			conn.Close()
 			return nil, fmt.Errorf("transport: dial %s: %w", cfg.DialAddr, err)
 		}
-		t.peer = raddr
+		t.peer = raddr.AddrPort()
 	}
 	go t.reader()
 	return t, nil
@@ -121,7 +141,11 @@ func (t *UDP) Send(p []byte) error {
 		}
 		buf := t.sq.get()
 		t.seq++
-		buf = AppendHeader(buf, TypeData, n, t.epoch, t.seq)
+		wall := int64(0)
+		if t.lm.stampWall(t.seq) {
+			wall = time.Now().UnixNano()
+		}
+		buf = AppendHeader(buf, TypeData, n, t.epoch, t.seq, t.tickNow, wall)
 		buf = append(buf, p[:n]...)
 		p = p[n:]
 		t.sq.push(buf)
@@ -146,12 +170,12 @@ func (t *UDP) Mute(on bool) {
 // the peer is unknown or the line is muted — the bounded queue holds,
 // and drops oldest).
 func (t *UDP) flushLocked() {
-	if t.muted || t.peer == nil || len(t.sq.bufs) == 0 {
+	if t.muted || !t.peer.IsValid() || len(t.sq.bufs) == 0 {
 		return
 	}
 	t.flushTmp = t.sq.drainInto(t.flushTmp[:0], 0)
 	for _, buf := range t.flushTmp {
-		if _, err := t.conn.WriteToUDP(buf, t.peer); err != nil {
+		if _, err := t.conn.WriteToUDPAddrPort(buf, t.peer); err != nil {
 			t.st.TxDropped++
 		} else {
 			t.st.TxChunks++
@@ -168,15 +192,17 @@ func (t *UDP) Recv(dst [][]byte) [][]byte {
 	return append(dst, t.rq.drain()...)
 }
 
-// Tick runs keepalive probing and dead-peer accounting, and flushes
-// anything still queued.
+// Tick runs keepalive probing, dead-peer accounting and pending freeze
+// transmission, and flushes anything still queued.
 func (t *UDP) Tick(now int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
 		return
 	}
+	t.tickNow = now
 	t.flushLocked()
+	t.flushFreezeLocked(now)
 	period := t.cfg.KeepalivePeriod
 	if period <= 0 {
 		return
@@ -201,20 +227,74 @@ func (t *UDP) Tick(now int64) {
 		t.kaMisses = 0
 	}
 	t.kaLastRx = t.rxCount
-	if t.peer != nil && !t.muted {
-		var hdr [HeaderLen]byte
-		probe := AppendHeader(hdr[:0], TypeKeepalive, 0, t.epoch, t.seq)
-		t.conn.WriteToUDP(probe, t.peer)
+	if t.peer.IsValid() && !t.muted {
+		// The probe's wall stamp is the NTP t1 origin.
+		probe := AppendHeader(t.probeBuf[:0], TypeKeepalive, 0, t.epoch, t.seq,
+			now, time.Now().UnixNano())
+		t.conn.WriteToUDPAddrPort(probe, t.peer)
 		t.st.KeepaliveProbes++
 	}
 }
 
+// flushFreezeLocked transmits one due pending freeze. Retries are
+// gated on the line being alive, so a freeze raised during a blackout
+// waits the dark window out instead of exhausting its tries into it.
+func (t *UDP) flushFreezeLocked(now int64) {
+	fi := t.fz.due(now, t.alive && !t.muted && t.peer.IsValid(), t.cfg.KeepalivePeriod)
+	if fi == nil {
+		return
+	}
+	payload := AppendFreezePayload(t.freezeBuf[HeaderLen:HeaderLen], fi.Incident, fi.Tick, fi.WallNs, fi.Reason)
+	buf := AppendHeader(t.freezeBuf[:0], TypeFreeze, len(payload), t.epoch, t.seq, now, 0)
+	buf = buf[:HeaderLen+len(payload)]
+	t.conn.WriteToUDPAddrPort(buf, t.peer)
+}
+
+// SendFreeze queues a capture-correlation freeze toward the peer.
+func (t *UDP) SendFreeze(info FreezeInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.fz.queue(info)
+	t.flushFreezeLocked(t.tickNow)
+}
+
+// Freezes appends and returns the freezes received since the last call.
+func (t *UDP) Freezes(dst []FreezeInfo) []FreezeInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fz.drain(dst)
+}
+
+// CorrelationLeader reports whether this end assigns shared incident
+// IDs (epoch comparison; the listener wins ties).
+func (t *UDP) CorrelationLeader() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return leader(t.epoch, t.peerEpoch, t.gotEpoch, t.listener)
+}
+
+// Latency returns the endpoint's latency summary.
+func (t *UDP) Latency() Latency {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lm.latency()
+}
+
+// LatencyHist returns the live latency histograms (µs).
+func (t *UDP) LatencyHist() (oneWay, jitter, rtt *telemetry.Histogram) {
+	return t.lm.oneWay, t.lm.jitter, t.lm.rtt
+}
+
 // reader is the receive goroutine: it validates, deduplicates and
-// copies datagrams into the pooled receive queue.
+// copies datagrams into the pooled receive queue, answers keepalive
+// probes, and folds latency samples into the meter.
 func (t *UDP) reader() {
 	buf := make([]byte, 65536)
 	for {
-		n, addr, err := t.conn.ReadFromUDP(buf)
+		n, addr, err := t.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			t.mu.Lock()
 			closed := t.closed
@@ -224,6 +304,7 @@ func (t *UDP) reader() {
 			}
 			continue
 		}
+		rxWall := time.Now().UnixNano()
 		h, payload, derr := DecodeDatagram(buf[:n])
 		t.mu.Lock()
 		if t.closed {
@@ -238,6 +319,12 @@ func (t *UDP) reader() {
 			continue
 		}
 		if derr != nil {
+			// A version-skewed peer fails here on every datagram and
+			// never marks the line alive — keepalive supervision reports
+			// it dead, RxBadVersion names the cause.
+			if derr == ErrBadVersion {
+				t.st.RxBadVersion++
+			}
 			t.st.RxDropped++
 			t.mu.Unlock()
 			continue
@@ -255,12 +342,35 @@ func (t *UDP) reader() {
 			t.peerEpoch = h.Epoch
 			t.peerSeq = 0
 		}
-		if t.listener && (t.peer == nil || epochChanged) {
+		if t.listener && (!t.peer.IsValid() || epochChanged) {
 			// Latch (or re-latch) the return path.
-			a := *addr
-			t.peer = &a
+			t.peer = addr
 		}
-		if h.Type == TypeKeepalive {
+		t.lm.noteTick(h.Tick, t.tickNow)
+		switch h.Type {
+		case TypeKeepalive:
+			// Answer with the NTP triple: t1 echoed from the probe's
+			// wall stamp, t2 our receive clock, t3 our transmit clock.
+			// Replying straight to the source keeps the exchange alive
+			// even before the return path is latched.
+			if h.Wall != 0 {
+				reply := AppendHeader(t.replyBuf[:0], TypeKeepaliveReply, KeepaliveReplyLen,
+					t.epoch, t.seq, t.tickNow, 0)
+				reply = AppendKeepaliveReplyPayload(reply, h.Wall, rxWall, time.Now().UnixNano())
+				t.conn.WriteToUDPAddrPort(reply, addr)
+			}
+			t.mu.Unlock()
+			continue
+		case TypeKeepaliveReply:
+			if t1, t2, t3, perr := DecodeKeepaliveReply(payload); perr == nil {
+				t.lm.noteReply(t1, t2, t3, rxWall)
+			}
+			t.mu.Unlock()
+			continue
+		case TypeFreeze:
+			if inc, trigTick, trigWall, reason, perr := DecodeFreeze(payload); perr == nil {
+				t.fz.note(FreezeInfo{Incident: inc, Reason: reason, Tick: trigTick, WallNs: trigWall})
+			}
 			t.mu.Unlock()
 			continue
 		}
@@ -273,6 +383,7 @@ func (t *UDP) reader() {
 			continue
 		}
 		t.peerSeq = h.Seq
+		t.lm.noteData(h.Wall, rxWall)
 		t.rq.push(t.rq.get(payload))
 		t.st.RxChunks++
 		t.st.RxBytes += uint64(len(payload))

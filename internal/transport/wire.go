@@ -2,37 +2,63 @@ package transport
 
 import "errors"
 
-// The socket transports frame every chunk with a fixed 20-octet header
+// The socket transports frame every chunk with a fixed 36-octet header
 // so the receiver can reject foreign traffic (magic), resynchronise
-// after a peer restart (epoch), and discard duplicated or reordered
-// datagrams before they scramble the HDLC byte stream (seq):
+// after a peer restart (epoch), discard duplicated or reordered
+// datagrams before they scramble the HDLC byte stream (seq), and
+// measure cross-process latency (tick, wall):
 //
 //	octets 0..3   magic  "P5LT" (0x50354C54), big endian
-//	octet  4      version (wireVersion)
-//	octet  5      type: TypeData | TypeKeepalive
+//	octet  4      version (WireVersion)
+//	octet  5      type: TypeData | TypeKeepalive | TypeKeepaliveReply | TypeFreeze
 //	octets 6..7   payload length, big endian
 //	octets 8..11  epoch — random per transport instance
 //	octets 12..19 seq — per-instance monotonic datagram counter
+//	octets 20..27 tick — sender's virtual clock at transmit (signed)
+//	octets 28..35 wall — sampled transmit wall clock, ns (0 = unsampled)
 //
 // Over UDP each datagram is one header plus payload; over TCP the same
 // records are concatenated on the stream and the magic doubles as a
 // desync detector (a mid-stream magic mismatch resets the connection).
+//
+// Version 2 added the tick/wall trailer and the keepalive-reply and
+// freeze types. The header carries no compatibility machinery on
+// purpose: a v1 peer's datagrams fail DecodeHeader with ErrBadVersion,
+// the receiver counts them in Stats.RxBadVersion and never marks the
+// line alive, so a version-skewed deployment looks like a dead peer —
+// detected by keepalive supervision, visible in /status — instead of a
+// corrupted byte stream.
 
 // Wire header constants.
 const (
-	Magic       = 0x50354C54 // "P5LT"
-	wireVersion = 1
+	Magic = 0x50354C54 // "P5LT"
+	// WireVersion is the protocol version this build speaks, exported
+	// so status boards can surface it for fleet version-skew checks.
+	WireVersion = 2
 	// HeaderLen is the fixed wire header size in octets.
-	HeaderLen = 20
+	HeaderLen = 36
 )
 
 // Wire datagram types.
 const (
 	// TypeData carries a chunk of HDLC wire octets.
 	TypeData = 0
-	// TypeKeepalive is an empty liveness probe.
+	// TypeKeepalive is a liveness probe; its header tick/wall double as
+	// the NTP-style t1 origin stamp.
 	TypeKeepalive = 1
+	// TypeKeepaliveReply answers a probe with the three timestamps the
+	// initiator needs for offset/RTT estimation (see the payload codec
+	// below).
+	TypeKeepaliveReply = 2
+	// TypeFreeze asks the peer to dump its flight recorder under a
+	// shared incident ID (see AppendFreezePayload).
+	TypeFreeze = 3
 )
+
+// KeepaliveReplyLen is the TypeKeepaliveReply payload size: t1 (echoed
+// origin wall ns), t2 (receive wall ns), t3 (transmit wall ns), each
+// i64 big endian.
+const KeepaliveReplyLen = 24
 
 // Header is one decoded wire header.
 type Header struct {
@@ -41,6 +67,11 @@ type Header struct {
 	Len     int
 	Epoch   uint32
 	Seq     uint64
+	// Tick is the sender's virtual clock at transmit.
+	Tick int64
+	// Wall is the sampled transmit wall clock in ns, 0 when the sender
+	// did not stamp this datagram.
+	Wall int64
 }
 
 // Wire header decode errors.
@@ -53,15 +84,20 @@ var (
 )
 
 // AppendHeader appends the encoded header for a payload of length n to
-// dst and returns it.
-func AppendHeader(dst []byte, typ byte, n int, epoch uint32, seq uint64) []byte {
+// dst and returns it. tick is the sender's virtual clock; wall is the
+// sampled transmit wall stamp in ns (pass 0 on unsampled datagrams).
+func AppendHeader(dst []byte, typ byte, n int, epoch uint32, seq uint64, tick, wall int64) []byte {
 	return append(dst,
 		byte(Magic>>24), byte(Magic>>16&0xFF), byte(Magic>>8&0xFF), byte(Magic&0xFF),
-		wireVersion, typ,
+		WireVersion, typ,
 		byte(n>>8), byte(n),
 		byte(epoch>>24), byte(epoch>>16), byte(epoch>>8), byte(epoch),
 		byte(seq>>56), byte(seq>>48), byte(seq>>40), byte(seq>>32),
-		byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq))
+		byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq),
+		byte(tick>>56), byte(tick>>48), byte(tick>>40), byte(tick>>32),
+		byte(tick>>24), byte(tick>>16), byte(tick>>8), byte(tick),
+		byte(wall>>56), byte(wall>>48), byte(wall>>40), byte(wall>>32),
+		byte(wall>>24), byte(wall>>16), byte(wall>>8), byte(wall))
 }
 
 // DecodeHeader parses the wire header at the front of p. For UDP the
@@ -77,18 +113,31 @@ func DecodeHeader(p []byte) (Header, error) {
 		return h, ErrBadMagic
 	}
 	h.Version = p[4]
-	if h.Version != wireVersion {
+	if h.Version != WireVersion {
 		return h, ErrBadVersion
 	}
 	h.Type = p[5]
-	if h.Type != TypeData && h.Type != TypeKeepalive {
+	if h.Type > TypeFreeze {
 		return h, ErrBadType
 	}
 	h.Len = int(p[6])<<8 | int(p[7])
 	h.Epoch = uint32(p[8])<<24 | uint32(p[9])<<16 | uint32(p[10])<<8 | uint32(p[11])
 	h.Seq = uint64(p[12])<<56 | uint64(p[13])<<48 | uint64(p[14])<<40 | uint64(p[15])<<32 |
 		uint64(p[16])<<24 | uint64(p[17])<<16 | uint64(p[18])<<8 | uint64(p[19])
+	h.Tick = int64(be64(p[20:]))
+	h.Wall = int64(be64(p[28:]))
 	return h, nil
+}
+
+func be64(p []byte) uint64 {
+	return uint64(p[0])<<56 | uint64(p[1])<<48 | uint64(p[2])<<40 | uint64(p[3])<<32 |
+		uint64(p[4])<<24 | uint64(p[5])<<16 | uint64(p[6])<<8 | uint64(p[7])
+}
+
+func appendBE64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
 // DecodeDatagram parses one complete datagram (header plus payload, the
@@ -102,4 +151,51 @@ func DecodeDatagram(p []byte) (Header, []byte, error) {
 		return h, nil, ErrBadLength
 	}
 	return h, p[HeaderLen : HeaderLen+h.Len], nil
+}
+
+// AppendKeepaliveReplyPayload appends the TypeKeepaliveReply payload:
+// t1 is the probe's echoed origin wall stamp, t2 the wall clock when
+// the probe arrived, t3 the wall clock when the reply left.
+func AppendKeepaliveReplyPayload(dst []byte, t1, t2, t3 int64) []byte {
+	dst = appendBE64(dst, uint64(t1))
+	dst = appendBE64(dst, uint64(t2))
+	return appendBE64(dst, uint64(t3))
+}
+
+// DecodeKeepaliveReply parses a TypeKeepaliveReply payload.
+func DecodeKeepaliveReply(p []byte) (t1, t2, t3 int64, err error) {
+	if len(p) < KeepaliveReplyLen {
+		return 0, 0, 0, ErrShortHeader
+	}
+	return int64(be64(p)), int64(be64(p[8:])), int64(be64(p[16:])), nil
+}
+
+// freezeReasonMax bounds the reason string carried in a TypeFreeze
+// payload; longer reasons are truncated on encode.
+const freezeReasonMax = 32
+
+// AppendFreezePayload appends the TypeFreeze payload: the shared
+// incident ID, the triggering end's virtual tick and wall clock at the
+// trigger, and a short reason tag.
+func AppendFreezePayload(dst []byte, incident uint64, trigTick, trigWall int64, reason string) []byte {
+	if len(reason) > freezeReasonMax {
+		reason = reason[:freezeReasonMax]
+	}
+	dst = appendBE64(dst, incident)
+	dst = appendBE64(dst, uint64(trigTick))
+	dst = appendBE64(dst, uint64(trigWall))
+	dst = append(dst, byte(len(reason)))
+	return append(dst, reason...)
+}
+
+// DecodeFreeze parses a TypeFreeze payload.
+func DecodeFreeze(p []byte) (incident uint64, trigTick, trigWall int64, reason string, err error) {
+	if len(p) < 25 {
+		return 0, 0, 0, "", ErrShortHeader
+	}
+	n := int(p[24])
+	if n > freezeReasonMax || len(p) < 25+n {
+		return 0, 0, 0, "", ErrBadLength
+	}
+	return be64(p), int64(be64(p[8:])), int64(be64(p[16:])), string(p[25 : 25+n]), nil
 }

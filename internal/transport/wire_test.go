@@ -6,7 +6,7 @@ import (
 )
 
 func TestWireHeaderRoundTrip(t *testing.T) {
-	buf := AppendHeader(nil, TypeData, 1234, 0xDEADBEEF, 0x0102030405060708)
+	buf := AppendHeader(nil, TypeData, 1234, 0xDEADBEEF, 0x0102030405060708, -7, 987654321)
 	if len(buf) != HeaderLen {
 		t.Fatalf("header length %d, want %d", len(buf), HeaderLen)
 	}
@@ -17,10 +17,13 @@ func TestWireHeaderRoundTrip(t *testing.T) {
 	if h.Type != TypeData || h.Len != 1234 || h.Epoch != 0xDEADBEEF || h.Seq != 0x0102030405060708 {
 		t.Fatalf("round trip mismatch: %+v", h)
 	}
+	if h.Tick != -7 || h.Wall != 987654321 {
+		t.Fatalf("tick/wall mismatch: %+v", h)
+	}
 }
 
 func TestWireHeaderRejections(t *testing.T) {
-	good := AppendHeader(nil, TypeKeepalive, 0, 7, 9)
+	good := AppendHeader(nil, TypeKeepalive, 0, 7, 9, 0, 0)
 	cases := []struct {
 		name string
 		mut  func([]byte) []byte
@@ -29,6 +32,7 @@ func TestWireHeaderRejections(t *testing.T) {
 		{"short", func(b []byte) []byte { return b[:HeaderLen-1] }, ErrShortHeader},
 		{"magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrBadMagic},
 		{"version", func(b []byte) []byte { b[4] = 99; return b }, ErrBadVersion},
+		{"old-version", func(b []byte) []byte { b[4] = 1; return b }, ErrBadVersion},
 		{"type", func(b []byte) []byte { b[5] = 42; return b }, ErrBadType},
 	}
 	for _, tc := range cases {
@@ -38,7 +42,7 @@ func TestWireHeaderRejections(t *testing.T) {
 		}
 	}
 	// A datagram whose declared length overruns the received octets.
-	b := AppendHeader(nil, TypeData, 10, 7, 9)
+	b := AppendHeader(nil, TypeData, 10, 7, 9, 0, 0)
 	b = append(b, 1, 2, 3) // only 3 of the declared 10
 	if _, _, err := DecodeDatagram(b); err != ErrBadLength {
 		t.Errorf("overrun: got %v, want %v", err, ErrBadLength)
@@ -47,7 +51,7 @@ func TestWireHeaderRejections(t *testing.T) {
 
 func TestDecodeDatagramPayloadSpan(t *testing.T) {
 	payload := []byte("the quick brown fox")
-	b := AppendHeader(nil, TypeData, len(payload), 1, 2)
+	b := AppendHeader(nil, TypeData, len(payload), 1, 2, 3, 4)
 	b = append(b, payload...)
 	h, got, err := DecodeDatagram(b)
 	if err != nil {
@@ -58,11 +62,47 @@ func TestDecodeDatagramPayloadSpan(t *testing.T) {
 	}
 }
 
+func TestKeepaliveReplyPayloadRoundTrip(t *testing.T) {
+	p := AppendKeepaliveReplyPayload(nil, 111, -222, 333)
+	if len(p) != KeepaliveReplyLen {
+		t.Fatalf("payload length %d, want %d", len(p), KeepaliveReplyLen)
+	}
+	t1, t2, t3, err := DecodeKeepaliveReply(p)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if t1 != 111 || t2 != -222 || t3 != 333 {
+		t.Fatalf("round trip mismatch: %d %d %d", t1, t2, t3)
+	}
+	if _, _, _, err := DecodeKeepaliveReply(p[:KeepaliveReplyLen-1]); err == nil {
+		t.Fatal("short reply accepted")
+	}
+}
+
+func TestFreezePayloadRoundTrip(t *testing.T) {
+	p := AppendFreezePayload(nil, 0xFEEDBEEF, 42, -99, "transport-los")
+	inc, tick, wall, reason, err := DecodeFreeze(p)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if inc != 0xFEEDBEEF || tick != 42 || wall != -99 || reason != "transport-los" {
+		t.Fatalf("round trip mismatch: %x %d %d %q", inc, tick, wall, reason)
+	}
+	// Oversized reasons are truncated to the wire cap, not rejected.
+	p = AppendFreezePayload(nil, 1, 0, 0, "a-very-long-capture-reason-that-overflows")
+	if _, _, _, reason, err = DecodeFreeze(p); err != nil || len(reason) != freezeReasonMax {
+		t.Fatalf("truncation: reason %q err %v", reason, err)
+	}
+	if _, _, _, _, err := DecodeFreeze(p[:10]); err == nil {
+		t.Fatal("short freeze accepted")
+	}
+}
+
 // FuzzWireHeader fuzzes the UDP wire codec: no input may panic, and any
 // input that decodes must re-encode to an identical header.
 func FuzzWireHeader(f *testing.F) {
-	f.Add(AppendHeader(nil, TypeData, 5, 0xABCD, 42))
-	f.Add(AppendHeader(nil, TypeKeepalive, 0, 1, 1))
+	f.Add(AppendHeader(nil, TypeData, 5, 0xABCD, 42, 17, 1234567))
+	f.Add(AppendHeader(nil, TypeKeepalive, 0, 1, 1, 0, 0))
 	f.Add([]byte{})
 	f.Add([]byte{0x50, 0x35, 0x4C, 0x54})
 	f.Fuzz(func(t *testing.T, p []byte) {
@@ -73,7 +113,7 @@ func FuzzWireHeader(f *testing.F) {
 		if h.Len != len(payload) {
 			t.Fatalf("declared %d octets, span %d", h.Len, len(payload))
 		}
-		re := AppendHeader(nil, h.Type, h.Len, h.Epoch, h.Seq)
+		re := AppendHeader(nil, h.Type, h.Len, h.Epoch, h.Seq, h.Tick, h.Wall)
 		if !bytes.Equal(re, p[:HeaderLen]) {
 			t.Fatalf("re-encode mismatch:\n in %x\nout %x", p[:HeaderLen], re)
 		}

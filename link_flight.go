@@ -181,25 +181,36 @@ func (pl *ProtectedLink) ArmFlight(rec *flight.Recorder) {
 	}
 }
 
-// ArmFlight arms every port pair with recorders and SLO evaluators
-// (series labelled portN_a / portN_z) and returns the /slo board
-// aggregating them. Call before Run; captures and exemplars may be
-// inspected between Runs. The SLO on each pair's z side covers the
-// a→z direction.
+// ArmFlight arms every port with recorders and SLO evaluators (series
+// labelled portN_a / portN_z) and returns the /slo board aggregating
+// them. Call before Run; captures and exemplars may be inspected
+// between Runs. On a loopback engine both ends arm and the SLO on each
+// pair's z side covers the a→z direction; a remote-role engine (z nil)
+// arms its single local end, and when that end's transport carries a
+// freeze side channel the recorder is also joined to it for
+// cross-process capture correlation (TransportPort.ArmCorrelation).
 func (e *Engine) ArmFlight(reg *telemetry.Registry, cfg flight.Config) *flight.Board {
 	board := flight.NewBoard()
 	i := 0
 	for _, s := range e.shards {
 		for _, p := range s.ports {
 			ra := flight.NewRecorder(reg, fmt.Sprintf("port%d_a", i), cfg)
-			rz := flight.NewRecorder(reg, fmt.Sprintf("port%d_z", i), cfg)
 			p.a.ArmFlight(ra)
-			p.z.ArmFlight(rz)
-			JoinFlight(p.a, p.z)
 			board.Attach(ra)
-			board.Attach(rz)
-			if slo := p.z.FlightSLO(reg, fmt.Sprintf("port%d", i), flight.SLOConfig{}); slo != nil {
-				board.AttachSLO(slo)
+			if p.tpa != nil {
+				p.tpa.ArmCorrelation(ra)
+			}
+			if p.z != nil {
+				rz := flight.NewRecorder(reg, fmt.Sprintf("port%d_z", i), cfg)
+				p.z.ArmFlight(rz)
+				JoinFlight(p.a, p.z)
+				board.Attach(rz)
+				if p.tpz != nil {
+					p.tpz.ArmCorrelation(rz)
+				}
+				if slo := p.z.FlightSLO(reg, fmt.Sprintf("port%d", i), flight.SLOConfig{}); slo != nil {
+					board.AttachSLO(slo)
+				}
 			}
 			i++
 		}

@@ -5,8 +5,9 @@
 #   (BenchmarkEngineAggregate, plus its stage-profiled twin
 #   BenchmarkEngineAggregateProfiled), the steady-state link fast
 #   paths (BenchmarkLinkEncodeSteady / BenchmarkLinkEncodeSteadyFlight /
-#   BenchmarkLinkDecodeSteady) and the fused RX kernel escape-density
-#   sweep (BenchmarkTokenizerFeed), and writes
+#   BenchmarkLinkDecodeSteady), the fused RX kernel escape-density
+#   sweep (BenchmarkTokenizerFeed), and the armed distributed-
+#   observatory socket loop (BenchmarkTransportUDPSteady), and writes
 #   BENCH_<date>.json with ns/op, MB/s, allocs/op and the custom
 #   metrics (bits/cycle, frames/s, Gbps-line) per variant, so
 #   successive PRs can be compared without scraping test logs.
@@ -19,7 +20,7 @@ out="${1:-BENCH_$(date +%Y%m%d).json}"
 benchtime="${BENCHTIME:-3x}"
 
 raw=$(go test -run '^$' \
-    -bench '^(BenchmarkSystemSteady|BenchmarkEngineAggregate|BenchmarkEngineAggregateProfiled|BenchmarkLinkEncodeSteady|BenchmarkLinkEncodeSteadyFlight|BenchmarkLinkDecodeSteady|BenchmarkTokenizerFeed)$' \
+    -bench '^(BenchmarkSystemSteady|BenchmarkEngineAggregate|BenchmarkEngineAggregateProfiled|BenchmarkLinkEncodeSteady|BenchmarkLinkEncodeSteadyFlight|BenchmarkLinkDecodeSteady|BenchmarkTokenizerFeed|BenchmarkTransportUDPSteady)$' \
     -benchtime "$benchtime" -benchmem .)
 
 printf '%s\n' "$raw" | awk -v date="$(date +%Y-%m-%d)" -v go="$(go version | awk '{print $3}')" '
@@ -27,7 +28,7 @@ BEGIN {
     printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, go
     n = 0
 }
-/^Benchmark(System|EngineAggregate|LinkEncodeSteady|LinkDecodeSteady|TokenizerFeed)/ {
+/^Benchmark(System|EngineAggregate|LinkEncodeSteady|LinkDecodeSteady|TokenizerFeed|TransportUDPSteady)/ {
     # BenchmarkSystemSteady/width=8bit/telemetry=false-8  5  17448822 ns/op  1.72 MB/s  7.779 bits/cycle  0 B/op  0 allocs/op
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix

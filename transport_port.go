@@ -1,6 +1,11 @@
 package gigapos
 
-import "repro/internal/transport"
+import (
+	"math/rand/v2"
+
+	"repro/internal/flight"
+	"repro/internal/transport"
+)
 
 // TransportPort binds one Link endpoint to a LineTransport: the glue
 // that takes the engine off loopback. Each tick it flushes the link's
@@ -26,11 +31,101 @@ type TransportPort struct {
 	sawUp    bool // transport has been up at least once
 	wasUp    bool // liveness seen by the previous Poll
 	rxChunks [][]byte
+
+	// Correlation plumbing (ArmCorrelation): the armed recorder, the
+	// transport's freeze side channel and latency meter, and the peer
+	// freeze currently being serviced (stamped onto the capture its
+	// Trigger produces).
+	rec         *flight.Recorder
+	fz          transport.Freezer
+	lm          transport.LatencyMeter
+	pending     transport.FreezeInfo
+	havePending bool
+	rxFreezes   []transport.FreezeInfo
 }
 
 // NewTransportPort binds l to t.
 func NewTransportPort(l *Link, t transport.LineTransport) *TransportPort {
 	return &TransportPort{Link: l, T: t}
+}
+
+// ArmCorrelation joins the port's flight recorder to the transport's
+// freeze side channel, turning isolated black-box dumps into
+// correlated capture pairs (DESIGN.md §16): a local trigger on the
+// correlation leader mints a shared incident ID and freeze-pings the
+// peer; the peer either back-stamps the ID onto the capture its own
+// detection already produced, or dumps fresh under reason
+// "peer-freeze". Every capture is additionally stamped with the
+// transport's clock/tick offset estimates — the p5trace -join
+// alignment inputs. Reports false (and arms nothing) when the
+// transport has no freeze channel (Pipe). Call after ArmFlight, before
+// traffic.
+func (p *TransportPort) ArmCorrelation(rec *flight.Recorder) bool {
+	fz, ok := p.T.(transport.Freezer)
+	if !ok || rec == nil {
+		return false
+	}
+	p.rec = rec
+	p.fz = fz
+	p.lm, _ = p.T.(transport.LatencyMeter)
+	rec.Correlate = p.correlate
+	return true
+}
+
+// correlate runs inside Recorder.Trigger, before the capture file is
+// written.
+func (p *TransportPort) correlate(c *flight.Capture) {
+	if p.lm != nil {
+		lat := p.lm.Latency()
+		c.ClockOffsetNS = lat.ClockOffsetNS
+		c.TickOffset = lat.TickOffset
+	}
+	if p.havePending {
+		// Servicing a peer freeze: adopt its incident, never re-ping —
+		// the ping-pong stops here.
+		c.Incident = p.pending.Incident
+		c.FromPeer = true
+		c.PeerNow = p.pending.Tick
+		c.PeerWallNs = p.pending.WallNs
+		return
+	}
+	if c.Reason == "transport-los" {
+		// A symmetric outage fires local detection on both ends. Only
+		// the leader mints the ID; the follower captures uncorrelated
+		// and adopts the leader's ID when its freeze ping lands.
+		if !p.fz.CorrelationLeader() {
+			return
+		}
+	} else if !p.T.Up() {
+		// Any other trigger on a dead line (supervisor restarts cycling
+		// through a blackout) stays uncorrelated: the queued ping would
+		// only land after recovery, far outside the peer's loss horizon,
+		// spraying spurious peer-freeze dumps.
+		return
+	}
+	c.Incident = rand.Uint64() | 1
+	p.fz.SendFreeze(transport.FreezeInfo{
+		Incident: c.Incident,
+		Reason:   c.Reason,
+		Tick:     c.Now,
+		WallNs:   c.WallNs,
+	})
+}
+
+// drainFreezes services peer freeze pings: a recent uncorrelated local
+// capture inside the loss horizon adopts the incident ID; otherwise
+// the black box is dumped fresh under "peer-freeze".
+func (p *TransportPort) drainFreezes() {
+	p.rxFreezes = p.fz.Freezes(p.rxFreezes[:0])
+	for _, f := range p.rxFreezes {
+		if p.rec.AdoptIncident(f.Incident, f.Reason, f.Tick, f.WallNs) {
+			continue
+		}
+		p.pending = f
+		p.havePending = true
+		p.rec.Trigger("peer-freeze")
+		p.havePending = false
+	}
 }
 
 // Flush moves the link's pending wire output into the transport and
@@ -75,6 +170,9 @@ func (p *TransportPort) Poll(now int64) int {
 	}
 	p.RxLineBytes += uint64(n)
 	p.Link.InputBatch(p.rxChunks)
+	if p.fz != nil {
+		p.drainFreezes()
+	}
 	return n
 }
 

@@ -377,3 +377,140 @@ func TestEngineBringUpDeadline(t *testing.T) {
 		t.Fatalf("BringUpResult.String unusable: %q", s)
 	}
 }
+
+// TestTransportCorrelatedCapturesUDP is the distributed-observatory
+// acceptance drill (DESIGN.md §16): a symmetric blackout over real UDP
+// loopback fires local transport-LOS detection on BOTH ends, so both
+// dump uncorrelated black boxes while the line is dark. The
+// correlation leader mints an incident ID and freeze-pings the peer;
+// the ping can only land after the window, where the follower must
+// back-stamp the ID onto the capture it already wrote — leaving
+// exactly one capture pair on disk sharing one nonzero incident ID,
+// with no ping-pong extras.
+func TestTransportCorrelatedCapturesUDP(t *testing.T) {
+	kcfg := transport.Config{KeepalivePeriod: 32, KeepaliveMisses: 3}
+	ln, dl := udpPair(t, kcfg)
+
+	const blackoutFrom, blackoutTo = 1200, 1700
+	chaos := fault.WrapTransport(ln).Blackout(blackoutFrom, blackoutTo)
+	pa, pz := supervisedPorts(chaos, dl)
+
+	dirA, dirZ := t.TempDir(), t.TempDir()
+	ra := flight.NewRecorder(nil, "corr_a", flight.Config{Dir: dirA})
+	rz := flight.NewRecorder(nil, "corr_z", flight.Config{Dir: dirZ})
+	pa.Link.ArmFlight(ra)
+	pz.Link.ArmFlight(rz)
+	if !pa.ArmCorrelation(ra) || !pz.ArmCorrelation(rz) {
+		t.Fatal("UDP transports did not expose the freeze channel")
+	}
+
+	now := int64(0)
+	run := func(ticks int) {
+		for i := 0; i < ticks; i++ {
+			now++
+			pa.Tick(now)
+			pz.Tick(now)
+			if pa.Link.IPReady() {
+				pa.Link.SendIPv4([]byte("observe"))
+			}
+			if pz.Link.IPReady() {
+				pz.Link.SendIPv4([]byte("observe"))
+			}
+			pa.Link.ReceivedInto(nil)
+			pz.Link.ReceivedInto(nil)
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+
+	run(1000)
+	if !pa.Link.IPReady() || !pz.Link.IPReady() {
+		t.Fatal("links not up before the blackout")
+	}
+	run(blackoutTo - int(now))
+	if ra.CapturesFor("transport-los") != 1 || rz.CapturesFor("transport-los") != 1 {
+		t.Fatalf("transport-los captures a=%d z=%d, want 1 each",
+			ra.CapturesFor("transport-los"), rz.CapturesFor("transport-los"))
+	}
+
+	// Restoration: liveness returns, the queued freeze ping flushes,
+	// the follower adopts. Give it the retry budget plus slack.
+	deadline := time.Now().Add(10 * time.Second)
+	matched := func() (a, z *flight.Capture) {
+		for _, c := range ra.Recent() {
+			if c.Reason == "transport-los" {
+				a = c
+			}
+		}
+		for _, c := range rz.Recent() {
+			if c.Reason == "transport-los" {
+				z = c
+			}
+		}
+		return a, z
+	}
+	var capA, capZ *flight.Capture
+	for {
+		capA, capZ = matched()
+		if capA != nil && capZ != nil && capA.Incident != 0 && capZ.Incident != 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("incident never correlated: a=%+v z=%+v", capA, capZ)
+		}
+		run(64)
+	}
+	if capA.Incident != capZ.Incident {
+		t.Fatalf("incident IDs differ: a=%x z=%x", capA.Incident, capZ.Incident)
+	}
+	// Exactly one end minted (its capture has no peer context), the
+	// other adopted the leader's trigger context; nobody re-pinged.
+	if (capA.PeerNow != 0) == (capZ.PeerNow != 0) {
+		t.Fatalf("want one minted + one adopted capture, got a.PeerNow=%d z.PeerNow=%d",
+			capA.PeerNow, capZ.PeerNow)
+	}
+	if n := ra.CapturesFor("peer-freeze") + rz.CapturesFor("peer-freeze"); n != 0 {
+		t.Fatalf("%d peer-freeze captures — the pair should have formed by adoption", n)
+	}
+	if ra.CapturesFor("transport-los") != 1 || rz.CapturesFor("transport-los") != 1 {
+		t.Fatalf("transport-los counts grew: a=%d z=%d, want exactly 1 each",
+			ra.CapturesFor("transport-los"), rz.CapturesFor("transport-los"))
+	}
+
+	// Recovery also restarts both supervisors at once — the crossed-ping
+	// shape, where each end minted its own ID for the same symmetric
+	// event. Those captures must converge onto one shared ID too instead
+	// of spawning ping-pong peer-freeze dumps.
+	run(512)
+	var restA, restZ *flight.Capture
+	for _, c := range ra.Recent() {
+		if c.Reason == "supervisor-restart" {
+			restA = c
+		}
+	}
+	for _, c := range rz.Recent() {
+		if c.Reason == "supervisor-restart" {
+			restZ = c
+		}
+	}
+	if restA != nil && restZ != nil {
+		if restA.Incident == 0 || restA.Incident != restZ.Incident {
+			t.Fatalf("crossed restart pings did not converge: a=%x z=%x",
+				restA.Incident, restZ.Incident)
+		}
+	}
+	if n := ra.CapturesFor("peer-freeze") + rz.CapturesFor("peer-freeze"); n != 0 {
+		t.Fatalf("%d peer-freeze captures after restart convergence", n)
+	}
+
+	// The on-disk pair must match too: the follower's file is rewritten
+	// in place at adoption.
+	for _, c := range []*flight.Capture{capA, capZ} {
+		onDisk, err := flight.ReadFile(c.Path)
+		if err != nil {
+			t.Fatalf("read %s: %v", c.Path, err)
+		}
+		if onDisk.Incident != capA.Incident {
+			t.Fatalf("%s incident on disk = %x, want %x", c.Path, onDisk.Incident, capA.Incident)
+		}
+	}
+}
